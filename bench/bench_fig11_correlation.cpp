@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 11 / Section 5.1.6: correlation of the simulated RT unit
+ * against hardware.
+ *
+ * SUBSTITUTION (see DESIGN.md): the paper compares simulator rays/s to
+ * an NVIDIA RTX 2080 Ti running a Vulkan app on the same scenes. We
+ * cannot measure real RT Cores here, so the "hardware" series is an
+ * analytical RT-throughput proxy (work-weighted cost of node fetches,
+ * triangle tests, and cache misses per ray). The experiment's purpose —
+ * checking that the cycle-level model tracks an independent per-scene
+ * performance estimate across scenes and ray types — is preserved: we
+ * report the same correlation coefficient over (scene x ray-type)
+ * sample points.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "bvh/traversal.hpp"
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+namespace {
+
+/** Analytical per-ray cost proxy standing in for measured hardware. */
+double
+analyticalRaysPerSecond(const Workload &w, const std::vector<Ray> &rays)
+{
+    // Cost model: per-ray traversal work (node fetches at unit cost,
+    // triangle tests at 1.5) inflated by a memory-pressure factor that
+    // grows with the scene's working set, standing in for cache-miss
+    // latency on real hardware. Only the relative ordering across
+    // (scene, ray type) points matters for the correlation.
+    // Hardware issues one memory request per distinct node per warp
+    // (requests from the 32 threads coalesce), so the functional proxy
+    // counts UNIQUE nodes per 32-ray packet plus per-thread triangle
+    // tests. Packets are sampled for speed.
+    std::uint64_t unique_nodes = 0, tri_tests = 0;
+    std::uint64_t chain_acc = 0;
+    std::size_t count = 0, packets = 0;
+    for (std::size_t base = 0; base + 32 <= rays.size(); base += 128) {
+        std::unordered_set<std::uint32_t> packet_nodes;
+        std::uint64_t max_chain = 0;
+        for (std::size_t i = base; i < base + 32; ++i) {
+            TraversalStats one;
+            one.recordTrace = true;
+            if (rays[i].kind == RayKind::Occlusion)
+                traverseAnyHit(w.bvh, w.scene.mesh.triangles(),
+                               rays[i], &one);
+            else
+                traverseClosestHit(w.bvh, w.scene.mesh.triangles(),
+                                   rays[i], &one);
+            for (std::uint32_t node : one.nodeTrace)
+                packet_nodes.insert(node);
+            tri_tests += one.triTests;
+            max_chain = std::max<std::uint64_t>(max_chain,
+                                                one.nodesFetched);
+            count++;
+        }
+        unique_nodes += packet_nodes.size();
+        chain_acc += max_chain;
+        packets++;
+    }
+    // A warp retires with its slowest thread, so the packet's longest
+    // chain bounds its latency while unique nodes bound its bandwidth;
+    // blend the two (per ray).
+    double bandwidth = (static_cast<double>(unique_nodes) +
+                        0.4 * static_cast<double>(tri_tests)) /
+                       std::max<std::size_t>(1, count);
+    double latency = static_cast<double>(chain_acc) /
+                     std::max<std::size_t>(1, packets) / 32.0;
+    double work = 0.5 * bandwidth + 0.5 * latency * 4.0;
+    double pressure =
+        1.0 + 0.5 * std::log2(1.0 + w.scene.mesh.size() / 10000.0);
+    return 1.0e9 / (work * pressure); // pseudo rays/s
+}
+
+} // namespace
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Figure 11: Simulator vs hardware-proxy correlation",
+                "Liu et al., MICRO 2021, Figure 11 (correlation 0.9); "
+                "hardware series substituted by an analytical proxy",
+                wc);
+    WorkloadCache cache(wc);
+
+    std::vector<double> sim_series, hw_series;
+    std::printf("%-6s %-10s %14s %14s\n", "Scene", "RayType",
+                "Sim rays/cyc", "Proxy rays/s");
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache.get(id);
+        RayGenConfig rg = wc.raygen;
+        for (int kind = 0; kind < 2; ++kind) {
+            RayBatch batch =
+                kind == 0 ? generatePrimaryRays(w.scene, rg)
+                          : generateReflectionRays(w.scene, w.bvh, rg);
+            if (batch.rays.empty())
+                continue;
+            SimResult r = simulate(w.bvh, w.scene.mesh.triangles(),
+                                   batch.rays, SimConfig::baseline());
+            double sim_tput = static_cast<double>(batch.rays.size()) /
+                              std::max<Cycle>(1, r.cycles);
+            double hw = analyticalRaysPerSecond(w, batch.rays);
+            sim_series.push_back(sim_tput);
+            hw_series.push_back(hw);
+            std::printf("%-6s %-10s %14.4f %14.0f\n",
+                        w.scene.shortName.c_str(),
+                        kind == 0 ? "primary" : "reflection", sim_tput,
+                        hw);
+        }
+    }
+
+    // Pearson correlation.
+    double n = static_cast<double>(sim_series.size());
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    for (std::size_t i = 0; i < sim_series.size(); ++i) {
+        sx += sim_series[i];
+        sy += hw_series[i];
+        sxx += sim_series[i] * sim_series[i];
+        syy += hw_series[i] * hw_series[i];
+        sxy += sim_series[i] * hw_series[i];
+    }
+    double corr = (n * sxy - sx * sy) /
+                  std::sqrt((n * sxx - sx * sx) * (n * syy - sy * sy));
+    std::printf("\nCorrelation coefficient: %.3f\n", corr);
+    std::printf("Paper: 0.9 against an RTX 2080 Ti (small sample, "
+                "non-identical setups).\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 13: memory accesses and predictor overheads compared to the
+ * baseline RT unit. The paper reports a 13% net reduction: -12% interior
+ * node accesses and -2% primitive accesses, against +9% of predictor
+ * evaluation overhead of which 5.5% is wasted on mispredictions.
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Figure 13: Memory accesses and predictor overheads",
+                "Liu et al., MICRO 2021, Figure 13 (net -13%)", wc);
+    WorkloadCache cache(wc);
+
+    std::printf("%-6s %9s %9s %9s %9s %9s\n", "Scene", "Net", "Node",
+                "Tri", "PredOvh", "Wasted");
+    double net_acc = 0, node_acc = 0, tri_acc = 0, ovh_acc = 0,
+           waste_acc = 0;
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache.get(id);
+        RunOutcome out =
+            runPair(w, SimConfig::baseline(), SimConfig::proposed());
+        auto bnode = out.baseline.stats.get("ray_node_fetches");
+        auto btri = out.baseline.stats.get("ray_tri_fetches");
+        auto tnode = out.treatment.stats.get("ray_node_fetches");
+        auto ttri = out.treatment.stats.get("ray_tri_fetches");
+        auto ovh = out.treatment.stats.get("ray_pred_phase_fetches");
+        auto waste = out.treatment.stats.get("wasted_pred_fetches");
+        double base = static_cast<double>(bnode + btri);
+        double net = (static_cast<double>(tnode + ttri) - base) / base;
+        double node_d =
+            (static_cast<double>(tnode) - static_cast<double>(bnode)) /
+            base;
+        double tri_d =
+            (static_cast<double>(ttri) - static_cast<double>(btri)) /
+            base;
+        double ovh_d = static_cast<double>(ovh) / base;
+        double waste_d = static_cast<double>(waste) / base;
+        net_acc += net;
+        node_acc += node_d;
+        tri_acc += tri_d;
+        ovh_acc += ovh_d;
+        waste_acc += waste_d;
+        std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+                    w.scene.shortName.c_str(), net * 100, node_d * 100,
+                    tri_d * 100, ovh_d * 100, waste_d * 100);
+    }
+    double n = static_cast<double>(allSceneIds().size());
+    std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", "AVG",
+                net_acc / n * 100, node_acc / n * 100,
+                tri_acc / n * 100, ovh_acc / n * 100,
+                waste_acc / n * 100);
+    std::printf("\nPaper averages: net -13%%, interior nodes -12%%, "
+                "primitives -2%%, predictor\noverhead +9%% of which "
+                "5.5%% wasted on mispredictions.\n");
+    return 0;
+}

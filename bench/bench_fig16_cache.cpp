@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 16 / Section 6.2.3: cache hit rates (left) and speedup (right)
+ * for varying cache configurations with the predictor enabled,
+ * including a dedicated RT cache option (a private L1 sized for the RT
+ * unit with no L2 behind it would strand capacity; here the RT cache
+ * variant keeps the hierarchy but shrinks the L1).
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Figure 16: Cache configurations",
+                "Liu et al., MICRO 2021, Figure 16 (diminishing returns "
+                "past 64KB)",
+                wc);
+    WorkloadCache cache(wc);
+
+    std::vector<SimResult> bases; // 64KB baseline, no predictor
+    for (SceneId id : allSceneIds())
+        bases.push_back(runOne(cache.get(id), SimConfig::baseline()));
+
+    struct C
+    {
+        const char *name;
+        std::uint32_t l1_kb;
+        bool l2;
+    };
+    const C configs[] = {
+        {"RT$ 16KB (no L2)", 16, false},
+        {"L1 16KB", 16, true},
+        {"L1 32KB", 32, true},
+        {"L1 64KB", 64, true},
+        {"L1 128KB", 128, true},
+        {"L1 256KB", 256, true},
+    };
+
+    std::printf("%-18s %10s %10s %10s\n", "Config", "L1 hit",
+                "L2 hit", "Speedup");
+    for (const C &c : configs) {
+        double l1h = 0, l2h = 0;
+        std::vector<double> speedups;
+        std::size_t i = 0;
+        for (SceneId id : allSceneIds()) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.memory.l1.sizeBytes = c.l1_kb * 1024;
+            cfg.memory.l2Enabled = c.l2;
+            SimResult r = runOne(cache.get(id), cfg);
+            double hits = static_cast<double>(r.memStats.get("l1.hits"));
+            double total = hits +
+                           static_cast<double>(
+                               r.memStats.get("l1.misses")) +
+                           static_cast<double>(
+                               r.memStats.get("l1.mshr_merges"));
+            l1h += total > 0 ? hits / total : 0;
+            double l2hits =
+                static_cast<double>(r.memStats.get("l2.hits"));
+            double l2total =
+                l2hits +
+                static_cast<double>(r.memStats.get("l2.misses"));
+            l2h += l2total > 0 ? l2hits / l2total : 0;
+            speedups.push_back(static_cast<double>(bases[i].cycles) /
+                               r.cycles);
+            i++;
+        }
+        double n = static_cast<double>(allSceneIds().size());
+        std::printf("%-18s %9.1f%% %9.1f%% %+9.1f%%\n", c.name,
+                    l1h / n * 100, l2h / n * 100,
+                    (geomean(speedups) - 1) * 100);
+    }
+    std::printf("\nPaper: interfacing the RT unit with the SM's 64KB L1 "
+                "works well; returns\ndiminish past 64KB with the "
+                "predictor enabled.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table 1: Summary of benchmark scenes — triangles, BVH tree depth, and
+ * AO rays traced, for the seven procedural scene analogues, alongside
+ * the paper's reported values.
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Table 1: Summary of benchmark scenes",
+                "Liu et al., MICRO 2021, Table 1", wc);
+    WorkloadCache cache(wc);
+
+    std::printf("%-22s %10s %10s %6s %6s %12s\n", "Scene", "Triangles",
+                "(paper)", "Depth", "(ppr)", "AO Rays");
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache.get(id);
+        std::printf("%-22s %10zu %10zu %6u %6d %12zu\n",
+                    (w.scene.name + " (" + w.scene.shortName + ")")
+                        .c_str(),
+                    w.scene.mesh.size(), w.scene.paperTriangles,
+                    w.bvh.maxDepth(), w.scene.paperBvhDepth,
+                    w.ao.rays.size());
+    }
+    std::printf("\nNote: triangle counts scale with detail=%.2f; at "
+                "detail 1.0 (RTP_SCALE>=9)\nthe generators approximate "
+                "the paper's counts. The paper traces ~4.2M AO\nrays at "
+                "1024x1024x4spp; this run traces a centred crop at the "
+                "same pixel density.\n",
+                wc.detail);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Table 4: energy analysis breakdown in nJ/ray for the baseline RT unit
+ * and the change introduced by the predictor, by component (base GPU,
+ * predictor table, warp repacking, traversal stack, ray buffer, ray
+ * intersections).
+ */
+
+#include <cstdio>
+
+#include "energy/energy_model.hpp"
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Table 4: Energy analysis breakdown (nJ/ray)",
+                "Liu et al., MICRO 2021, Table 4 (296 nJ/ray baseline, "
+                "-20 nJ/ray with predictor)",
+                wc);
+    WorkloadCache cache(wc);
+
+    EnergyBreakdown base_acc, pred_acc;
+    std::uint32_t sms = SimConfig::baseline().numSms;
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache.get(id);
+        RunOutcome out =
+            runPair(w, SimConfig::baseline(), SimConfig::proposed());
+        EnergyBreakdown b = computeEnergy(out.baseline, sms);
+        EnergyBreakdown p = computeEnergy(out.treatment, sms);
+        base_acc.baseGpu += b.baseGpu;
+        base_acc.traversalStack += b.traversalStack;
+        base_acc.rayBuffer += b.rayBuffer;
+        base_acc.rayIntersections += b.rayIntersections;
+        pred_acc.baseGpu += p.baseGpu;
+        pred_acc.predictorTable += p.predictorTable;
+        pred_acc.warpRepacking += p.warpRepacking;
+        pred_acc.traversalStack += p.traversalStack;
+        pred_acc.rayBuffer += p.rayBuffer;
+        pred_acc.rayIntersections += p.rayIntersections;
+    }
+    double n = static_cast<double>(allSceneIds().size());
+
+    auto row = [&](const char *name, double base, double pred) {
+        std::printf("%-18s %12.3f %+12.3f\n", name, base / n,
+                    (pred - base) / n);
+    };
+    std::printf("%-18s %12s %12s\n", "Component", "Baseline",
+                "Change");
+    row("Base GPU", base_acc.baseGpu, pred_acc.baseGpu);
+    row("Predictor table", 0.0, pred_acc.predictorTable);
+    row("Warp repacking", 0.0, pred_acc.warpRepacking);
+    row("Traversal stack", base_acc.traversalStack,
+        pred_acc.traversalStack);
+    row("Ray buffer", base_acc.rayBuffer, pred_acc.rayBuffer);
+    row("Ray intersections", base_acc.rayIntersections,
+        pred_acc.rayIntersections);
+    double base_total = base_acc.total() / n;
+    double pred_total = pred_acc.total() / n;
+    std::printf("%-18s %12.3f %+12.3f  (%.1f%%)\n", "Total",
+                base_total, pred_total - base_total,
+                (pred_total / base_total - 1.0) * 100.0);
+    std::printf("\nPaper: 296 nJ/ray baseline, -20 nJ/ray (-7%%) with "
+                "the predictor; the\npredictor structures add ~0.07 "
+                "nJ/ray while shorter execution saves DRAM\nand core "
+                "energy. Absolute values here are smaller because the "
+                "scaled-down\nworkload fits more of its working set in "
+                "L2 (see EXPERIMENTS.md).\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tables 8a and 8b: hash-function sweeps. Grid Spherical sweeps origin
+ * bits x direction bits; Two Point sweeps origin bits x estimated
+ * length ratio. The paper's pick: Grid Spherical with 5 origin and 3
+ * direction bits.
+ */
+
+#include <cstdio>
+
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+namespace {
+
+/** Geomean speedup of a predictor config across a scene subset. */
+double
+sweepSpeedup(WorkloadCache &cache, const std::vector<SimResult> &bases,
+             const std::vector<SceneId> &scenes, const SimConfig &cfg)
+{
+    std::vector<double> speedups;
+    for (std::size_t i = 0; i < scenes.size(); ++i) {
+        SimResult r = runOne(cache.get(scenes[i]), cfg);
+        speedups.push_back(static_cast<double>(bases[i].cycles) /
+                           r.cycles);
+    }
+    return geomean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Table 8: Hash function sweeps",
+                "Liu et al., MICRO 2021, Tables 8a/8b (Grid Spherical "
+                "5/3 best)",
+                wc);
+    WorkloadCache cache(wc);
+
+    // The paper averages over all scenes; to keep the default sweep
+    // fast we use a representative subset covering small, medium, and
+    // dense scenes. RTP_SCALE does not change the subset.
+    std::vector<SceneId> scenes = {SceneId::Sibenik,
+                                   SceneId::CrytekSponza,
+                                   SceneId::FireplaceRoom};
+    std::vector<SimResult> bases;
+    for (SceneId id : scenes)
+        bases.push_back(runOne(cache.get(id), SimConfig::baseline()));
+
+    std::printf("(a) Grid Spherical: rows = origin bits, cols = "
+                "direction bits\n");
+    std::printf("%-8s", "");
+    for (int d = 1; d <= 5; ++d)
+        std::printf(" %9d", d);
+    std::printf("\n");
+    for (int o = 3; o <= 5; ++o) {
+        std::printf("%-8d", o);
+        for (int d = 1; d <= 5; ++d) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.predictor.hash.function = HashFunction::GridSpherical;
+            cfg.predictor.hash.originBits = o;
+            cfg.predictor.hash.directionBits = d;
+            double s = sweepSpeedup(cache, bases, scenes, cfg);
+            std::printf(" %8.1f%%", (s - 1) * 100);
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper 8a optimum: 25.8%% at 5 origin / 3 direction "
+                "bits.\n\n");
+
+    std::printf("(b) Two Point: rows = origin bits, cols = estimated "
+                "length ratio\n");
+    const float ratios[] = {0.05f, 0.15f, 0.25f, 0.35f};
+    std::printf("%-8s", "");
+    for (float r : ratios)
+        std::printf(" %9.2f", r);
+    std::printf("\n");
+    for (int o = 3; o <= 5; ++o) {
+        std::printf("%-8d", o);
+        for (float ratio : ratios) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.predictor.hash.function = HashFunction::TwoPoint;
+            cfg.predictor.hash.originBits = o;
+            cfg.predictor.hash.lengthRatio = ratio;
+            double s = sweepSpeedup(cache, bases, scenes, cfg);
+            std::printf(" %8.1f%%", (s - 1) * 100);
+        }
+        std::printf("\n");
+    }
+    std::printf("Paper 8b: Two Point comparable but slightly behind "
+                "Grid Spherical;\nlarge ratios with many origin bits "
+                "degrade sharply.\n");
+    return 0;
+}

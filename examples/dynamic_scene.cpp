@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dynamic-scene example: animates a cluster of furniture across frames,
+ * refits the BVH each frame, and traces AO with predictor state carried
+ * between frames (the paper's Section 8 future-work direction).
+ *
+ * Prints a per-frame table showing how the preserved predictor warms up
+ * on frame 1 and stays warm afterwards, while a cold-start predictor
+ * pays the training cost every frame.
+ *
+ * Run:  ./example_dynamic_scene [frames]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bvh/builder.hpp"
+#include "gpu/frame_simulator.hpp"
+#include "rays/raygen.hpp"
+#include "scene/animation.hpp"
+#include "scene/registry.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace rtp;
+    int frames = argc > 1 ? std::atoi(argv[1]) : 6;
+    if (frames < 1)
+        frames = 1;
+
+    Scene scene = makeScene(SceneId::LivingRoom, 0.1f);
+    SceneAnimator animator(scene.mesh, 0.06f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    std::printf("Scene: %s, %zu triangles (%zu dynamic)\n",
+                scene.name.c_str(), scene.mesh.size(),
+                animator.dynamicTriangles());
+
+    RayGenConfig rg;
+    rg.width = 72;
+    rg.height = 72;
+    rg.samplesPerPixel = 4;
+    rg.viewportFraction = 72.0f / 1024.0f;
+
+    FrameSimulator baseline(SimConfig::baseline(), false);
+    FrameSimulator warm(SimConfig::proposed(), true);
+    FrameSimulator cold(SimConfig::proposed(), false);
+
+    std::printf("\n%-6s %12s %12s %12s %12s\n", "Frame", "Base cyc",
+                "Warm spd", "Cold spd", "Warm ver%");
+    for (int f = 0; f < frames; ++f) {
+        animator.setFrame(f * 0.3f);
+        bvh.refit(scene.mesh.triangles());
+        rg.seed = 1000 + f;
+        RayBatch ao = generateAoRays(scene, bvh, rg);
+
+        SimResult b = baseline.runFrame(bvh, scene.mesh.triangles(),
+                                        ao.rays);
+        SimResult w = warm.runFrame(bvh, scene.mesh.triangles(),
+                                    ao.rays);
+        SimResult c = cold.runFrame(bvh, scene.mesh.triangles(),
+                                    ao.rays);
+        std::printf("%-6d %12llu %+11.1f%% %+11.1f%% %11.1f%%\n", f,
+                    static_cast<unsigned long long>(b.cycles),
+                    (static_cast<double>(b.cycles) / w.cycles - 1) *
+                        100,
+                    (static_cast<double>(b.cycles) / c.cycles - 1) *
+                        100,
+                    w.verifiedRate() * 100);
+    }
+    std::printf("\nThe warm predictor retains its table across frames "
+                "(BVH refit keeps node\nindices valid); only entries "
+                "touching the moving furniture retrain.\n");
+    return 0;
+}

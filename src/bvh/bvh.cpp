@@ -1,0 +1,102 @@
+#include "bvh/bvh.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rtp {
+
+std::uint32_t
+Bvh::ancestorOf(std::uint32_t node_idx, std::uint32_t k) const
+{
+    std::uint32_t n = node_idx;
+    for (std::uint32_t i = 0; i < k; ++i) {
+        std::int32_t p = nodes_[n].parent;
+        if (p < 0)
+            break;
+        n = static_cast<std::uint32_t>(p);
+    }
+    return n;
+}
+
+std::string
+Bvh::validate(std::size_t num_triangles) const
+{
+    std::ostringstream err;
+    if (nodes_.empty())
+        return "no nodes";
+    if (primIndices_.size() != num_triangles) {
+        err << "primIndices size " << primIndices_.size()
+            << " != triangle count " << num_triangles;
+        return err.str();
+    }
+
+    std::vector<std::uint32_t> seen(num_triangles, 0);
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        const BvhNode &n = nodes_[i];
+        if (n.isLeaf()) {
+            if (n.primCount == 0)
+                return "empty leaf " + std::to_string(i);
+            if (n.firstPrim + n.primCount > primIndices_.size())
+                return "leaf range out of bounds at " + std::to_string(i);
+            for (std::uint32_t j = 0; j < n.primCount; ++j) {
+                seen[primIndices_[n.firstPrim + j]]++;
+                if (slotToLeaf_[n.firstPrim + j] != i)
+                    return "slotToLeaf mismatch at " + std::to_string(i);
+            }
+        } else {
+            auto l = static_cast<std::uint32_t>(n.left);
+            auto r = static_cast<std::uint32_t>(n.right);
+            if (l >= nodes_.size() || r >= nodes_.size())
+                return "child index out of bounds at " + std::to_string(i);
+            const BvhNode &ln = nodes_[l];
+            const BvhNode &rn = nodes_[r];
+            if (ln.parent != static_cast<std::int32_t>(i) ||
+                rn.parent != static_cast<std::int32_t>(i))
+                return "parent link broken at " + std::to_string(i);
+            if (ln.depth != n.depth + 1 || rn.depth != n.depth + 1)
+                return "depth broken at " + std::to_string(i);
+            // Child boxes must be contained in the parent box (allow
+            // epsilon slack for float accumulation).
+            Aabb grown = n.box;
+            grown.lo -= Vec3(1e-4f);
+            grown.hi += Vec3(1e-4f);
+            if (!grown.contains(ln.box) || !grown.contains(rn.box))
+                return "containment broken at " + std::to_string(i);
+            // Euler intervals: children nested and disjoint.
+            if (!(ln.eulerIn > n.eulerIn && ln.eulerOut <= n.eulerOut) ||
+                !(rn.eulerIn >= ln.eulerOut && rn.eulerOut <= n.eulerOut))
+                return "euler intervals broken at " + std::to_string(i);
+        }
+    }
+    for (std::size_t t = 0; t < num_triangles; ++t) {
+        if (seen[t] != 1) {
+            err << "triangle " << t << " referenced " << seen[t]
+                << " times";
+            return err.str();
+        }
+    }
+    if (nodes_[kBvhRoot].parent != -1)
+        return "root has a parent";
+    return "";
+}
+
+void
+Bvh::refit(const std::vector<Triangle> &triangles)
+{
+    for (std::size_t i = nodes_.size(); i-- > 0;) {
+        BvhNode &n = nodes_[i];
+        Aabb box;
+        if (n.isLeaf()) {
+            for (std::uint32_t j = 0; j < n.primCount; ++j)
+                box.extend(
+                    triangles[primIndices_[n.firstPrim + j]].bounds());
+        } else {
+            box.extend(nodes_[n.left].box);
+            box.extend(nodes_[n.right].box);
+        }
+        n.box = box;
+    }
+}
+
+} // namespace rtp

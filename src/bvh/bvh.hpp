@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Bounding Volume Hierarchy used by the RT unit and the predictor.
+ *
+ * The layout follows the paper's Aila–Laine-style node (Figure 8): a 64 B
+ * record per node fetched in one simulated memory access. Each node stores
+ * its own bounds, interior children or a leaf primitive range, plus the
+ * metadata the predictor needs: parent links (so the builder can precompute
+ * k-th ancestors for the Go Up Level, Section 4.3) and Euler-tour subtree
+ * intervals (used by the oracle predictors in the Section 6.3 limit study
+ * to answer subtree-containment queries in O(1)).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/triangle.hpp"
+
+namespace rtp {
+
+/** Index of the root node in every BVH. */
+constexpr std::uint32_t kBvhRoot = 0;
+
+/** Simulated size of one BVH node record in bytes (Figure 8). */
+constexpr std::uint32_t kBvhNodeBytes = 64;
+
+/** Simulated size of one woop-style triangle record in bytes. */
+constexpr std::uint32_t kTriangleBytes = 48;
+
+/** One BVH node: interior (two children) or leaf (primitive range). */
+struct BvhNode
+{
+    Aabb box;                  //!< bounds of this node's subtree
+    std::int32_t left = -1;    //!< interior: left child index; leaf: -1
+    std::int32_t right = -1;   //!< interior: right child index; leaf: -1
+    std::uint32_t firstPrim = 0; //!< leaf: offset into primIndices
+    std::uint32_t primCount = 0; //!< leaf: number of primitives
+    std::int32_t parent = -1;  //!< parent node index (-1 for the root)
+    std::uint32_t depth = 0;   //!< root = 0
+    std::uint32_t eulerIn = 0; //!< preorder entry index of this subtree
+    std::uint32_t eulerOut = 0; //!< one-past preorder exit index
+
+    bool
+    isLeaf() const
+    {
+        return left < 0;
+    }
+};
+
+/** A built BVH over a triangle array. */
+class Bvh
+{
+  public:
+    /** @return Node array; index 0 is the root. */
+    const std::vector<BvhNode> &
+    nodes() const
+    {
+        return nodes_;
+    }
+
+    const BvhNode &
+    node(std::uint32_t i) const
+    {
+        return nodes_[i];
+    }
+
+    /** @return Number of nodes (interior + leaf). */
+    std::uint32_t
+    nodeCount() const
+    {
+        return static_cast<std::uint32_t>(nodes_.size());
+    }
+
+    /**
+     * Primitive index permutation: leaves reference contiguous ranges of
+     * this array, whose entries index the original triangle array.
+     */
+    const std::vector<std::uint32_t> &
+    primIndices() const
+    {
+        return primIndices_;
+    }
+
+    /** @return Maximum leaf depth (Table 1 "BVH Tree Depth"). */
+    std::uint32_t
+    maxDepth() const
+    {
+        return maxDepth_;
+    }
+
+    /** @return Bounds of the whole scene (root box). */
+    const Aabb &
+    sceneBounds() const
+    {
+        return nodes_[kBvhRoot].box;
+    }
+
+    /**
+     * The k-th ancestor of @p node_idx, clamped at the root
+     * (Go Up Level semantics, Section 4.3). The builder precomputes
+     * parent links, so in hardware this lookup costs no extra memory
+     * access (the ancestor index is stored in node padding, Figure 8).
+     */
+    std::uint32_t ancestorOf(std::uint32_t node_idx,
+                             std::uint32_t k) const;
+
+    /** @return true if @p descendant lies in @p ancestor's subtree. */
+    bool
+    inSubtree(std::uint32_t ancestor, std::uint32_t descendant) const
+    {
+        const BvhNode &a = nodes_[ancestor];
+        const BvhNode &d = nodes_[descendant];
+        return d.eulerIn >= a.eulerIn && d.eulerOut <= a.eulerOut;
+    }
+
+    /** @return Leaf node index containing primIndices slot @p prim_slot. */
+    std::uint32_t
+    leafOfPrimSlot(std::uint32_t prim_slot) const
+    {
+        return slotToLeaf_[prim_slot];
+    }
+
+    /** @return Simulated memory address of node @p i. */
+    std::uint64_t
+    nodeAddress(std::uint32_t i) const
+    {
+        return nodeBase_ + static_cast<std::uint64_t>(i) * kBvhNodeBytes;
+    }
+
+    /** @return Simulated memory address of primIndices slot @p s. */
+    std::uint64_t
+    triangleAddress(std::uint32_t s) const
+    {
+        return triBase_ + static_cast<std::uint64_t>(s) * kTriangleBytes;
+    }
+
+    /**
+     * Validate structural invariants (child boxes inside parents, every
+     * primitive referenced exactly once, euler intervals nested, parent
+     * links consistent). @return empty string if valid, else a message.
+     */
+    std::string validate(std::size_t num_triangles) const;
+
+    /**
+     * Refit node bounds to moved geometry without changing topology
+     * (dynamic-scene support, the paper's Section 8 future work).
+     * Because nodes are stored in preorder (children after parents),
+     * one reverse sweep updates leaves from the triangles and interiors
+     * from their already-updated children. Node indices stay stable, so
+     * predictor entries trained on previous frames remain valid.
+     *
+     * @param triangles The updated triangle array (same size/order as
+     *        at build time).
+     */
+    void refit(const std::vector<Triangle> &triangles);
+
+  private:
+    friend class BvhBuilder;
+
+    std::vector<BvhNode> nodes_;
+    std::vector<std::uint32_t> primIndices_;
+    std::vector<std::uint32_t> slotToLeaf_;
+    std::uint32_t maxDepth_ = 0;
+    std::uint64_t nodeBase_ = 0x10000000ULL;
+    std::uint64_t triBase_ = 0x40000000ULL;
+};
+
+} // namespace rtp

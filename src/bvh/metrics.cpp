@@ -1,0 +1,67 @@
+#include "bvh/metrics.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+namespace {
+
+/** Surface area of the intersection of two boxes (0 if disjoint). */
+float
+intersectionArea(const Aabb &a, const Aabb &b)
+{
+    Aabb inter{max(a.lo, b.lo), min(a.hi, b.hi)};
+    if (inter.empty())
+        return 0.0f;
+    return inter.surfaceArea();
+}
+
+} // namespace
+
+BvhMetrics
+computeBvhMetrics(const Bvh &bvh, float traversal_cost,
+                  float intersect_cost)
+{
+    BvhMetrics m;
+    const auto &nodes = bvh.nodes();
+    double root_area =
+        std::max(1e-20, static_cast<double>(
+                            nodes[kBvhRoot].box.surfaceArea()));
+
+    double overlap_acc = 0.0;
+    std::uint64_t leaf_prims = 0;
+    std::uint64_t leaf_depth_acc = 0;
+
+    for (const BvhNode &n : nodes) {
+        double rel = n.box.surfaceArea() / root_area;
+        if (n.isLeaf()) {
+            m.leafNodes++;
+            m.sahCost += rel * intersect_cost * n.primCount;
+            leaf_prims += n.primCount;
+            m.maxLeafSize = std::max(m.maxLeafSize, n.primCount);
+            leaf_depth_acc += n.depth;
+        } else {
+            m.interiorNodes++;
+            m.sahCost += rel * traversal_cost;
+            double parent_area =
+                std::max(1e-20,
+                         static_cast<double>(n.box.surfaceArea()));
+            overlap_acc +=
+                intersectionArea(nodes[n.left].box,
+                                 nodes[n.right].box) /
+                parent_area;
+        }
+        m.maxDepth = std::max(m.maxDepth, n.depth);
+    }
+    if (m.leafNodes > 0) {
+        m.avgLeafSize =
+            static_cast<double>(leaf_prims) / m.leafNodes;
+        m.avgLeafDepth =
+            static_cast<double>(leaf_depth_acc) / m.leafNodes;
+    }
+    if (m.interiorNodes > 0)
+        m.meanSiblingOverlap = overlap_acc / m.interiorNodes;
+    return m;
+}
+
+} // namespace rtp

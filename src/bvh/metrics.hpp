@@ -1,0 +1,47 @@
+/**
+ * @file
+ * BVH quality metrics: SAH cost, overlap, and structural statistics.
+ *
+ * Used to sanity-check the builder (good SAH trees are a prerequisite
+ * for the paper's baseline numbers — a poor tree inflates n in
+ * Equation 1) and to compare trees after refitting in the dynamic-scene
+ * experiments, where motion gradually degrades box tightness.
+ */
+
+#pragma once
+
+#include "bvh/bvh.hpp"
+
+namespace rtp {
+
+/** Aggregate quality measurements of a built BVH. */
+struct BvhMetrics
+{
+    /**
+     * Surface-area-heuristic expected cost per ray:
+     * sum over interior nodes of SA(n)/SA(root) * c_trav plus
+     * sum over leaves of SA(leaf)/SA(root) * prims * c_isect.
+     */
+    double sahCost = 0.0;
+
+    /** Mean sibling-overlap ratio: SA(L ∩ R) / SA(parent). */
+    double meanSiblingOverlap = 0.0;
+
+    std::uint32_t interiorNodes = 0;
+    std::uint32_t leafNodes = 0;
+    double avgLeafSize = 0.0;  //!< mean primitives per leaf
+    std::uint32_t maxLeafSize = 0;
+    std::uint32_t maxDepth = 0;
+    double avgLeafDepth = 0.0;
+};
+
+/**
+ * Compute the metrics.
+ * @param traversal_cost SAH interior-node constant.
+ * @param intersect_cost SAH per-primitive constant.
+ */
+BvhMetrics computeBvhMetrics(const Bvh &bvh,
+                             float traversal_cost = 1.0f,
+                             float intersect_cost = 1.0f);
+
+} // namespace rtp

@@ -1,0 +1,121 @@
+#include "core/adaptive_hash.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+CombinedRayHasher::CombinedRayHasher(const HashConfig &grid_config,
+                                     const HashConfig &two_point_config,
+                                     const Aabb &scene_bounds)
+    : grid_(grid_config, scene_bounds),
+      twoPoint_(two_point_config, scene_bounds)
+{
+}
+
+std::uint32_t
+CombinedRayHasher::hash(const Ray &ray) const
+{
+    std::uint32_t g = grid_.hash(ray);
+    std::uint32_t t = twoPoint_.hash(ray);
+    // Mix the Two Point view in with a 1-bit rotation so identical keys
+    // from the two views do not cancel out.
+    int bits = hashBits();
+    std::uint32_t mask = (1u << bits) - 1;
+    std::uint32_t rot = ((t << 1) | (t >> (bits - 1))) & mask;
+    return (g ^ rot) & mask;
+}
+
+int
+CombinedRayHasher::hashBits() const
+{
+    return std::max(grid_.hashBits(), twoPoint_.hashBits());
+}
+
+AdaptiveRayHasher::AdaptiveRayHasher(
+    const std::vector<HashConfig> &candidates, const Aabb &scene_bounds,
+    std::uint32_t training_window)
+    : window_(training_window)
+{
+    for (const HashConfig &cfg : candidates) {
+        AdaptiveCandidate c;
+        c.config = cfg;
+        candidates_.push_back(c);
+        hashers_.push_back(std::make_unique<RayHasher>(cfg,
+                                                       scene_bounds));
+        lastNode_.emplace_back();
+    }
+    if (candidates_.empty()) {
+        // Always keep at least the paper's default configuration.
+        HashConfig def;
+        AdaptiveCandidate c;
+        c.config = def;
+        candidates_.push_back(c);
+        hashers_.push_back(
+            std::make_unique<RayHasher>(def, scene_bounds));
+        lastNode_.emplace_back();
+    }
+}
+
+void
+AdaptiveRayHasher::observe(const Ray &ray, std::uint32_t goup_node)
+{
+    if (committed_)
+        return;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        std::uint32_t h = hashers_[i]->hash(ray);
+        auto it = lastNode_[i].find(h);
+        if (it != lastNode_[i].end()) {
+            candidates_[i].collisions++;
+            if (it->second == goup_node)
+                candidates_[i].agreements++;
+            it->second = goup_node;
+        } else {
+            lastNode_[i].emplace(h, goup_node);
+        }
+    }
+    if (++observed_ >= window_) {
+        committed_ = true;
+        committedIndex_ = bestIndex();
+        for (auto &m : lastNode_)
+            m.clear();
+    }
+}
+
+std::size_t
+AdaptiveRayHasher::bestIndex() const
+{
+    // Score: collisions weighted by agreement rate. A candidate whose
+    // collisions rarely agree wastes predictions; one that never
+    // collides never predicts. The product balances both.
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+        const AdaptiveCandidate &c = candidates_[i];
+        double rate = c.collisions == 0
+                          ? 0.0
+                          : static_cast<double>(c.agreements) /
+                                c.collisions;
+        double score = rate * static_cast<double>(c.agreements);
+        if (score > best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::uint32_t
+AdaptiveRayHasher::hash(const Ray &ray) const
+{
+    std::size_t idx = committed_ ? committedIndex_ : bestIndex();
+    return hashers_[idx]->hash(ray);
+}
+
+const HashConfig &
+AdaptiveRayHasher::bestConfig() const
+{
+    std::size_t idx = committed_ ? committedIndex_ : bestIndex();
+    return candidates_[idx].config;
+}
+
+} // namespace rtp

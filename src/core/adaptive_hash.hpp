@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Extended hashing strategies the paper leaves to future work
+ * (Section 4.2: "combining multiple hash functions or adaptively
+ * selecting the number of bits").
+ *
+ * Two strategies are implemented on top of the base RayHasher:
+ *
+ *  - CombinedRayHasher: runs Grid Spherical and Two Point side by side
+ *    and XOR-mixes the Two Point key into the upper bits; rays must be
+ *    similar under BOTH views to collide, tightening the hash without
+ *    widening it.
+ *
+ *  - AdaptiveRayHasher: a profile-then-commit scheme. During a training
+ *    window it shadow-evaluates several (originBits, directionBits)
+ *    candidates, scoring each by how well its collisions predict
+ *    go-up-subtree agreement between consecutive colliding rays, then
+ *    commits to the best candidate. This is the simplest instantiation
+ *    of "adaptively selecting the number of bits".
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "core/hash.hpp"
+
+namespace rtp {
+
+/** Grid Spherical XOR Two Point combination hash. */
+class CombinedRayHasher
+{
+  public:
+    CombinedRayHasher(const HashConfig &grid_config,
+                      const HashConfig &two_point_config,
+                      const Aabb &scene_bounds);
+
+    /** Full combined hash pattern. */
+    std::uint32_t hash(const Ray &ray) const;
+
+    int hashBits() const;
+
+  private:
+    RayHasher grid_;
+    RayHasher twoPoint_;
+};
+
+/** One candidate configuration tracked by the adaptive hasher. */
+struct AdaptiveCandidate
+{
+    HashConfig config;
+    std::uint64_t collisions = 0; //!< same-hash as previous ray w/ hash
+    std::uint64_t agreements = 0; //!< collision where subtree matched
+};
+
+/** Profile-then-commit adaptive bit selection. */
+class AdaptiveRayHasher
+{
+  public:
+    /**
+     * @param candidates Configurations to profile.
+     * @param scene_bounds Scene bounding box.
+     * @param training_window Rays observed before committing.
+     */
+    AdaptiveRayHasher(const std::vector<HashConfig> &candidates,
+                      const Aabb &scene_bounds,
+                      std::uint32_t training_window = 4096);
+
+    /**
+     * Observe one completed ray during the training window: the ray's
+     * hit subtree (go-up ancestor) lets the hasher score whether a
+     * hash collision corresponded to actual traversal agreement.
+     * No-op once committed.
+     */
+    void observe(const Ray &ray, std::uint32_t goup_node);
+
+    /** @return true once a candidate has been committed. */
+    bool
+    committed() const
+    {
+        return committed_;
+    }
+
+    /** Hash with the committed (or best-so-far) candidate. */
+    std::uint32_t hash(const Ray &ray) const;
+
+    /** The committed/best configuration. */
+    const HashConfig &bestConfig() const;
+
+    /** Per-candidate profiling scores (for tests and benches). */
+    const std::vector<AdaptiveCandidate> &
+    candidates() const
+    {
+        return candidates_;
+    }
+
+  private:
+    std::size_t bestIndex() const;
+
+    std::vector<AdaptiveCandidate> candidates_;
+    std::vector<std::unique_ptr<RayHasher>> hashers_;
+    // Last (hash -> goup node) seen per candidate, to score agreement.
+    std::vector<std::unordered_map<std::uint32_t, std::uint32_t>>
+        lastNode_;
+    std::uint32_t window_;
+    std::uint32_t observed_ = 0;
+    bool committed_ = false;
+    std::size_t committedIndex_ = 0;
+};
+
+} // namespace rtp

@@ -1,0 +1,101 @@
+#include "core/hash.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/onb.hpp"
+
+namespace rtp {
+
+std::uint32_t
+foldHash(std::uint32_t hash, int n_bits, int m_bits)
+{
+    if (m_bits <= 0)
+        return 0;
+    if (n_bits <= m_bits)
+        return hash & ((1u << m_bits) - 1);
+    std::uint32_t mask = (1u << m_bits) - 1;
+    std::uint32_t folded = 0;
+    for (int shift = 0; shift < n_bits; shift += m_bits)
+        folded ^= (hash >> shift) & mask;
+    return folded;
+}
+
+RayHasher::RayHasher(const HashConfig &config, const Aabb &scene_bounds)
+    : config_(config), bounds_(scene_bounds)
+{
+    Vec3 ext = bounds_.extent();
+    invExtent_ = Vec3{ext.x > 0 ? 1.0f / ext.x : 0.0f,
+                      ext.y > 0 ? 1.0f / ext.y : 0.0f,
+                      ext.z > 0 ? 1.0f / ext.z : 0.0f};
+    maxExtent_ = std::max({ext.x, ext.y, ext.z, 1e-12f});
+}
+
+int
+RayHasher::hashBits() const
+{
+    // Both functions produce max(3n, direction-block) bits; the origin
+    // grid key (3n bits) dominates for all configurations we sweep.
+    int origin_bits = 3 * config_.originBits;
+    if (config_.function == HashFunction::GridSpherical) {
+        int dir_bits = 2 * config_.directionBits + 1;
+        return std::max(origin_bits, dir_bits);
+    }
+    return origin_bits;
+}
+
+std::uint32_t
+RayHasher::gridHash(const Vec3 &point) const
+{
+    int n = config_.originBits;
+    std::uint32_t levels = 1u << n;
+    auto quant = [&](float v, float lo, float inv) {
+        float t = (v - lo) * inv;
+        int q = static_cast<int>(t * levels);
+        return static_cast<std::uint32_t>(
+            std::clamp(q, 0, static_cast<int>(levels) - 1));
+    };
+    std::uint32_t qx = quant(point.x, bounds_.lo.x, invExtent_.x);
+    std::uint32_t qy = quant(point.y, bounds_.lo.y, invExtent_.y);
+    std::uint32_t qz = quant(point.z, bounds_.lo.z, invExtent_.z);
+    return (qx << (2 * n)) | (qy << n) | qz;
+}
+
+std::uint32_t
+RayHasher::hashGridSpherical(const Ray &ray) const
+{
+    std::uint32_t origin_key = gridHash(ray.origin);
+
+    float theta_deg, phi_deg;
+    directionToSpherical(normalize(ray.dir), theta_deg, phi_deg);
+    // Discretise to integers then keep the most significant m (theta,
+    // 8-bit range) and m+1 (phi, 9-bit range) bits.
+    int m = config_.directionBits;
+    auto itheta = static_cast<std::uint32_t>(theta_deg); // [0, 180)
+    auto iphi = static_cast<std::uint32_t>(phi_deg);     // [0, 360)
+    std::uint32_t theta_key = itheta >> (8 - std::min(m, 8));
+    std::uint32_t phi_key = iphi >> (9 - std::min(m + 1, 9));
+    std::uint32_t dir_key = (theta_key << (m + 1)) | phi_key;
+
+    return origin_key ^ dir_key;
+}
+
+std::uint32_t
+RayHasher::hashTwoPoint(const Ray &ray) const
+{
+    std::uint32_t origin_key = gridHash(ray.origin);
+    Vec3 target = ray.origin + normalize(ray.dir) *
+                                   (config_.lengthRatio * maxExtent_);
+    std::uint32_t target_key = gridHash(target);
+    return origin_key ^ target_key;
+}
+
+std::uint32_t
+RayHasher::hash(const Ray &ray) const
+{
+    return config_.function == HashFunction::GridSpherical
+               ? hashGridSpherical(ray)
+               : hashTwoPoint(ray);
+}
+
+} // namespace rtp

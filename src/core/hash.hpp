@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ray hashing schemes (Section 4.2 of the paper).
+ *
+ * The predictor identifies "similar" rays by hashing quantised ray
+ * parameters; similar rays should collide (constructive aliasing) while
+ * dissimilar rays should not. Two functions are implemented:
+ *
+ *  - Grid Spherical (4.2.1): quantised cartesian origin (n bits per axis
+ *    via the scene bounding box) XOR quantised spherical direction
+ *    (m bits of theta, m+1 bits of phi).
+ *  - Two Point (4.2.2): quantised origin XOR quantised estimated target
+ *    point t = o + r * l * d, where l is the maximum extent of the scene
+ *    bounds and r a fixed estimated length ratio.
+ *
+ * Hashes wider than the table index are folded by XOR-ing components
+ * (Section 4.1, gshare-style folding).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/aabb.hpp"
+#include "geometry/ray.hpp"
+
+namespace rtp {
+
+/** Which hash function the predictor uses. */
+enum class HashFunction : std::uint8_t
+{
+    GridSpherical,
+    TwoPoint,
+};
+
+/** Hashing configuration (Table 3 defaults: Grid Spherical, 5/3 bits). */
+struct HashConfig
+{
+    HashFunction function = HashFunction::GridSpherical;
+    int originBits = 5;    //!< n: bits per origin axis
+    int directionBits = 3; //!< m: bits of theta (phi gets m+1)
+    float lengthRatio = 0.15f; //!< r for Two Point
+};
+
+/**
+ * XOR-fold an @p n_bits wide value into @p m_bits
+ * (splits into ceil(n/m) components combined with bitwise XOR).
+ */
+std::uint32_t foldHash(std::uint32_t hash, int n_bits, int m_bits);
+
+/** Hashes rays for predictor lookups in a fixed scene. */
+class RayHasher
+{
+  public:
+    RayHasher(const HashConfig &config, const Aabb &scene_bounds);
+
+    /** @return The full hash pattern for @p ray. */
+    std::uint32_t hash(const Ray &ray) const;
+
+    /** @return Width of the produced hash in bits. */
+    int hashBits() const;
+
+    /** Quantise a point to the 3n-bit grid key (Grid Hash block). */
+    std::uint32_t gridHash(const Vec3 &point) const;
+
+    const HashConfig &
+    config() const
+    {
+        return config_;
+    }
+
+  private:
+    std::uint32_t hashGridSpherical(const Ray &ray) const;
+    std::uint32_t hashTwoPoint(const Ray &ray) const;
+
+    HashConfig config_;
+    Aabb bounds_;
+    Vec3 invExtent_;
+    float maxExtent_ = 1.0f;
+};
+
+} // namespace rtp

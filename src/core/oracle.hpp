@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Limit-study oracles (Section 6.3, Figure 2).
+ *
+ * The limit study evaluates idealised variants of the predictor with
+ * functional node-access accounting (no cycle timing):
+ *
+ *  - Realistic: the implementable predictor (hash lookup into the
+ *    capacity-limited table, training delayed by rays in flight).
+ *  - OracleLookup (OL): the capacity-limited 5.5 KB table, but lookups
+ *    always return an entry that will verify if any such entry exists
+ *    anywhere in the table.
+ *  - OracleTraining (OT): an unbounded table — a lookup succeeds if any
+ *    previously trained node would verify ("Potential Prediction (inf)").
+ *  - OracleUpdates (OU): OT plus immediate training (no in-flight delay).
+ *
+ * Verification is answered in O(1) per candidate node via the BVH's
+ * Euler-tour subtree intervals: a node verifies for a ray iff its subtree
+ * contains a leaf the ray actually hits.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "core/predictor.hpp"
+#include "geometry/ray.hpp"
+
+namespace rtp {
+
+/** Which idealisation the limit study runs. */
+enum class OracleMode : std::uint8_t
+{
+    Realistic,      //!< the implementable predictor
+    OracleLookup,   //!< OL: perfect entry selection, real capacity
+    OracleTraining, //!< OT: unbounded table
+    OracleUpdates,  //!< OU: unbounded table + immediate updates
+};
+
+/** Per-mode outcome of the limit study on one scene. */
+struct LimitResult
+{
+    std::uint64_t rays = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t predicted = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t baselineAccesses = 0; //!< node+tri fetches, no predictor
+    std::uint64_t predictorAccesses = 0; //!< with the studied predictor
+
+    double
+    memorySavings() const
+    {
+        return baselineAccesses == 0
+                   ? 0.0
+                   : 1.0 - static_cast<double>(predictorAccesses) /
+                               baselineAccesses;
+    }
+
+    double
+    verifiedRate() const
+    {
+        return rays == 0 ? 0.0
+                         : static_cast<double>(verified) / rays;
+    }
+
+    double
+    predictedRate() const
+    {
+        return rays == 0 ? 0.0
+                         : static_cast<double>(predicted) / rays;
+    }
+};
+
+/** Limit-study configuration. */
+struct LimitStudyConfig
+{
+    PredictorConfig predictor;   //!< table/hash/GoUp configuration
+    std::uint32_t trainingDelay = 512; //!< rays in flight before updates
+                                       //!< become visible (OU sets 0)
+};
+
+/**
+ * Run the limit study for one mode over a ray workload.
+ * Occlusion rays only (the paper's limit study is on AO rays).
+ */
+LimitResult runLimitStudy(const Bvh &bvh,
+                          const std::vector<Triangle> &triangles,
+                          const std::vector<Ray> &rays,
+                          const LimitStudyConfig &config,
+                          OracleMode mode);
+
+} // namespace rtp

@@ -1,0 +1,75 @@
+#include "core/predictor.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+RayPredictor::RayPredictor(const PredictorConfig &config, const Bvh &bvh)
+    : config_(config), bvh_(&bvh),
+      hasher_(config.hash, bvh.sceneBounds()),
+      table_(config.table, hasher_.hashBits()),
+      lookupPorts_(std::max(1u, config.accessPorts), 0),
+      updatePorts_(std::max(1u, config.accessPorts), 0)
+{
+}
+
+void
+RayPredictor::rebind(const Bvh &bvh)
+{
+    bvh_ = &bvh;
+    hasher_ = RayHasher(config_.hash, bvh.sceneBounds());
+    // Port busy-times are cycle-stamped; a new frame restarts its clock
+    // at zero, so stale stamps would serialise the new frame's lookups.
+    std::fill(lookupPorts_.begin(), lookupPorts_.end(), 0);
+    std::fill(updatePorts_.begin(), updatePorts_.end(), 0);
+}
+
+void
+RayPredictor::resetTable()
+{
+    table_.reset();
+}
+
+Cycle
+RayPredictor::schedulePort(std::vector<Cycle> &ports, Cycle cycle)
+{
+    // Pick the earliest-free port; an access occupies it for one cycle.
+    auto it = std::min_element(ports.begin(), ports.end());
+    Cycle start = std::max(cycle, *it);
+    *it = start + 1;
+    return start + config_.accessLatency;
+}
+
+std::optional<Prediction>
+RayPredictor::lookup(const Ray &ray, Cycle cycle, Cycle &ready_cycle)
+{
+    if (!config_.enabled) {
+        ready_cycle = cycle;
+        return std::nullopt;
+    }
+    ready_cycle = schedulePort(lookupPorts_, cycle);
+    stats_.inc("lookups");
+
+    std::uint32_t h = hasher_.hash(ray);
+    auto nodes = table_.lookup(h);
+    if (!nodes)
+        return std::nullopt;
+    stats_.inc("predicted");
+    Prediction p;
+    p.nodes = std::move(*nodes);
+    p.hash = h;
+    return p;
+}
+
+void
+RayPredictor::update(const Ray &ray, std::uint32_t hit_leaf, Cycle cycle)
+{
+    if (!config_.enabled)
+        return;
+    schedulePort(updatePorts_, cycle);
+    stats_.inc("trained");
+    std::uint32_t node = bvh_->ancestorOf(hit_leaf, config_.goUpLevel);
+    table_.update(hasher_.hash(ray), node);
+}
+
+} // namespace rtp

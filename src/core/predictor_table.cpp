@@ -1,0 +1,190 @@
+#include "core/predictor_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/hash.hpp"
+
+namespace rtp {
+
+namespace {
+
+int
+log2Floor(std::uint32_t v)
+{
+    int b = 0;
+    while ((1u << (b + 1)) <= v)
+        b++;
+    return b;
+}
+
+} // namespace
+
+PredictorTable::PredictorTable(const PredictorTableConfig &config,
+                               int tag_bits)
+    : config_(config), tagBits_(tag_bits)
+{
+    std::uint32_t ways = std::max(1u, config_.ways);
+    numSets_ = std::max(1u, config_.numEntries / ways);
+    indexBits_ = log2Floor(numSets_);
+    sets_.resize(numSets_);
+    for (auto &set : sets_)
+        set.resize(ways);
+}
+
+PredictorTable::Entry *
+PredictorTable::findEntry(std::uint32_t set, std::uint32_t tag)
+{
+    for (auto &e : sets_[set]) {
+        if (e.valid && e.tag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::optional<std::vector<std::uint32_t>>
+PredictorTable::lookup(std::uint32_t hash)
+{
+    tick_++;
+    stats_.inc("lookups");
+    std::uint32_t set = foldHash(hash, tagBits_, indexBits_);
+    Entry *e = findEntry(set, hash);
+    if (!e || e->nodes.empty()) {
+        stats_.inc("lookup_misses");
+        return std::nullopt;
+    }
+    stats_.inc("lookup_hits");
+    e->lastUse = tick_;
+    std::vector<std::uint32_t> nodes;
+    nodes.reserve(e->nodes.size());
+    for (auto &slot : e->nodes) {
+        nodes.push_back(slot.node);
+        slot.lastUse = tick_;
+        slot.useCount++;
+        slot.history.push_back(tick_);
+        if (slot.history.size() > config_.lruK)
+            slot.history.erase(slot.history.begin());
+    }
+    return nodes;
+}
+
+void
+PredictorTable::update(std::uint32_t hash, std::uint32_t node)
+{
+    tick_++;
+    stats_.inc("updates");
+    std::uint32_t set = foldHash(hash, tagBits_, indexBits_);
+    Entry *e = findEntry(set, hash);
+
+    if (!e) {
+        // Allocate: invalid way if present, else LRU entry in the set.
+        Entry *victim = nullptr;
+        for (auto &cand : sets_[set]) {
+            if (!cand.valid) {
+                victim = &cand;
+                break;
+            }
+        }
+        if (!victim) {
+            victim = &sets_[set][0];
+            for (auto &cand : sets_[set]) {
+                if (cand.lastUse < victim->lastUse)
+                    victim = &cand;
+            }
+            stats_.inc("entry_evictions");
+        }
+        victim->valid = true;
+        victim->tag = hash;
+        victim->lastUse = tick_;
+        victim->nodes.clear();
+        e = victim;
+    }
+    e->lastUse = tick_;
+
+    // If the node is already present just refresh its recency.
+    for (auto &slot : e->nodes) {
+        if (slot.node == node) {
+            slot.lastUse = tick_;
+            slot.useCount++;
+            slot.history.push_back(tick_);
+            if (slot.history.size() > config_.lruK)
+                slot.history.erase(slot.history.begin());
+            return;
+        }
+    }
+
+    if (e->nodes.size() <
+        static_cast<std::size_t>(config_.nodesPerEntry)) {
+        NodeSlot slot;
+        slot.node = node;
+        slot.lastUse = tick_;
+        slot.useCount = 1;
+        slot.history.push_back(tick_);
+        e->nodes.push_back(std::move(slot));
+        return;
+    }
+
+    // Entry full: evict a node slot per the configured policy.
+    stats_.inc("node_evictions");
+    NodeSlot *victim = &e->nodes[0];
+    switch (config_.nodeReplacement) {
+      case NodeReplacement::LRU:
+        for (auto &slot : e->nodes) {
+            if (slot.lastUse < victim->lastUse)
+                victim = &slot;
+        }
+        break;
+      case NodeReplacement::LFU:
+        for (auto &slot : e->nodes) {
+            if (slot.useCount < victim->useCount)
+                victim = &slot;
+        }
+        break;
+      case NodeReplacement::LRUK:
+        // Victim = slot with the oldest K-th most recent reference;
+        // slots with fewer than K references are preferred victims
+        // (treated as reference time 0), per O'Neil et al.
+        {
+            auto kth = [&](const NodeSlot &s) -> std::uint64_t {
+                if (s.history.size() < config_.lruK)
+                    return 0;
+                return s.history.front();
+            };
+            for (auto &slot : e->nodes) {
+                if (kth(slot) < kth(*victim))
+                    victim = &slot;
+            }
+        }
+        break;
+    }
+    victim->node = node;
+    victim->lastUse = tick_;
+    victim->useCount = 1;
+    victim->history.clear();
+    victim->history.push_back(tick_);
+}
+
+std::uint32_t
+PredictorTable::bitsPerEntry() const
+{
+    return 1 + static_cast<std::uint32_t>(tagBits_) +
+           config_.nodesPerEntry * config_.nodeBits;
+}
+
+double
+PredictorTable::sizeBytes() const
+{
+    std::uint32_t ways = std::max(1u, config_.ways);
+    return static_cast<double>(numSets_) * ways * bitsPerEntry() / 8.0;
+}
+
+void
+PredictorTable::reset()
+{
+    for (auto &set : sets_) {
+        for (auto &e : set)
+            e = Entry{};
+    }
+}
+
+} // namespace rtp

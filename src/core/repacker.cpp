@@ -1,0 +1,60 @@
+#include "core/repacker.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+std::vector<std::vector<std::uint32_t>>
+PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
+                          Cycle cycle)
+{
+    if (pending_.empty() && !ray_ids.empty())
+        oldestAdd_ = cycle;
+    for (std::uint32_t id : ray_ids) {
+        // The collector capacity (64) exceeds what a single warp can add
+        // past a full batch, so overflow beyond capacity cannot occur;
+        // guard anyway to keep the invariant explicit.
+        if (pending_.size() <
+            static_cast<std::size_t>(config_.capacity)) {
+            pending_.push_back(id);
+        } else {
+            stats_.inc("overflow_drops");
+        }
+    }
+    stats_.inc("rays_collected", ray_ids.size());
+
+    std::vector<std::vector<std::uint32_t>> warps;
+    while (pending_.size() >= config_.warpSize) {
+        std::vector<std::uint32_t> warp(
+            pending_.begin(), pending_.begin() + config_.warpSize);
+        pending_.erase(pending_.begin(),
+                       pending_.begin() + config_.warpSize);
+        warps.push_back(std::move(warp));
+        stats_.inc("full_warps_formed");
+        oldestAdd_ = cycle; // remaining overflow restarts the timer
+    }
+    return warps;
+}
+
+std::vector<std::uint32_t>
+PartialWarpCollector::flushIfExpired(Cycle cycle)
+{
+    if (pending_.empty() || cycle < oldestAdd_ + config_.timeout)
+        return {};
+    std::vector<std::uint32_t> warp(pending_.begin(), pending_.end());
+    pending_.clear();
+    stats_.inc("timeout_flushes");
+    return warp;
+}
+
+std::vector<std::uint32_t>
+PartialWarpCollector::flushAll()
+{
+    std::vector<std::uint32_t> warp(pending_.begin(), pending_.end());
+    pending_.clear();
+    if (!warp.empty())
+        stats_.inc("drain_flushes");
+    return warp;
+}
+
+} // namespace rtp

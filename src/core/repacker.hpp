@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Warp repacking: the partial warp collector (Section 4.4, Figure 10).
+ *
+ * After predictor lookups, predicted rays are pulled out of their warp
+ * and queued in this collector, which only stores ray IDs. When 32 IDs
+ * have accumulated, or a short timeout expires, they are emitted as a new
+ * repacked warp. The structure holds up to 64 IDs so a freshly arriving
+ * warp's predictions can overflow past a full batch of 32.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "mem/cache.hpp" // Cycle
+#include "util/stats.hpp"
+
+namespace rtp {
+
+/** Collector configuration. */
+struct RepackerConfig
+{
+    std::uint32_t warpSize = 32;
+    std::uint32_t capacity = 64; //!< max buffered ray IDs
+    Cycle timeout = 16;          //!< cycles before a partial warp flushes
+};
+
+/** The partial warp collector. */
+class PartialWarpCollector
+{
+  public:
+    explicit PartialWarpCollector(const RepackerConfig &config = {})
+        : config_(config)
+    {}
+
+    /**
+     * Add predicted ray IDs at @p cycle.
+     * @return Any full warps (exactly warpSize IDs each) ready to
+     *         dispatch immediately.
+     */
+    std::vector<std::vector<std::uint32_t>> add(
+        const std::vector<std::uint32_t> &ray_ids, Cycle cycle);
+
+    /**
+     * Flush a partial warp if the timeout has expired by @p cycle.
+     * @return The flushed (possibly partial) warp, or an empty vector.
+     */
+    std::vector<std::uint32_t> flushIfExpired(Cycle cycle);
+
+    /** Flush whatever is pending regardless of timeout (drain at end). */
+    std::vector<std::uint32_t> flushAll();
+
+    /** @return Cycle at which the current contents time out, or 0. */
+    Cycle
+    deadline() const
+    {
+        return pending_.empty() ? 0 : oldestAdd_ + config_.timeout;
+    }
+
+    std::size_t
+    pendingCount() const
+    {
+        return pending_.size();
+    }
+
+    const StatGroup &
+    stats() const
+    {
+        return stats_;
+    }
+
+  private:
+    RepackerConfig config_;
+    std::deque<std::uint32_t> pending_;
+    Cycle oldestAdd_ = 0;
+    StatGroup stats_;
+};
+
+} // namespace rtp

@@ -1,0 +1,68 @@
+#include "energy/energy_model.hpp"
+
+namespace rtp {
+
+EnergyBreakdown
+computeEnergy(const SimResult &result, std::uint32_t num_sms,
+              const EnergyParams &params)
+{
+    EnergyBreakdown b;
+    std::uint64_t rays = result.stats.get("rays_completed");
+    if (rays == 0)
+        return b;
+    double inv_rays = 1.0 / static_cast<double>(rays);
+
+    // Base GPU: core cycles across SMs, cache accesses, DRAM accesses.
+    // L1 energy is charged per thread fetch (pre-merge): merged
+    // requests still deliver data to every consuming thread, so the
+    // SRAM read-out and wire energy scale with fetches, not with the
+    // deduplicated request count.
+    double l1 = static_cast<double>(result.stats.get("ray_node_fetches") +
+                                    result.stats.get("ray_tri_fetches"));
+    double l2 = static_cast<double>(result.memStats.get("l2.hits") +
+                                    result.memStats.get("l2.misses"));
+    double dram = static_cast<double>(result.memStats.get("dram.accesses"));
+    double cycles = static_cast<double>(result.cycles) * num_sms;
+    b.baseGpu = (cycles * params.coreCyclePerSm + l1 * params.l1Access +
+                 l2 * params.l2Access + dram * params.dramAccess) *
+                inv_rays;
+
+    // Predictor table: lookups + training updates.
+    double pred_accesses =
+        static_cast<double>(result.stats.get("lookups") +
+                            result.stats.get("trained"));
+    b.predictorTable = pred_accesses * params.predictorAccess * inv_rays;
+
+    // Warp repacking: collector traffic plus the extra ray buffer reads
+    // when repacked warps re-index their rays.
+    double collected =
+        static_cast<double>(result.stats.get("rays_collected"));
+    double repacked_reads =
+        static_cast<double>(result.stats.get("rays_predicted"));
+    b.warpRepacking = (collected * params.collectorAccess +
+                       repacked_reads * params.rayBufferAccess) *
+                      inv_rays;
+
+    // Traversal stack: roughly one push+pop pair per fetched node.
+    double stack_ops =
+        static_cast<double>(result.stats.get("ray_node_fetches") +
+                            result.stats.get("ray_tri_fetches")) *
+        2.0;
+    b.traversalStack = stack_ops * params.stackAccess * inv_rays;
+
+    // Ray buffer: one read per issued fetch, one write per result.
+    double buffer_ops =
+        static_cast<double>(result.stats.get("ray_node_fetches") +
+                            result.stats.get("ray_tri_fetches") + rays);
+    b.rayBuffer = buffer_ops * params.rayBufferAccess * inv_rays;
+
+    // Intersection units.
+    double box = static_cast<double>(result.stats.get("box_tests"));
+    double tri = static_cast<double>(result.stats.get("tri_tests"));
+    b.rayIntersections =
+        (box * params.boxTest + tri * params.triTest) * inv_rays;
+
+    return b;
+}
+
+} // namespace rtp

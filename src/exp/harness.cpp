@@ -1,0 +1,47 @@
+#include "exp/harness.hpp"
+
+#include <cstdio>
+
+namespace rtp {
+
+SimResult
+runOne(const Workload &w, const SimConfig &config, bool sorted)
+{
+    const RayBatch &batch = sorted ? w.aoSorted : w.ao;
+    return simulate(w.bvh, w.scene.mesh.triangles(), batch.rays, config);
+}
+
+RunOutcome
+runPair(const Workload &w, const SimConfig &baseline,
+        const SimConfig &treatment, bool sorted)
+{
+    RunOutcome out;
+    out.scene = w.scene.shortName;
+    out.baseline = runOne(w, baseline, sorted);
+    out.treatment = runOne(w, treatment, sorted);
+    return out;
+}
+
+void
+printHeader(const std::string &title, const std::string &paper_ref,
+            const WorkloadConfig &config)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("Reproduces: %s\n", paper_ref.c_str());
+    std::printf("Workload: detail=%.2f viewport=%dx%d spp=%d "
+                "(RTP_SCALE env raises fidelity)\n",
+                config.detail, config.raygen.width, config.raygen.height,
+                config.raygen.samplesPerPixel);
+    std::printf("==============================================================\n");
+}
+
+std::string
+pct(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", ratio * 100.0);
+    return buf;
+}
+
+} // namespace rtp

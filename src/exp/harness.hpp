@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment harness: per-scene simulation runs, speedup computation,
+ * and the table/figure row printers shared by the bench binaries.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/workload.hpp"
+#include "gpu/simulator.hpp"
+
+namespace rtp {
+
+/** One (scene, config) simulation outcome for a table row. */
+struct RunOutcome
+{
+    std::string scene;
+    SimResult baseline;  //!< baseline RT unit
+    SimResult treatment; //!< the studied configuration
+
+    /** Speedup of the treatment over the baseline (cycles ratio). */
+    double
+    speedup() const
+    {
+        return treatment.cycles == 0
+                   ? 1.0
+                   : static_cast<double>(baseline.cycles) /
+                         treatment.cycles;
+    }
+
+    /** Relative memory-access change (negative = fewer accesses). */
+    double
+    memAccessDelta() const
+    {
+        auto b = baseline.totalMemAccesses();
+        auto t = treatment.totalMemAccesses();
+        return b == 0 ? 0.0
+                      : (static_cast<double>(t) - static_cast<double>(b)) /
+                            static_cast<double>(b);
+    }
+};
+
+/** Run baseline + treatment over one scene's AO rays. */
+RunOutcome runPair(const Workload &w, const SimConfig &baseline,
+                   const SimConfig &treatment, bool sorted = false);
+
+/** Run a single configuration over one scene's AO rays. */
+SimResult runOne(const Workload &w, const SimConfig &config,
+                 bool sorted = false);
+
+/** Print a standard header naming the experiment and its scope. */
+void printHeader(const std::string &title, const std::string &paper_ref,
+                 const WorkloadConfig &config);
+
+/** Format a ratio as a percentage string like "+26.3%". */
+std::string pct(double ratio);
+
+} // namespace rtp

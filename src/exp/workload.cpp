@@ -1,0 +1,72 @@
+#include "exp/workload.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "rays/sorting.hpp"
+
+namespace rtp {
+
+WorkloadConfig
+WorkloadConfig::fromEnvironment()
+{
+    WorkloadConfig c;
+    int scale = 1;
+    if (const char *env = std::getenv("RTP_SCALE")) {
+        scale = std::atoi(env);
+        if (scale < 1)
+            scale = 1;
+        if (scale > 16)
+            scale = 16;
+    }
+    // Scale 1: detail 0.12, 96x96 viewport, 4 spp (fast default).
+    // Each +1 doubles the ray count and raises geometric detail toward
+    // the paper's full-resolution setup.
+    c.detail = 0.12f * scale;
+    if (c.detail > 1.0f)
+        c.detail = 1.0f;
+    double pixels = 96.0 * std::sqrt(static_cast<double>(scale));
+    c.raygen.width = static_cast<int>(pixels);
+    c.raygen.height = static_cast<int>(pixels);
+    c.raygen.samplesPerPixel = 4;
+    // Centred crop at the paper's 1024x1024 pixel density: the
+    // predictor's hash exploits world-space locality between rays of
+    // adjacent pixels, so the crop keeps that density constant while
+    // the viewport shrinks.
+    c.raygen.viewportFraction =
+        static_cast<float>(c.raygen.width) / 1024.0f;
+    return c;
+}
+
+const Workload &
+WorkloadCache::get(SceneId id)
+{
+    auto it = cache_.find(id);
+    if (it != cache_.end())
+        return *it->second;
+
+    auto w = std::make_unique<Workload>();
+    w->scene = makeScene(id, config_.detail);
+    BvhBuilder builder;
+    w->bvh = builder.build(w->scene.mesh.triangles());
+    w->ao = generateAoRays(w->scene, w->bvh, config_.raygen);
+    w->aoSorted = w->ao;
+    sortRaysMorton(w->aoSorted.rays, w->bvh.sceneBounds());
+
+    auto &ref = *w;
+    cache_.emplace(id, std::move(w));
+    return ref;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / values.size());
+}
+
+} // namespace rtp

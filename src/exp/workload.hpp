@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Experiment workload builder: caches built scenes/BVHs/ray batches so a
+ * bench binary sweeping many configurations only pays for scene
+ * construction once per scene.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bvh/builder.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
+
+namespace rtp {
+
+/** Everything a simulation run needs for one scene. */
+struct Workload
+{
+    Scene scene;
+    Bvh bvh;
+    RayBatch ao;        //!< unsorted AO rays
+    RayBatch aoSorted;  //!< Morton-sorted copies of the same rays
+};
+
+/** Workload-building knobs shared by all experiments. */
+struct WorkloadConfig
+{
+    float detail = 0.12f;  //!< scene tessellation scale
+    RayGenConfig raygen;   //!< viewport / spp / AO lengths
+
+    /**
+     * Reads the RTP_SCALE environment variable (a small integer) and
+     * scales detail and viewport accordingly: scale 1 is the fast
+     * default, larger values approach the paper's setup.
+     */
+    static WorkloadConfig fromEnvironment();
+};
+
+/** Builds and caches workloads per scene. */
+class WorkloadCache
+{
+  public:
+    explicit WorkloadCache(const WorkloadConfig &config = {})
+        : config_(config)
+    {}
+
+    /** Build (or fetch) the workload for @p id. */
+    const Workload &get(SceneId id);
+
+    const WorkloadConfig &
+    config() const
+    {
+        return config_;
+    }
+
+  private:
+    WorkloadConfig config_;
+    std::map<SceneId, std::unique_ptr<Workload>> cache_;
+};
+
+/** @return Geometric mean of @p values (empty -> 1.0). */
+double geomean(const std::vector<double> &values);
+
+} // namespace rtp

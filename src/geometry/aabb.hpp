@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Axis-aligned bounding box. The BVH encloses primitives in AABBs
+ * (Section 2.4 of the paper); the slab intersection test lives in
+ * geometry/intersect.hpp.
+ */
+
+#pragma once
+
+#include <limits>
+
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/** An axis-aligned bounding box defined by two extreme corners. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max(),
+            std::numeric_limits<float>::max()};
+    Vec3 hi{std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest(),
+            std::numeric_limits<float>::lowest()};
+
+    Aabb() = default;
+    Aabb(const Vec3 &l, const Vec3 &h) : lo(l), hi(h) {}
+
+    /** @return true if the box has never been extended. */
+    bool
+    empty() const
+    {
+        return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z;
+    }
+
+    /** Grow the box to include point @p p. */
+    void
+    extend(const Vec3 &p)
+    {
+        lo = min(lo, p);
+        hi = max(hi, p);
+    }
+
+    /** Grow the box to include box @p b. */
+    void
+    extend(const Aabb &b)
+    {
+        lo = min(lo, b.lo);
+        hi = max(hi, b.hi);
+    }
+
+    /** @return Box center point. */
+    Vec3
+    center() const
+    {
+        return (lo + hi) * 0.5f;
+    }
+
+    /** @return Per-axis extent (hi - lo). */
+    Vec3
+    extent() const
+    {
+        return hi - lo;
+    }
+
+    /** @return Length of the box diagonal. */
+    float
+    diagonal() const
+    {
+        return length(extent());
+    }
+
+    /** @return Surface area (0 for an empty box). */
+    float
+    surfaceArea() const
+    {
+        if (empty())
+            return 0.0f;
+        Vec3 e = extent();
+        return 2.0f * (e.x * e.y + e.y * e.z + e.z * e.x);
+    }
+
+    /** @return true if point @p p lies inside or on the box boundary. */
+    bool
+    contains(const Vec3 &p) const
+    {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+               p.z >= lo.z && p.z <= hi.z;
+    }
+
+    /** @return true if @p b is fully inside this box. */
+    bool
+    contains(const Aabb &b) const
+    {
+        return contains(b.lo) && contains(b.hi);
+    }
+
+    /** @return true if this box and @p b intersect. */
+    bool
+    overlaps(const Aabb &b) const
+    {
+        return lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    /** @return Index of the longest axis (0=x, 1=y, 2=z). */
+    int
+    longestAxis() const
+    {
+        Vec3 e = extent();
+        if (e.x >= e.y && e.x >= e.z)
+            return 0;
+        return e.y >= e.z ? 1 : 2;
+    }
+};
+
+} // namespace rtp

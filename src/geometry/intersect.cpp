@@ -1,0 +1,80 @@
+#include "geometry/intersect.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+bool
+intersectRayAabb(const Ray &ray, const RayBoxPrecomp &pre, const Aabb &box,
+                 float &tEntry)
+{
+    // Classic slab test; IEEE inf semantics handle axis-parallel rays.
+    float t0 = (box.lo.x - ray.origin.x) * pre.invDir.x;
+    float t1 = (box.hi.x - ray.origin.x) * pre.invDir.x;
+    float tmin = std::fmin(t0, t1);
+    float tmax = std::fmax(t0, t1);
+
+    t0 = (box.lo.y - ray.origin.y) * pre.invDir.y;
+    t1 = (box.hi.y - ray.origin.y) * pre.invDir.y;
+    tmin = std::fmax(tmin, std::fmin(t0, t1));
+    tmax = std::fmin(tmax, std::fmax(t0, t1));
+
+    t0 = (box.lo.z - ray.origin.z) * pre.invDir.z;
+    t1 = (box.hi.z - ray.origin.z) * pre.invDir.z;
+    tmin = std::fmax(tmin, std::fmin(t0, t1));
+    tmax = std::fmin(tmax, std::fmax(t0, t1));
+
+    tmin = std::fmax(tmin, ray.tMin);
+    tmax = std::fmin(tmax, ray.tMax);
+
+    if (tmin <= tmax) {
+        tEntry = tmin;
+        return true;
+    }
+    return false;
+}
+
+bool
+intersectRayAabb(const Ray &ray, const Aabb &box, float &tEntry)
+{
+    return intersectRayAabb(ray, RayBoxPrecomp(ray), box, tEntry);
+}
+
+bool
+intersectRayTriangle(const Ray &ray, const Triangle &tri, HitRecord &rec)
+{
+    constexpr float epsilon = 1e-9f;
+
+    Vec3 e1 = tri.v1 - tri.v0;
+    Vec3 e2 = tri.v2 - tri.v0;
+    Vec3 pvec = cross(ray.dir, e2);
+    float det = dot(e1, pvec);
+
+    // Cull near-degenerate configurations; we do not backface-cull because
+    // occlusion rays must detect hits from either side.
+    if (std::fabs(det) < epsilon)
+        return false;
+
+    float inv_det = 1.0f / det;
+    Vec3 tvec = ray.origin - tri.v0;
+    float u = dot(tvec, pvec) * inv_det;
+    if (u < 0.0f || u > 1.0f)
+        return false;
+
+    Vec3 qvec = cross(tvec, e1);
+    float v = dot(ray.dir, qvec) * inv_det;
+    if (v < 0.0f || u + v > 1.0f)
+        return false;
+
+    float t = dot(e2, qvec) * inv_det;
+    if (t <= ray.tMin || t >= ray.tMax)
+        return false;
+
+    rec.hit = true;
+    rec.t = t;
+    rec.u = u;
+    rec.v = v;
+    return true;
+}
+
+} // namespace rtp

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ray-box and ray-triangle intersection routines.
+ *
+ * These are the two tests the paper's RT unit accelerates in hardware
+ * (Section 5.1.3): the slab test for BVH node AABBs and the
+ * Möller–Trumbore test for leaf triangles.
+ */
+
+#pragma once
+
+#include "geometry/aabb.hpp"
+#include "geometry/ray.hpp"
+#include "geometry/triangle.hpp"
+
+namespace rtp {
+
+/** Precomputed reciprocal direction for repeated slab tests on one ray. */
+struct RayBoxPrecomp
+{
+    Vec3 invDir;
+
+    /**
+     * A zero direction component maps to a huge finite reciprocal
+     * instead of infinity: 0 * inf = NaN would poison the slab test
+     * when the ray origin lies exactly on a box plane (common with
+     * axis-aligned architectural geometry), producing false misses.
+     * With a finite value, 0 * huge = 0 keeps the interval correct.
+     */
+    static float
+    safeInv(float d)
+    {
+        constexpr float huge = 1e30f;
+        return d != 0.0f ? 1.0f / d : huge;
+    }
+
+    explicit RayBoxPrecomp(const Ray &ray)
+        : invDir(safeInv(ray.dir.x), safeInv(ray.dir.y),
+                 safeInv(ray.dir.z))
+    {}
+};
+
+/**
+ * Slab test of a ray against an AABB.
+ *
+ * @param ray The ray (tMin/tMax bound the valid interval).
+ * @param pre Precomputed reciprocal direction.
+ * @param box The axis-aligned box.
+ * @param tEntry Out: entry distance (clamped to ray.tMin) when hit.
+ * @retval true if the ray's [tMin, tMax] interval overlaps the box.
+ */
+bool intersectRayAabb(const Ray &ray, const RayBoxPrecomp &pre,
+                      const Aabb &box, float &tEntry);
+
+/** Convenience overload that computes the precomputation internally. */
+bool intersectRayAabb(const Ray &ray, const Aabb &box, float &tEntry);
+
+/**
+ * Möller–Trumbore ray-triangle intersection.
+ *
+ * @param ray The ray.
+ * @param tri The triangle.
+ * @param rec Out: hit distance and barycentrics when hit.
+ * @retval true on intersection within (ray.tMin, ray.tMax).
+ */
+bool intersectRayTriangle(const Ray &ray, const Triangle &tri,
+                          HitRecord &rec);
+
+} // namespace rtp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Orthonormal basis and hemisphere sampling helpers used by the AO and GI
+ * ray generators (Section 5.2: cosine-sampled upper hemispheres).
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/** An orthonormal basis built around a normal vector. */
+struct Onb
+{
+    Vec3 tangent, bitangent, normal;
+
+    /** Build a basis whose third axis is @p n (must be unit length). */
+    explicit Onb(const Vec3 &n) : normal(n)
+    {
+        // Duff et al. (2017) branchless construction.
+        float sign = std::copysign(1.0f, n.z);
+        float a = -1.0f / (sign + n.z);
+        float b = n.x * n.y * a;
+        tangent = {1.0f + sign * n.x * n.x * a, sign * b, -sign * n.x};
+        bitangent = {b, sign + n.y * n.y * a, -n.y};
+    }
+
+    /** Transform a local-space direction into world space. */
+    Vec3
+    toWorld(const Vec3 &v) const
+    {
+        return tangent * v.x + bitangent * v.y + normal * v.z;
+    }
+};
+
+/**
+ * Map a uniform (u1, u2) in [0,1)^2 to a cosine-weighted direction on the
+ * local +z hemisphere.
+ */
+inline Vec3
+cosineSampleHemisphere(float u1, float u2)
+{
+    float r = std::sqrt(u1);
+    float phi = 2.0f * 3.14159265358979323846f * u2;
+    float x = r * std::cos(phi);
+    float y = r * std::sin(phi);
+    float z = std::sqrt(std::fmax(0.0f, 1.0f - u1));
+    return {x, y, z};
+}
+
+/** Convert a unit direction to spherical angles theta in [0,180), phi in
+ *  [0,360) degrees, as used by the Grid Spherical hash (Section 4.2.1). */
+inline void
+directionToSpherical(const Vec3 &d, float &thetaDeg, float &phiDeg)
+{
+    constexpr float rad_to_deg = 180.0f / 3.14159265358979323846f;
+    float theta = std::acos(std::fmax(-1.0f, std::fmin(1.0f, d.z)));
+    float phi = std::atan2(d.y, d.x);
+    if (phi < 0.0f)
+        phi += 2.0f * 3.14159265358979323846f;
+    thetaDeg = theta * rad_to_deg;
+    phiDeg = phi * rad_to_deg;
+    if (thetaDeg >= 180.0f)
+        thetaDeg = std::nextafter(180.0f, 0.0f);
+    if (phiDeg >= 360.0f)
+        phiDeg = 0.0f;
+}
+
+} // namespace rtp

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ray representation: o + t * d with a [tMin, tMax] valid interval
+ * (Section 2.2 of the paper). Occlusion (AO / shadow) rays are any-hit;
+ * primary and GI rays are closest-hit.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/** Kind of ray, which selects the traversal termination rule. */
+enum class RayKind : std::uint8_t
+{
+    Primary,   //!< camera ray, closest-hit
+    Occlusion, //!< AO / shadow ray, any-hit (terminate on first hit)
+    Secondary, //!< GI bounce ray, closest-hit
+};
+
+/** A semi-infinite line segment o + t*d, t in [tMin, tMax]. */
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir; //!< not required to be normalized, but generators normalize
+    float tMin = 1e-4f;
+    float tMax = 1e30f;
+    RayKind kind = RayKind::Occlusion;
+
+    /** @return Point at parameter @p t. */
+    Vec3
+    at(float t) const
+    {
+        return origin + dir * t;
+    }
+};
+
+/** Result of intersecting a ray against the scene or a primitive. */
+struct HitRecord
+{
+    bool hit = false;
+    float t = 0.0f;           //!< hit distance along the ray
+    std::uint32_t prim = ~0u; //!< triangle index
+    float u = 0.0f;           //!< barycentric u
+    float v = 0.0f;           //!< barycentric v
+};
+
+} // namespace rtp

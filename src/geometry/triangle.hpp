@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Triangle primitive. Scenes are triangle soups; the BVH leaf nodes
+ * reference ranges of triangle indices.
+ */
+
+#pragma once
+
+#include "geometry/aabb.hpp"
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/** A triangle defined by three vertices. */
+struct Triangle
+{
+    Vec3 v0, v1, v2;
+
+    Triangle() = default;
+    Triangle(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+        : v0(a), v1(b), v2(c)
+    {}
+
+    /** @return Bounding box of the triangle. */
+    Aabb
+    bounds() const
+    {
+        Aabb b;
+        b.extend(v0);
+        b.extend(v1);
+        b.extend(v2);
+        return b;
+    }
+
+    /** @return Centroid (average of the three vertices). */
+    Vec3
+    centroid() const
+    {
+        return (v0 + v1 + v2) * (1.0f / 3.0f);
+    }
+
+    /** @return Geometric (unnormalised) normal, (v1-v0) × (v2-v0). */
+    Vec3
+    geometricNormal() const
+    {
+        return cross(v1 - v0, v2 - v0);
+    }
+
+    /** @return Surface area. */
+    float
+    area() const
+    {
+        return 0.5f * length(geometricNormal());
+    }
+};
+
+} // namespace rtp

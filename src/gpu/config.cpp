@@ -1,0 +1,54 @@
+#include "gpu/config.hpp"
+
+#include <sstream>
+
+namespace rtp {
+
+SimConfig
+SimConfig::proposed()
+{
+    SimConfig c;
+    c.numSms = 2;
+    c.rt.maxWarps = 8;
+    c.rt.repackEnabled = true;
+    c.predictor.enabled = true;
+    c.predictor.goUpLevel = 3;
+    c.predictor.table.numEntries = 1024;
+    c.predictor.table.ways = 4;
+    c.predictor.table.nodesPerEntry = 1;
+    c.predictor.hash.function = HashFunction::GridSpherical;
+    c.predictor.hash.originBits = 5;
+    c.predictor.hash.directionBits = 3;
+    return c;
+}
+
+SimConfig
+SimConfig::baseline()
+{
+    SimConfig c = proposed();
+    c.predictor.enabled = false;
+    c.rt.repackEnabled = false;
+    return c;
+}
+
+std::string
+describe(const SimConfig &config)
+{
+    std::ostringstream os;
+    os << config.numSms << " SMs, L1 "
+       << config.memory.l1.sizeBytes / 1024 << "KB";
+    if (config.predictor.enabled) {
+        os << ", predictor " << config.predictor.table.numEntries
+           << "x" << config.predictor.table.nodesPerEntry << " ("
+           << config.predictor.table.ways << "-way), GoUp "
+           << config.predictor.goUpLevel << ", repack "
+           << (config.rt.repackEnabled ? "on" : "off");
+        if (config.rt.additionalWarps > 0)
+            os << " +" << config.rt.additionalWarps << " warps";
+    } else {
+        os << ", no predictor";
+    }
+    return os.str();
+}
+
+} // namespace rtp

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Top-level simulation configuration, mirroring the paper's Table 2
+ * (GPGPU-Sim configuration) and Table 3 (predictor configuration).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/predictor.hpp"
+#include "mem/memory_system.hpp"
+#include "rtunit/rt_unit.hpp"
+
+namespace rtp {
+
+/** Full simulation configuration. */
+struct SimConfig
+{
+    std::uint32_t numSms = 2; //!< Table 2: 2 SMs, one RT unit each
+    RtUnitConfig rt;
+    PredictorConfig predictor;
+    MemoryConfig memory;
+
+    /** The baseline (Table 2/3) configuration with the predictor on. */
+    static SimConfig proposed();
+
+    /** Baseline RT unit without a predictor. */
+    static SimConfig baseline();
+};
+
+/** One-line summary of a configuration (for bench/table headers). */
+std::string describe(const SimConfig &config);
+
+} // namespace rtp

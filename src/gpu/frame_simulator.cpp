@@ -1,0 +1,45 @@
+#include "gpu/frame_simulator.hpp"
+
+namespace rtp {
+
+FrameSimulator::FrameSimulator(const SimConfig &config,
+                               bool preserve_state)
+    : config_(config), preserveState_(preserve_state)
+{
+}
+
+SimResult
+FrameSimulator::runFrame(const Bvh &bvh,
+                         const std::vector<Triangle> &triangles,
+                         const std::vector<Ray> &rays)
+{
+    if (config_.predictor.enabled) {
+        if (predictors_.empty()) {
+            for (std::uint32_t i = 0; i < config_.numSms; ++i)
+                predictors_.push_back(std::make_unique<RayPredictor>(
+                    config_.predictor, bvh));
+        } else {
+            for (auto &p : predictors_) {
+                p->rebind(bvh);
+                if (!preserveState_)
+                    p->resetTable();
+                p->clearStats();
+            }
+        }
+    }
+
+    std::vector<RayPredictor *> preds;
+    for (auto &p : predictors_)
+        preds.push_back(p.get());
+    framesRun_++;
+    return simulateWithPredictors(bvh, triangles, rays, config_, preds);
+}
+
+void
+FrameSimulator::resetPredictors()
+{
+    for (auto &p : predictors_)
+        p->resetTable();
+}
+
+} // namespace rtp

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Multi-frame simulation with persistent predictor state.
+ *
+ * The paper's Section 8 names dynamic scenes as future work: "Predictor
+ * states could potentially be preserved between frames and the
+ * predictor retrained only for dynamic elements." This driver
+ * implements that experiment: the per-SM predictor tables outlive
+ * individual frames, the BVH is refit (not rebuilt) so node indices
+ * stay meaningful, and each frame's workload runs against either the
+ * preserved or a freshly reset table.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "gpu/config.hpp"
+#include "gpu/simulator.hpp"
+
+namespace rtp {
+
+/** Cross-frame simulation driver. */
+class FrameSimulator
+{
+  public:
+    /**
+     * @param config GPU configuration (predictor must be enabled for
+     *        state preservation to mean anything).
+     * @param preserve_state Keep predictor tables across frames; when
+     *        false every frame starts cold (the paper's per-frame
+     *        behaviour).
+     */
+    FrameSimulator(const SimConfig &config, bool preserve_state = true);
+
+    /**
+     * Simulate one frame.
+     * @param bvh The frame's BVH (refit in place between frames).
+     * @param triangles The frame's triangles.
+     * @param rays The frame's ray workload.
+     */
+    SimResult runFrame(const Bvh &bvh,
+                       const std::vector<Triangle> &triangles,
+                       const std::vector<Ray> &rays);
+
+    /** Drop all predictor state (e.g., after a topology rebuild). */
+    void resetPredictors();
+
+    std::uint32_t
+    framesRun() const
+    {
+        return framesRun_;
+    }
+
+  private:
+    SimConfig config_;
+    bool preserveState_;
+    std::vector<std::unique_ptr<RayPredictor>> predictors_;
+    std::uint32_t framesRun_ = 0;
+};
+
+} // namespace rtp

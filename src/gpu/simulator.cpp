@@ -1,0 +1,164 @@
+#include "gpu/simulator.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace rtp {
+
+double
+SimResult::predictedRate() const
+{
+    auto done = stats.get("rays_completed");
+    return done ? static_cast<double>(stats.get("rays_predicted")) / done
+                : 0.0;
+}
+
+double
+SimResult::verifiedRate() const
+{
+    auto done = stats.get("rays_completed");
+    return done ? static_cast<double>(stats.get("rays_verified")) / done
+                : 0.0;
+}
+
+double
+SimResult::hitRate() const
+{
+    auto done = stats.get("rays_completed");
+    return done ? static_cast<double>(stats.get("rays_hit")) / done : 0.0;
+}
+
+std::uint64_t
+SimResult::totalMemAccesses() const
+{
+    return stats.get("ray_node_fetches") +
+           stats.get("ray_tri_fetches") + stats.get("stack_spills");
+}
+
+std::uint64_t
+SimResult::postMergeAccesses() const
+{
+    return stats.get("mem_node_accesses") +
+           stats.get("mem_tri_accesses") +
+           stats.get("mem_stack_accesses");
+}
+
+namespace {
+
+/**
+ * Shared driver: distribute rays, run the global event loop, gather
+ * results. @p units holds one RT unit per SM; @p predictors (possibly
+ * null entries) are only read for stats merging.
+ */
+SimResult
+runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
+             const std::vector<RayPredictor *> &predictors,
+             MemorySystem &mem, const std::vector<Ray> &rays,
+             const SimConfig &config)
+{
+    // Round-robin warp-sized chunks across SMs, preserving intra-chunk
+    // ray order (consecutive rays share a warp, like consecutive
+    // threads of the CUDA kernel in Section 5.1.1).
+    std::uint32_t warp = config.rt.warpSize;
+    std::uint32_t num_sms = static_cast<std::uint32_t>(units.size());
+    std::vector<std::vector<Ray>> per_sm_rays(num_sms);
+    std::vector<std::vector<std::uint32_t>> per_sm_ids(num_sms);
+    std::uint32_t chunk = 0;
+    for (std::size_t i = 0; i < rays.size(); i += warp, ++chunk) {
+        std::uint32_t sm = chunk % num_sms;
+        for (std::size_t j = i; j < std::min(rays.size(), i + warp);
+             ++j) {
+            per_sm_rays[sm].push_back(rays[j]);
+            per_sm_ids[sm].push_back(static_cast<std::uint32_t>(j));
+        }
+    }
+    for (std::uint32_t s = 0; s < num_sms; ++s) {
+        if (!per_sm_rays[s].empty())
+            units[s]->submit(per_sm_rays[s], per_sm_ids[s]);
+    }
+
+    // Global event loop: always advance the SM with the earliest event
+    // so the shared L2 / DRAM see requests in approximate cycle order.
+    while (true) {
+        RtUnit *next = nullptr;
+        Cycle best = ~0ull;
+        for (auto &rt : units) {
+            if (rt->finished())
+                continue;
+            Cycle c = rt->nextEventCycle();
+            if (c < best) {
+                best = c;
+                next = rt.get();
+            }
+        }
+        if (!next)
+            break;
+        next->step();
+    }
+
+    SimResult result;
+    result.rayResults.resize(rays.size());
+    double simt_acc = 0.0;
+    for (std::uint32_t s = 0; s < num_sms; ++s) {
+        const RtUnit &rt = *units[s];
+        result.cycles = std::max(result.cycles, rt.completionCycle());
+        result.stats.merge(rt.stats());
+        result.stats.merge(rt.intersectionUnit().stats());
+        if (predictors[s])
+            result.stats.merge(predictors[s]->stats());
+        simt_acc += rt.simtEfficiency();
+        // Each RT unit fills exactly the global ids it was assigned.
+        const auto &rr = rt.results();
+        for (std::uint32_t id : per_sm_ids[s])
+            result.rayResults[id] = rr[id];
+    }
+    result.simtEfficiency =
+        units.empty() ? 1.0 : simt_acc / units.size();
+    result.memStats = mem.aggregateStats();
+    result.avgBusyBanks = mem.dram().avgBusyBanks();
+    return result;
+}
+
+} // namespace
+
+SimResult
+simulate(const Bvh &bvh, const std::vector<Triangle> &triangles,
+         const std::vector<Ray> &rays, const SimConfig &config)
+{
+    MemorySystem mem(config.memory, config.numSms);
+    std::vector<std::unique_ptr<RayPredictor>> owned;
+    std::vector<RayPredictor *> predictors(config.numSms, nullptr);
+    std::vector<std::unique_ptr<RtUnit>> units;
+    for (std::uint32_t i = 0; i < config.numSms; ++i) {
+        if (config.predictor.enabled) {
+            owned.push_back(std::make_unique<RayPredictor>(
+                config.predictor, bvh));
+            predictors[i] = owned.back().get();
+        }
+        units.push_back(std::make_unique<RtUnit>(
+            config.rt, bvh, triangles, mem, i, predictors[i]));
+    }
+    return runEventLoop(units, predictors, mem, rays, config);
+}
+
+SimResult
+simulateWithPredictors(const Bvh &bvh,
+                       const std::vector<Triangle> &triangles,
+                       const std::vector<Ray> &rays,
+                       const SimConfig &config,
+                       const std::vector<RayPredictor *> &predictors)
+{
+    MemorySystem mem(config.memory, config.numSms);
+    std::vector<RayPredictor *> preds(config.numSms, nullptr);
+    for (std::uint32_t i = 0;
+         i < config.numSms && i < predictors.size(); ++i)
+        preds[i] = predictors[i];
+    std::vector<std::unique_ptr<RtUnit>> units;
+    for (std::uint32_t i = 0; i < config.numSms; ++i) {
+        units.push_back(std::make_unique<RtUnit>(
+            config.rt, bvh, triangles, mem, i, preds[i]));
+    }
+    return runEventLoop(units, preds, mem, rays, config);
+}
+
+} // namespace rtp

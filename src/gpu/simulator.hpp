@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Multi-SM simulation driver.
+ *
+ * Distributes a ray workload across SMs in warp-sized chunks, then runs a
+ * global event loop that advances whichever SM has the earliest pending
+ * event so the shared L2 / DRAM timing state is exercised in (approximate)
+ * global cycle order.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "gpu/config.hpp"
+#include "gpu/sm.hpp"
+#include "rtunit/rt_unit.hpp"
+
+namespace rtp {
+
+/** Aggregated outcome of one simulation run. */
+struct SimResult
+{
+    Cycle cycles = 0;          //!< completion cycle of the last ray
+    std::vector<RayResult> rayResults; //!< indexed by submitted ray order
+    StatGroup stats;           //!< merged RT unit + predictor counters
+    StatGroup memStats;        //!< merged cache/DRAM counters
+    double simtEfficiency = 0.0;
+    double avgBusyBanks = 0.0;
+
+    /** Fraction helpers over completed rays. */
+    double predictedRate() const;
+    double verifiedRate() const;
+    double hitRate() const;
+
+    /**
+     * Total node + triangle fetches performed by rays (pre-merge, the
+     * accounting used by Figure 13 / Equation 1): each BVH node or leaf
+     * primitive-block fetch of each ray counts once.
+     */
+    std::uint64_t totalMemAccesses() const;
+
+    /** Requests that reached the L1 after intra-warp merging. */
+    std::uint64_t postMergeAccesses() const;
+};
+
+/** Run one workload through the configured GPU model. */
+SimResult simulate(const Bvh &bvh,
+                   const std::vector<Triangle> &triangles,
+                   const std::vector<Ray> &rays,
+                   const SimConfig &config);
+
+/**
+ * Run one workload with externally owned per-SM predictors (used by
+ * FrameSimulator to preserve predictor state across frames). Pass one
+ * pointer per SM, or an empty vector for no predictors. The predictors
+ * must already be bound to @p bvh.
+ */
+SimResult simulateWithPredictors(
+    const Bvh &bvh, const std::vector<Triangle> &triangles,
+    const std::vector<Ray> &rays, const SimConfig &config,
+    const std::vector<RayPredictor *> &predictors);
+
+} // namespace rtp

@@ -1,0 +1,90 @@
+#include "mem/cache.hpp"
+
+#include <algorithm>
+
+namespace rtp {
+
+CacheModel::CacheModel(CacheConfig config) : config_(std::move(config))
+{
+    std::uint32_t num_lines =
+        std::max(1u, config_.sizeBytes / config_.lineBytes);
+    waysPerSet_ = config_.ways == 0 ? num_lines
+                                    : std::min(config_.ways, num_lines);
+    numSets_ = std::max(1u, num_lines / waysPerSet_);
+    sets_.resize(numSets_);
+    for (auto &set : sets_) {
+        set.lines.resize(waysPerSet_);
+        for (std::uint32_t w = 0; w < waysPerSet_; ++w)
+            set.lru.push_back(w);
+    }
+}
+
+CacheAccess
+CacheModel::access(std::uint64_t addr, Cycle cycle, const FillFn &fill)
+{
+    std::uint64_t line = lineAddr(addr);
+    Set &set = sets_[line % numSets_];
+    std::uint64_t tag = line / numSets_;
+
+    for (auto it = set.lru.begin(); it != set.lru.end(); ++it) {
+        Line &l = set.lines[*it];
+        if (l.valid && l.tag == tag) {
+            // Promote to MRU.
+            std::uint32_t way = *it;
+            set.lru.erase(it);
+            set.lru.push_front(way);
+            CacheAccess res;
+            if (l.readyAt > cycle) {
+                // Fill still in flight: merge into it (MSHR behaviour).
+                res.merged = true;
+                res.readyCycle = l.readyAt + config_.hitLatency;
+                stats_.inc("mshr_merges");
+            } else {
+                res.hit = true;
+                res.readyCycle = cycle + config_.hitLatency;
+                stats_.inc("hits");
+            }
+            return res;
+        }
+    }
+
+    // Miss: allocate the LRU way and start a fill.
+    stats_.inc("misses");
+    std::uint32_t victim = set.lru.back();
+    set.lru.pop_back();
+    set.lru.push_front(victim);
+    Line &l = set.lines[victim];
+    if (l.valid)
+        stats_.inc("evictions");
+    l.valid = true;
+    l.tag = tag;
+    l.readyAt = fill(line * config_.lineBytes, cycle);
+
+    CacheAccess res;
+    res.readyCycle = l.readyAt + config_.hitLatency;
+    return res;
+}
+
+bool
+CacheModel::contains(std::uint64_t addr) const
+{
+    std::uint64_t line = lineAddr(addr);
+    const Set &set = sets_[line % numSets_];
+    std::uint64_t tag = line / numSets_;
+    for (const Line &l : set.lines) {
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+CacheModel::reset()
+{
+    for (auto &set : sets_) {
+        for (auto &l : set.lines)
+            l.valid = false;
+    }
+}
+
+} // namespace rtp

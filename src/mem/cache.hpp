@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Timed set-associative LRU cache model with MSHR-style fill merging.
+ *
+ * Models the paper's L1 (64 KB, 128 B lines, fully associative LRU) and L2
+ * (1 MB, 128 B lines, 16-way LRU) from Table 2. Timing is ready-cycle
+ * based: an access returns the cycle its data is available; misses that
+ * land on an in-flight fill merge into it (MSHR behaviour) instead of
+ * issuing a duplicate downstream request.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace rtp {
+
+/** Cycle count type used by all timing models. */
+using Cycle = std::uint64_t;
+
+/** Configuration of one cache level. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 64 * 1024;
+    std::uint32_t lineBytes = 128;
+    std::uint32_t ways = 0;      //!< 0 = fully associative
+    Cycle hitLatency = 1;        //!< cycles from access to data on a hit
+    std::string name = "cache";
+};
+
+/** Result of a timed cache access. */
+struct CacheAccess
+{
+    bool hit = false;        //!< line present and filled
+    bool merged = false;     //!< miss merged into an in-flight fill
+    Cycle readyCycle = 0;    //!< cycle the data is available
+};
+
+/**
+ * One cache level. The downstream level is abstracted as a callback that
+ * returns the fill-complete cycle for a missing line.
+ */
+class CacheModel
+{
+  public:
+    /** Computes the cycle at which a downstream fill completes. */
+    using FillFn = std::function<Cycle(std::uint64_t line_addr,
+                                       Cycle cycle)>;
+
+    explicit CacheModel(CacheConfig config);
+
+    /**
+     * Access one address at @p cycle.
+     * @param addr Byte address (any offset within a line).
+     * @param cycle Current cycle.
+     * @param fill Invoked on a true miss to obtain the fill-ready cycle.
+     */
+    CacheAccess access(std::uint64_t addr, Cycle cycle,
+                       const FillFn &fill);
+
+    /** @return true if the line holding @p addr is resident (untimed). */
+    bool contains(std::uint64_t addr) const;
+
+    /** Statistics: hits, misses, mshr_merges, evictions. */
+    const StatGroup &
+    stats() const
+    {
+        return stats_;
+    }
+
+    void
+    clearStats()
+    {
+        stats_.clear();
+    }
+
+    const CacheConfig &
+    config() const
+    {
+        return config_;
+    }
+
+    /** Empty the cache (keeps statistics). */
+    void reset();
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        Cycle readyAt = 0; //!< fill-complete cycle (in-flight if > now)
+        bool valid = false;
+    };
+
+    struct Set
+    {
+        std::vector<Line> lines;
+        // LRU order: front = most recently used; stores way indices.
+        std::list<std::uint32_t> lru;
+    };
+
+    std::uint64_t
+    lineAddr(std::uint64_t addr) const
+    {
+        return addr / config_.lineBytes;
+    }
+
+    CacheConfig config_;
+    std::uint32_t numSets_ = 1;
+    std::uint32_t waysPerSet_ = 1;
+    std::vector<Set> sets_;
+    StatGroup stats_;
+};
+
+} // namespace rtp

@@ -1,0 +1,71 @@
+#include "mem/memory_system.hpp"
+
+namespace rtp {
+
+MemorySystem::MemorySystem(const MemoryConfig &config,
+                           std::uint32_t num_sms)
+    : config_(config), dram_(config.dram)
+{
+    for (std::uint32_t i = 0; i < num_sms; ++i)
+        l1s_.push_back(std::make_unique<CacheModel>(config.l1));
+    l2_ = std::make_unique<CacheModel>(config.l2);
+}
+
+MemAccess
+MemorySystem::access(std::uint32_t sm, std::uint64_t addr, Cycle cycle)
+{
+    MemAccess result;
+    result.servedBy = MemLevel::L1;
+
+    auto l2_fill = [&](std::uint64_t line_addr, Cycle c) -> Cycle {
+        result.servedBy = MemLevel::Dram;
+        return dram_.access(line_addr,
+                            c + config_.l2ToDramLatency);
+    };
+
+    auto l1_fill = [&](std::uint64_t line_addr, Cycle c) -> Cycle {
+        if (!config_.l2Enabled) {
+            result.servedBy = MemLevel::Dram;
+            return dram_.access(line_addr, c + config_.l1ToL2Latency +
+                                               config_.l2ToDramLatency);
+        }
+        result.servedBy = MemLevel::L2;
+        CacheAccess l2_res = l2_->access(
+            line_addr, c + config_.l1ToL2Latency, l2_fill);
+        return l2_res.readyCycle;
+    };
+
+    CacheAccess l1_res = l1s_[sm]->access(addr, cycle, l1_fill);
+    result.readyCycle = l1_res.readyCycle;
+    result.l1MshrMerged = l1_res.merged;
+    if (l1_res.merged)
+        result.servedBy = MemLevel::L1;
+    return result;
+}
+
+StatGroup
+MemorySystem::aggregateStats() const
+{
+    StatGroup g;
+    for (std::size_t i = 0; i < l1s_.size(); ++i) {
+        for (const auto &kv : l1s_[i]->stats().counters())
+            g.inc("l1." + kv.first, kv.second);
+    }
+    for (const auto &kv : l2_->stats().counters())
+        g.inc("l2." + kv.first, kv.second);
+    for (const auto &kv : dram_.stats().counters())
+        g.inc("dram." + kv.first, kv.second);
+    g.set("dram.avg_busy_banks", dram_.avgBusyBanks());
+    return g;
+}
+
+void
+MemorySystem::clearStats()
+{
+    for (auto &l1 : l1s_)
+        l1->clearStats();
+    l2_->clearStats();
+    dram_.clearStats();
+}
+
+} // namespace rtp

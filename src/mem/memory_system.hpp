@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The full memory hierarchy: one L1 per SM, a shared L2, banked DRAM
+ * (Table 2 configuration). The RT unit is multiplexed onto the L1 like the
+ * LDST unit (Section 5.1.4).
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+
+namespace rtp {
+
+/** Where a request was ultimately served from. */
+enum class MemLevel : std::uint8_t
+{
+    L1,
+    L2,
+    Dram,
+};
+
+/** Result of a timed hierarchy access. */
+struct MemAccess
+{
+    Cycle readyCycle = 0;
+    MemLevel servedBy = MemLevel::L1;
+    bool l1MshrMerged = false;
+};
+
+/** Memory hierarchy configuration. */
+struct MemoryConfig
+{
+    /**
+     * L1 hit latency: Section 5.1.5's one-cycle L1 access plus the
+     * request-queue, tag, and ray-buffer-return pipeline around it.
+     * Issue-slot occupancy is charged separately by the RT unit's
+     * port model.
+     */
+    CacheConfig l1{64 * 1024, 128, 0, 6, "l1"};   //!< fully assoc LRU
+    CacheConfig l2{1024 * 1024, 128, 16, 1, "l2"}; //!< 16-way LRU
+    Cycle l1ToL2Latency = 90;   //!< interconnect + L2 pipeline
+    Cycle l2ToDramLatency = 100; //!< off-chip command latency
+    DramConfig dram;
+    bool l2Enabled = true;
+};
+
+/** Per-SM L1s in front of a shared L2 and DRAM. */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemoryConfig &config, std::uint32_t num_sms);
+
+    /**
+     * Timed access from one SM's RT unit.
+     * @param sm Index of the issuing SM.
+     * @param addr Byte address.
+     * @param cycle Issue cycle.
+     */
+    MemAccess access(std::uint32_t sm, std::uint64_t addr, Cycle cycle);
+
+    CacheModel &
+    l1(std::uint32_t sm)
+    {
+        return *l1s_[sm];
+    }
+
+    CacheModel &
+    l2()
+    {
+        return *l2_;
+    }
+
+    DramModel &
+    dram()
+    {
+        return dram_;
+    }
+
+    const MemoryConfig &
+    config() const
+    {
+        return config_;
+    }
+
+    /** Aggregate counters across all levels into one group. */
+    StatGroup aggregateStats() const;
+
+    void clearStats();
+
+  private:
+    MemoryConfig config_;
+    std::vector<std::unique_ptr<CacheModel>> l1s_;
+    std::unique_ptr<CacheModel> l2_;
+    DramModel dram_;
+};
+
+} // namespace rtp

@@ -1,0 +1,91 @@
+#include "rays/rayfile.hpp"
+
+#include <cstring>
+#include <fstream>
+
+namespace rtp {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'T', 'P', 'R', 'A', 'Y', 'S', '1'};
+
+/** Fixed-size on-disk ray record (little-endian floats). */
+struct RayRecord
+{
+    float ox, oy, oz;
+    float dx, dy, dz;
+    float tmin, tmax;
+    std::uint8_t kind;
+    std::uint8_t pad[3] = {0, 0, 0};
+};
+static_assert(sizeof(RayRecord) == 36, "on-disk layout");
+
+struct Header
+{
+    char magic[8];
+    std::uint64_t count;
+    std::uint64_t primaryRays;
+    std::uint64_t primaryHits;
+};
+
+} // namespace
+
+bool
+saveRayFile(const std::string &path, const RayBatch &batch)
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    Header h{};
+    std::memcpy(h.magic, kMagic, sizeof(kMagic));
+    h.count = batch.rays.size();
+    h.primaryRays = batch.primaryRays;
+    h.primaryHits = batch.primaryHits;
+    f.write(reinterpret_cast<const char *>(&h), sizeof(h));
+    for (const Ray &r : batch.rays) {
+        RayRecord rec;
+        rec.ox = r.origin.x;
+        rec.oy = r.origin.y;
+        rec.oz = r.origin.z;
+        rec.dx = r.dir.x;
+        rec.dy = r.dir.y;
+        rec.dz = r.dir.z;
+        rec.tmin = r.tMin;
+        rec.tmax = r.tMax;
+        rec.kind = static_cast<std::uint8_t>(r.kind);
+        f.write(reinterpret_cast<const char *>(&rec), sizeof(rec));
+    }
+    return static_cast<bool>(f);
+}
+
+bool
+loadRayFile(const std::string &path, RayBatch &batch)
+{
+    std::ifstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    Header h{};
+    f.read(reinterpret_cast<char *>(&h), sizeof(h));
+    if (!f || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    batch.rays.clear();
+    batch.rays.reserve(h.count);
+    batch.primaryRays = h.primaryRays;
+    batch.primaryHits = h.primaryHits;
+    for (std::uint64_t i = 0; i < h.count; ++i) {
+        RayRecord rec;
+        f.read(reinterpret_cast<char *>(&rec), sizeof(rec));
+        if (!f)
+            return false;
+        Ray r;
+        r.origin = {rec.ox, rec.oy, rec.oz};
+        r.dir = {rec.dx, rec.dy, rec.dz};
+        r.tMin = rec.tmin;
+        r.tMax = rec.tmax;
+        r.kind = static_cast<RayKind>(rec.kind);
+        batch.rays.push_back(r);
+    }
+    return true;
+}
+
+} // namespace rtp

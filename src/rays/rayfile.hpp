@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Ray batch serialization.
+ *
+ * The paper's artifact ships ".ray_files" containing the exact rays it
+ * simulated so runs are reproducible across machines. This module
+ * provides the same capability: a compact binary format (magic +
+ * version + count, then fixed-size records) for saving and reloading
+ * RayBatch workloads.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "rays/raygen.hpp"
+
+namespace rtp {
+
+/**
+ * Write a ray batch to @p path.
+ * @retval true on success.
+ */
+bool saveRayFile(const std::string &path, const RayBatch &batch);
+
+/**
+ * Load a ray batch from @p path.
+ * @param batch Out: the loaded rays and metadata.
+ * @retval true on success (false on I/O error or format mismatch).
+ */
+bool loadRayFile(const std::string &path, RayBatch &batch);
+
+} // namespace rtp

@@ -1,0 +1,223 @@
+#include "rays/raygen.hpp"
+
+#include <cmath>
+
+#include "bvh/traversal.hpp"
+#include "geometry/onb.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+
+namespace {
+
+/** Shading normal at a hit: geometric normal flipped toward the viewer. */
+Vec3
+surfaceNormal(const std::vector<Triangle> &tris, const HitRecord &rec,
+              const Vec3 &incoming_dir)
+{
+    Vec3 n = normalize(tris[rec.prim].geometricNormal());
+    if (dot(n, incoming_dir) > 0.0f)
+        n = -n;
+    return n;
+}
+
+} // namespace
+
+RayBatch
+generatePrimaryRays(const Scene &scene, const RayGenConfig &config)
+{
+    RayBatch batch;
+    batch.rays.reserve(static_cast<std::size_t>(config.width) *
+                       config.height);
+    float aspect =
+        static_cast<float>(config.width) / config.height;
+    for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+            float sx = 0.5f + ((x + 0.5f) / config.width - 0.5f) *
+                                  config.viewportFraction;
+            float sy = 0.5f + ((y + 0.5f) / config.height - 0.5f) *
+                                  config.viewportFraction;
+            batch.rays.push_back(
+                scene.camera.generateRay(sx, sy, aspect));
+        }
+    }
+    batch.primaryRays = batch.rays.size();
+    return batch;
+}
+
+RayBatch
+generateAoRays(const Scene &scene, const Bvh &bvh,
+               const RayGenConfig &config)
+{
+    RayBatch batch;
+    Rng rng(config.seed, 17);
+    const auto &tris = scene.mesh.triangles();
+    float diag = bvh.sceneBounds().diagonal();
+    float aspect = static_cast<float>(config.width) / config.height;
+
+    for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+            float sx = 0.5f + ((x + 0.5f) / config.width - 0.5f) *
+                                  config.viewportFraction;
+            float sy = 0.5f + ((y + 0.5f) / config.height - 0.5f) *
+                                  config.viewportFraction;
+            Ray primary = scene.camera.generateRay(sx, sy, aspect);
+            batch.primaryRays++;
+            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            if (!rec.hit)
+                continue;
+            batch.primaryHits++;
+
+            Vec3 p = primary.at(rec.t);
+            Vec3 n = surfaceNormal(tris, rec, primary.dir);
+            Onb onb(n);
+            for (int s = 0; s < config.samplesPerPixel; ++s) {
+                Vec3 local = cosineSampleHemisphere(rng.nextFloat(),
+                                                    rng.nextFloat());
+                Ray ao;
+                ao.origin = p + n * (1e-3f * diag * 1e-2f);
+                ao.dir = onb.toWorld(local);
+                ao.tMin = 1e-4f;
+                ao.tMax = diag * rng.nextRange(config.aoMinLengthFrac,
+                                               config.aoMaxLengthFrac);
+                ao.kind = RayKind::Occlusion;
+                batch.rays.push_back(ao);
+            }
+        }
+    }
+    return batch;
+}
+
+RayBatch
+generateGiRays(const Scene &scene, const Bvh &bvh,
+               const RayGenConfig &config)
+{
+    RayBatch batch;
+    Rng rng(config.seed, 29);
+    const auto &tris = scene.mesh.triangles();
+    float diag = bvh.sceneBounds().diagonal();
+    float aspect = static_cast<float>(config.width) / config.height;
+
+    for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+            float sx = 0.5f + ((x + 0.5f) / config.width - 0.5f) *
+                                  config.viewportFraction;
+            float sy = 0.5f + ((y + 0.5f) / config.height - 0.5f) *
+                                  config.viewportFraction;
+            Ray ray = scene.camera.generateRay(sx, sy, aspect);
+            batch.primaryRays++;
+            HitRecord rec = traverseClosestHit(bvh, tris, ray);
+            if (!rec.hit)
+                continue;
+            batch.primaryHits++;
+
+            // Diffuse bounce chain: each bounce emits one closest-hit
+            // secondary ray that continues from the previous hit point.
+            for (int b = 0; b < config.giBounces; ++b) {
+                Vec3 p = ray.at(rec.t);
+                Vec3 n = surfaceNormal(tris, rec, ray.dir);
+                Onb onb(n);
+                Vec3 local = cosineSampleHemisphere(rng.nextFloat(),
+                                                    rng.nextFloat());
+                Ray bounce;
+                bounce.origin = p + n * (1e-5f * diag);
+                bounce.dir = onb.toWorld(local);
+                bounce.tMin = 1e-4f;
+                bounce.tMax = 1e30f;
+                bounce.kind = RayKind::Secondary;
+                batch.rays.push_back(bounce);
+
+                rec = traverseClosestHit(bvh, tris, bounce);
+                if (!rec.hit)
+                    break;
+                ray = bounce;
+            }
+        }
+    }
+    return batch;
+}
+
+RayBatch
+generateShadowRays(const Scene &scene, const Bvh &bvh,
+                   const RayGenConfig &config, const Vec3 *light_pos)
+{
+    RayBatch batch;
+    const auto &tris = scene.mesh.triangles();
+    float diag = bvh.sceneBounds().diagonal();
+    float aspect = static_cast<float>(config.width) / config.height;
+
+    Aabb bounds = bvh.sceneBounds();
+    Vec3 light = light_pos
+                     ? *light_pos
+                     : Vec3{bounds.center().x,
+                            bounds.hi.y - 0.05f * bounds.extent().y,
+                            bounds.center().z};
+
+    for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+            float sx = 0.5f + ((x + 0.5f) / config.width - 0.5f) *
+                                  config.viewportFraction;
+            float sy = 0.5f + ((y + 0.5f) / config.height - 0.5f) *
+                                  config.viewportFraction;
+            Ray primary = scene.camera.generateRay(sx, sy, aspect);
+            batch.primaryRays++;
+            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            if (!rec.hit)
+                continue;
+            batch.primaryHits++;
+
+            Vec3 p = primary.at(rec.t);
+            Vec3 n = surfaceNormal(tris, rec, primary.dir);
+            Vec3 to_light = light - p;
+            float dist = length(to_light);
+            if (dist < 1e-6f * diag)
+                continue;
+            Ray shadow;
+            shadow.origin = p + n * (1e-5f * diag);
+            shadow.dir = to_light / dist;
+            shadow.tMin = 1e-4f;
+            shadow.tMax = dist * 0.999f; // stop just before the light
+            shadow.kind = RayKind::Occlusion;
+            batch.rays.push_back(shadow);
+        }
+    }
+    return batch;
+}
+
+RayBatch
+generateReflectionRays(const Scene &scene, const Bvh &bvh,
+                       const RayGenConfig &config)
+{
+    RayBatch batch;
+    const auto &tris = scene.mesh.triangles();
+    float diag = bvh.sceneBounds().diagonal();
+    float aspect = static_cast<float>(config.width) / config.height;
+
+    for (int y = 0; y < config.height; ++y) {
+        for (int x = 0; x < config.width; ++x) {
+            float sx = 0.5f + ((x + 0.5f) / config.width - 0.5f) *
+                                  config.viewportFraction;
+            float sy = 0.5f + ((y + 0.5f) / config.height - 0.5f) *
+                                  config.viewportFraction;
+            Ray primary = scene.camera.generateRay(sx, sy, aspect);
+            batch.primaryRays++;
+            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            if (!rec.hit)
+                continue;
+            batch.primaryHits++;
+
+            Vec3 n = surfaceNormal(tris, rec, primary.dir);
+            Vec3 d = normalize(primary.dir);
+            Ray refl;
+            refl.origin = primary.at(rec.t) + n * (1e-5f * diag);
+            refl.dir = d - n * (2.0f * dot(d, n));
+            refl.tMin = 1e-4f;
+            refl.tMax = 1e30f;
+            refl.kind = RayKind::Secondary;
+            batch.rays.push_back(refl);
+        }
+    }
+    return batch;
+}
+
+} // namespace rtp

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Workload ray generators (Section 5.2 of the paper).
+ *
+ * Ambient-occlusion rays: for every pixel, compute the primary-ray hit
+ * point, then spawn N occlusion rays by cosine-sampling the upper
+ * hemisphere around the surface normal. Ray lengths are 25–40 % of the
+ * scene bounding-box diagonal. Global-illumination rays (Section 6.4):
+ * closest-hit bounce chains of configurable depth.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "geometry/ray.hpp"
+#include "scene/camera.hpp"
+#include "scene/registry.hpp"
+
+namespace rtp {
+
+/** Parameters for AO / GI workload generation. */
+struct RayGenConfig
+{
+    int width = 96;          //!< viewport width in pixels
+    int height = 96;         //!< viewport height
+    int samplesPerPixel = 4; //!< AO rays per primary hit (paper: 4)
+    /**
+     * Fraction of the image plane the viewport covers (centred crop).
+     * The paper renders 1024x1024 full frames; to keep experiments fast
+     * while preserving the paper's inter-pixel world-space locality
+     * (which the predictor's hash exploits), smaller viewports render a
+     * centred crop at the same pixel density instead of downsampling
+     * the full view. 1.0 = full frame.
+     */
+    float viewportFraction = 1.0f;
+    float aoMinLengthFrac = 0.25f; //!< min AO length / bbox diagonal
+    float aoMaxLengthFrac = 0.40f; //!< max AO length / bbox diagonal
+    int giBounces = 3;       //!< GI bounce count (Section 6.4)
+    std::uint64_t seed = 42;
+};
+
+/** A generated batch of rays plus bookkeeping. */
+struct RayBatch
+{
+    std::vector<Ray> rays;
+    std::uint64_t primaryRays = 0;  //!< primary rays traced to seed AO
+    std::uint64_t primaryHits = 0;  //!< primary rays that hit the scene
+};
+
+/** Generate one primary ray per pixel. */
+RayBatch generatePrimaryRays(const Scene &scene,
+                             const RayGenConfig &config);
+
+/**
+ * Generate AO occlusion rays: primary hits are found with a reference
+ * closest-hit traversal over @p bvh; each hit spawns
+ * config.samplesPerPixel cosine-weighted occlusion rays.
+ */
+RayBatch generateAoRays(const Scene &scene, const Bvh &bvh,
+                        const RayGenConfig &config);
+
+/**
+ * Generate GI bounce rays: closest-hit chains of config.giBounces rays
+ * per pixel (diffuse bounce directions). Returns all secondary rays.
+ */
+RayBatch generateGiRays(const Scene &scene, const Bvh &bvh,
+                        const RayGenConfig &config);
+
+/**
+ * Generate mirror-reflection rays from the primary hit points (used by
+ * the Figure 11 correlation study, which traces primary and reflection
+ * rays).
+ */
+RayBatch generateReflectionRays(const Scene &scene, const Bvh &bvh,
+                                const RayGenConfig &config);
+
+/**
+ * Generate shadow rays: occlusion rays from each primary hit point
+ * toward a point light (the other occlusion-ray workload the paper's
+ * introduction motivates — ray-traced shadows in hybrid renderers).
+ * The segment is bounded at the light's distance, so a hit means the
+ * point is shadowed.
+ *
+ * @param light_pos Light position; pass nullptr to place a default
+ *        light near the top center of the scene.
+ */
+RayBatch generateShadowRays(const Scene &scene, const Bvh &bvh,
+                            const RayGenConfig &config,
+                            const Vec3 *light_pos = nullptr);
+
+} // namespace rtp

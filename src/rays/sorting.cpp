@@ -1,0 +1,52 @@
+#include "rays/sorting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/morton.hpp"
+
+namespace rtp {
+
+std::uint32_t
+rayMortonKey(const Ray &ray, const Aabb &scene_bounds)
+{
+    Vec3 ext = scene_bounds.extent();
+    auto quant = [](float v, float lo, float extent, int levels) {
+        float t = extent > 0.0f ? (v - lo) / extent : 0.0f;
+        int q = static_cast<int>(t * levels);
+        return static_cast<std::uint32_t>(
+            std::clamp(q, 0, levels - 1));
+    };
+    std::uint32_t ox =
+        quant(ray.origin.x, scene_bounds.lo.x, ext.x, 32);
+    std::uint32_t oy =
+        quant(ray.origin.y, scene_bounds.lo.y, ext.y, 32);
+    std::uint32_t oz =
+        quant(ray.origin.z, scene_bounds.lo.z, ext.z, 32);
+    Vec3 d = normalize(ray.dir);
+    std::uint32_t dx = quant(d.x, -1.0f, 2.0f, 32);
+    std::uint32_t dy = quant(d.y, -1.0f, 2.0f, 32);
+    std::uint32_t dz = quant(d.z, -1.0f, 2.0f, 32);
+    return mortonEncode6D(ox, oy, oz, dx, dy, dz);
+}
+
+void
+sortRaysMorton(std::vector<Ray> &rays, const Aabb &scene_bounds)
+{
+    std::vector<std::uint32_t> keys(rays.size());
+    for (std::size_t i = 0; i < rays.size(); ++i)
+        keys[i] = rayMortonKey(rays[i], scene_bounds);
+    std::vector<std::uint32_t> order(rays.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return keys[a] < keys[b];
+                     });
+    std::vector<Ray> sorted(rays.size());
+    for (std::size_t i = 0; i < rays.size(); ++i)
+        sorted[i] = rays[order[i]];
+    rays.swap(sorted);
+}
+
+} // namespace rtp

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Morton-order ray sorting (Aila–Laine, Section 5.2).
+ *
+ * The paper compares the predictor on unsorted rays against rays sorted by
+ * a 6D Morton key over quantised origin and direction; sorted rays are
+ * more coherent and leave less redundancy for the predictor to exploit.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/ray.hpp"
+
+namespace rtp {
+
+/** @return The 30-bit 6D Morton key for a ray in a scene's bounds. */
+std::uint32_t rayMortonKey(const Ray &ray, const Aabb &scene_bounds);
+
+/** Sort @p rays in place by Morton key (stable). */
+void sortRaysMorton(std::vector<Ray> &rays, const Aabb &scene_bounds);
+
+} // namespace rtp

@@ -1,0 +1,9 @@
+#include "rtunit/intersection_unit.hpp"
+
+// The intersection unit is a header-only latency model; this translation
+// unit exists so the component owns a compiled object for future
+// extension (e.g., occupancy modelling) without touching the build.
+
+namespace rtp {
+
+} // namespace rtp

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The intersection unit (Section 5.1.3).
+ *
+ * Models the T&I-engine-style test hardware: 32 pipelined ray-box units
+ * and 32 two-stage pipelined ray-triangle units, one lane per thread of a
+ * warp. Because the memory scheduler serves a single warp at a time the
+ * units never contend across warps; the model therefore reduces to
+ * per-test latency plus counting, with a configurable pipeline depth used
+ * by the Figure 17 latency-sensitivity study.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/intersect.hpp"
+#include "mem/cache.hpp" // Cycle
+#include "util/stats.hpp"
+
+namespace rtp {
+
+/** Intersection unit latency configuration. */
+struct IntersectionConfig
+{
+    Cycle boxTestLatency = 2; //!< ray-box evaluator pipeline depth
+    Cycle triTestLatency = 2; //!< two-stage ray-triangle pipeline
+};
+
+/** Latency + statistics model of the box/triangle test hardware. */
+class IntersectionUnit
+{
+  public:
+    explicit IntersectionUnit(const IntersectionConfig &config = {})
+        : config_(config)
+    {}
+
+    /**
+     * Latency of testing both children boxes of one interior node
+     * (the two evaluations pipeline back-to-back).
+     */
+    Cycle
+    boxPairLatency()
+    {
+        stats_.inc("box_tests", 2);
+        return config_.boxTestLatency + 1;
+    }
+
+    /** Latency of testing @p prim_count triangles of one leaf
+     *  (pipelined: depth + one cycle per extra primitive). */
+    Cycle
+    leafLatency(std::uint32_t prim_count)
+    {
+        stats_.inc("tri_tests", prim_count);
+        return config_.triTestLatency +
+               (prim_count > 0 ? prim_count - 1 : 0);
+    }
+
+    const IntersectionConfig &
+    config() const
+    {
+        return config_;
+    }
+
+    const StatGroup &
+    stats() const
+    {
+        return stats_;
+    }
+
+    void
+    clearStats()
+    {
+        stats_.clear();
+    }
+
+  private:
+    IntersectionConfig config_;
+    StatGroup stats_;
+};
+
+} // namespace rtp

@@ -1,0 +1,33 @@
+#include "rtunit/ray_buffer.hpp"
+
+namespace rtp {
+
+RayBuffer::RayBuffer(std::uint32_t capacity)
+{
+    slots_.resize(capacity);
+    freeList_.reserve(capacity);
+    for (std::uint32_t i = capacity; i > 0; --i)
+        freeList_.push_back(i - 1);
+}
+
+std::uint32_t
+RayBuffer::allocate(const Ray &ray, std::uint32_t global_id,
+                    std::uint32_t stack_entries)
+{
+    std::uint32_t idx = freeList_.back();
+    freeList_.pop_back();
+    RayEntry &e = slots_[idx];
+    e = RayEntry{};
+    e.ray = ray;
+    e.globalId = global_id;
+    e.stack = TraversalStack(stack_entries);
+    return idx;
+}
+
+void
+RayBuffer::release(std::uint32_t idx)
+{
+    freeList_.push_back(idx);
+}
+
+} // namespace rtp

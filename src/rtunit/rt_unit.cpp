@@ -1,0 +1,511 @@
+#include "rtunit/rt_unit.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "geometry/intersect.hpp"
+
+namespace rtp {
+
+RtUnit::RtUnit(const RtUnitConfig &config, const Bvh &bvh,
+               const std::vector<Triangle> &triangles, MemorySystem &mem,
+               std::uint32_t sm_id, RayPredictor *predictor)
+    : config_(config), bvh_(bvh), triangles_(triangles), mem_(mem),
+      smId_(sm_id), predictor_(predictor),
+      buffer_((config.maxWarps + config.additionalWarps) *
+              config.warpSize),
+      isect_(config.isect), collector_(config.repacker)
+{
+    l1Ports_.assign(std::max(1u, config_.l1PortsPerCycle), 0);
+    // Concurrent warps are bounded by one warp per resident ray plus the
+    // external warp limit; reserving up front keeps Warp& references
+    // stable across allocWarp() calls.
+    warps_.reserve(buffer_.capacity() + config_.maxWarps + 1);
+}
+
+std::uint32_t
+RtUnit::allocWarp()
+{
+    if (!freeWarpSlots_.empty()) {
+        std::uint32_t idx = freeWarpSlots_.back();
+        freeWarpSlots_.pop_back();
+        return idx;
+    }
+    assert(warps_.size() < warps_.capacity());
+    warps_.emplace_back();
+    return static_cast<std::uint32_t>(warps_.size() - 1);
+}
+
+void
+RtUnit::submit(const std::vector<Ray> &rays,
+               const std::vector<std::uint32_t> &global_ids)
+{
+    assert(rays.size() == global_ids.size());
+    pendingRays_ = rays;
+    pendingIds_ = global_ids;
+    pendingNext_ = 0;
+    remainingRays_ = rays.size();
+    std::uint32_t max_id = 0;
+    for (std::uint32_t id : global_ids)
+        max_id = std::max(max_id, id);
+    if (results_.size() < max_id + 1)
+        results_.resize(max_id + 1);
+    dispatchPending(0);
+}
+
+bool
+RtUnit::finished() const
+{
+    return remainingRays_ == 0;
+}
+
+Cycle
+RtUnit::nextEventCycle() const
+{
+    assert(!events_.empty());
+    return events_.top().cycle;
+}
+
+void
+RtUnit::step()
+{
+    assert(!events_.empty());
+    Event ev = events_.top();
+    events_.pop();
+
+    if (ev.kind == EventKind::CollectorFlush) {
+        auto flushed = collector_.flushIfExpired(ev.cycle);
+        if (!flushed.empty())
+            dispatchRepacked(flushed, ev.cycle);
+        scheduleCollectorFlush();
+        return;
+    }
+
+    stepWarp(ev.warp, ev.cycle);
+}
+
+void
+RtUnit::dispatchPending(Cycle now)
+{
+    // External __traceray() warps are limited by the warp limit and by
+    // ray buffer capacity (Section 5.1.1: 32 x 8 = 256 rays). Repacked
+    // warps are "newly created" inside the unit and schedule freely --
+    // they reuse resident rays, so the buffer is their only bound.
+    // "Repack N" (Section 4.4.2) raises the limit by N warps to exploit
+    // the under-utilisation repacking leaves behind.
+    while (pendingNext_ < pendingRays_.size() &&
+           activeExternalWarps_ <
+               config_.maxWarps + config_.additionalWarps &&
+           buffer_.hasFree(config_.warpSize)) {
+        std::uint32_t warp_idx = allocWarp();
+        Warp &w = warps_[warp_idx];
+        w = Warp{};
+        w.order = dispatchCounter_++;
+        std::size_t count =
+            std::min<std::size_t>(config_.warpSize,
+                                  pendingRays_.size() - pendingNext_);
+        for (std::size_t i = 0; i < count; ++i) {
+            std::uint32_t slot = buffer_.allocate(
+                pendingRays_[pendingNext_ + i],
+                pendingIds_[pendingNext_ + i], config_.stackEntries);
+            RayEntry &e = buffer_.slot(slot);
+            e.readyAt = now + config_.queueLatency;
+            e.phase = RayPhase::Lookup;
+            w.slots.push_back(slot);
+        }
+        pendingNext_ += count;
+        activeExternalWarps_++;
+        activeWarps_++;
+        stats_.inc("warps_dispatched");
+        scheduleWarp(warp_idx, now + config_.queueLatency);
+    }
+}
+
+void
+RtUnit::dispatchRepacked(const std::vector<std::uint32_t> &slots,
+                         Cycle now)
+{
+    if (slots.empty())
+        return;
+    std::uint32_t warp_idx = allocWarp();
+    Warp &w = warps_[warp_idx];
+    w = Warp{};
+    w.order = dispatchCounter_++;
+    w.repacked = true;
+    w.slots = slots;
+    activeWarps_++;
+    stats_.inc("repacked_warps");
+    scheduleWarp(warp_idx, now);
+}
+
+void
+RtUnit::scheduleWarp(std::uint32_t warp_idx, Cycle cycle)
+{
+    events_.push(Event{cycle, warps_[warp_idx].order,
+                       EventKind::WarpStep, warp_idx});
+}
+
+void
+RtUnit::scheduleCollectorFlush()
+{
+    if (collector_.pendingCount() == 0)
+        return;
+    events_.push(Event{collector_.deadline(), ~0ull,
+                       EventKind::CollectorFlush, 0});
+}
+
+void
+RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
+{
+    Warp &warp = warps_[warp_idx];
+    if (warp.slots.empty())
+        return; // stale event for a retired warp
+
+    bool any_lookup = false;
+    for (std::uint32_t s : warp.slots) {
+        if (buffer_.slot(s).phase == RayPhase::Lookup) {
+            any_lookup = true;
+            break;
+        }
+    }
+
+    if (any_lookup)
+        doLookups(warp, now);
+    else
+        doTraversal(warp, now);
+
+    // Retire completed rays from the warp.
+    std::vector<std::uint32_t> live;
+    for (std::uint32_t s : warp.slots) {
+        if (buffer_.slot(s).phase == RayPhase::Done) {
+            completeRay(s, now);
+        } else {
+            live.push_back(s);
+        }
+    }
+    warp.slots.swap(live);
+
+    if (warp.slots.empty()) {
+        // Warp complete: free the slot and admit pending work.
+        bool external = !warp.repacked;
+        warp = Warp{};
+        freeWarpSlots_.push_back(warp_idx);
+        activeWarps_--;
+        if (external)
+            activeExternalWarps_--;
+        stats_.inc("warps_retired");
+        dispatchPending(now);
+        return;
+    }
+
+    // Next event: the earliest time any member ray can issue again.
+    Cycle next = ~0ull;
+    for (std::uint32_t s : warp.slots)
+        next = std::min(next, buffer_.slot(s).readyAt);
+    scheduleWarp(warp_idx, std::max(next, now + 1));
+}
+
+void
+RtUnit::doLookups(Warp &warp, Cycle now)
+{
+    std::vector<std::uint32_t> predicted_slots;
+    std::vector<std::uint32_t> keep;
+
+    for (std::uint32_t s : warp.slots) {
+        RayEntry &e = buffer_.slot(s);
+        if (e.phase != RayPhase::Lookup) {
+            keep.push_back(s);
+            continue;
+        }
+        if (e.readyAt > now) {
+            keep.push_back(s);
+            continue;
+        }
+
+        if (!predictor_) {
+            e.phase = RayPhase::Normal;
+            e.stack.push(kBvhRoot);
+            e.readyAt = now;
+            keep.push_back(s);
+            continue;
+        }
+
+        Cycle ready;
+        auto pred = predictor_->lookup(e.ray, now, ready);
+        e.readyAt = ready;
+        if (pred) {
+            e.predicted = true;
+            e.phase = RayPhase::PredEval;
+            // Push predicted nodes; top of stack is evaluated first.
+            for (auto it = pred->nodes.rbegin();
+                 it != pred->nodes.rend(); ++it)
+                e.stack.push(*it);
+            stats_.inc("rays_predicted");
+            if (config_.repackEnabled)
+                predicted_slots.push_back(s);
+            else
+                keep.push_back(s);
+        } else {
+            e.phase = RayPhase::Normal;
+            e.stack.push(kBvhRoot);
+            keep.push_back(s);
+        }
+    }
+
+    warp.slots.swap(keep);
+
+    if (!predicted_slots.empty()) {
+        // Repacking: predicted rays leave for the collector; the
+        // not-predicted residue continues as a partial warp.
+        auto full = collector_.add(predicted_slots, now);
+        for (auto &w : full)
+            dispatchRepacked(w, now);
+        scheduleCollectorFlush();
+        if (!warp.notPredictedResidue) {
+            warp.notPredictedResidue = true;
+            stats_.inc("residue_warps");
+        }
+    }
+}
+
+Cycle
+RtUnit::processNode(RayEntry &entry, std::uint32_t node_idx,
+                    Cycle data_ready)
+{
+    const BvhNode &node = bvh_.node(node_idx);
+    RayBoxPrecomp pre(entry.ray);
+    bool any_hit_ray = entry.ray.kind == RayKind::Occlusion;
+    Cycle done = data_ready;
+
+    if (node.isLeaf()) {
+        done += isect_.leafLatency(node.primCount);
+        for (std::uint32_t i = 0; i < node.primCount; ++i) {
+            std::uint32_t slot_idx = node.firstPrim + i;
+            std::uint32_t tri = bvh_.primIndices()[slot_idx];
+            HitRecord h;
+            if (intersectRayTriangle(entry.ray, triangles_[tri], h)) {
+                entry.hit = true;
+                entry.hitT = h.t;
+                entry.hitPrim = tri;
+                entry.hitLeaf = node_idx;
+                if (any_hit_ray)
+                    break;
+                // Closest-hit: shrink the interval and keep going.
+                entry.ray.tMax = h.t;
+            }
+        }
+    } else {
+        done += isect_.boxPairLatency();
+        auto l = static_cast<std::uint32_t>(node.left);
+        auto r = static_cast<std::uint32_t>(node.right);
+        float tl, tr;
+        bool hit_l =
+            intersectRayAabb(entry.ray, pre, bvh_.node(l).box, tl);
+        bool hit_r =
+            intersectRayAabb(entry.ray, pre, bvh_.node(r).box, tr);
+        if (hit_l && hit_r) {
+            if (tl <= tr) {
+                entry.stack.push(r);
+                entry.stack.push(l);
+            } else {
+                entry.stack.push(l);
+                entry.stack.push(r);
+            }
+        } else if (hit_l) {
+            entry.stack.push(l);
+        } else if (hit_r) {
+            entry.stack.push(r);
+        }
+    }
+    return done;
+}
+
+void
+RtUnit::doTraversal(Warp &warp, Cycle now)
+{
+    // Collect the next node of each ready ray; merge duplicate node
+    // requests within the warp into a single memory access.
+    struct Issue
+    {
+        std::uint32_t slot;
+        std::uint32_t node;
+        bool isLeaf;
+        std::uint32_t extraLocalAccesses; //!< stack spills/refills
+    };
+    std::vector<Issue> issues;
+
+    for (std::uint32_t s : warp.slots) {
+        RayEntry &e = buffer_.slot(s);
+        if (e.phase == RayPhase::Done)
+            continue;
+        if (e.readyAt > now)
+            continue;
+
+        // Any-hit rays stop as soon as a hit is known; closest-hit rays
+        // continue until the stack drains.
+        if (e.hit && e.ray.kind == RayKind::Occlusion) {
+            e.phase = RayPhase::Done;
+            continue;
+        }
+
+        auto top = e.stack.pop();
+        if (!top) {
+            // Stack exhausted.
+            if (e.phase == RayPhase::PredEval) {
+                if (e.hit) {
+                    // Occlusion rays would have terminated above; this
+                    // handles GI rays whose prediction trimmed tMax.
+                    e.verified = true;
+                    stats_.inc("rays_verified");
+                    e.phase = RayPhase::Normal;
+                    e.stack.push(kBvhRoot);
+                } else {
+                    e.mispredicted = true;
+                    stats_.inc("rays_mispredicted");
+                    e.phase = RayPhase::Normal;
+                    e.stack.push(kBvhRoot);
+                }
+                top = e.stack.pop();
+            } else {
+                e.phase = RayPhase::Done;
+                continue;
+            }
+        }
+
+        Issue is;
+        is.slot = s;
+        is.node = *top;
+        is.isLeaf = bvh_.node(*top).isLeaf();
+        is.extraLocalAccesses =
+            e.stack.takeSpillEvents() + e.stack.takeRefillEvents();
+        issues.push_back(is);
+    }
+
+    if (issues.empty())
+        return;
+
+    // SIMT efficiency: threads issuing work this step vs the warp width.
+    issueActiveThreads_ += issues.size();
+    issueSlots_ += config_.warpSize;
+
+    // Issue memory requests: one per unique node (plus local-memory
+    // traffic from stack spills), in thread order, one L1 port.
+    std::unordered_map<std::uint64_t, Cycle> served;
+    for (const Issue &is : issues) {
+        RayEntry &e = buffer_.slot(is.slot);
+        std::uint64_t addr;
+        std::uint32_t bytes;
+        if (is.isLeaf) {
+            const BvhNode &n = bvh_.node(is.node);
+            addr = bvh_.triangleAddress(n.firstPrim);
+            bytes = n.primCount * kTriangleBytes;
+        } else {
+            addr = bvh_.nodeAddress(is.node);
+            bytes = kBvhNodeBytes;
+        }
+
+        Cycle data_ready;
+        auto it = served.find(addr);
+        if (it != served.end()) {
+            // Intra-warp duplicate: merged into the earlier request.
+            data_ready = it->second;
+            stats_.inc("warp_merged_requests");
+        } else {
+            auto port = std::min_element(l1Ports_.begin(),
+                                         l1Ports_.end());
+            Cycle start = std::max(now, *port);
+            *port = start + 1;
+            // A request per cache line covered by the data.
+            std::uint32_t line = mem_.config().l1.lineBytes;
+            Cycle ready = 0;
+            for (std::uint64_t a = addr; a < addr + bytes;
+                 a += line) {
+                MemAccess acc = mem_.access(smId_, a, start);
+                ready = std::max(ready, acc.readyCycle);
+            }
+            data_ready = ready;
+            served.emplace(addr, data_ready);
+            stats_.inc(is.isLeaf ? "mem_tri_accesses"
+                                 : "mem_node_accesses");
+            if (e.phase == RayPhase::PredEval)
+                stats_.inc("mem_pred_phase_accesses");
+        }
+
+        // Local-memory traffic from stack spills/refills.
+        for (std::uint32_t k = 0; k < is.extraLocalAccesses; ++k) {
+            auto port = std::min_element(l1Ports_.begin(),
+                                         l1Ports_.end());
+            Cycle start = std::max(now, *port);
+            *port = start + 1;
+            mem_.access(smId_, 0xF0000000ULL + is.slot * 64, start);
+            stats_.inc("mem_stack_accesses");
+        }
+
+        if (is.isLeaf)
+            e.triFetches++;
+        else
+            e.nodeFetches++;
+        if (e.phase == RayPhase::PredEval)
+            e.predPhaseFetches++;
+
+        Cycle done = processNode(e, is.node, data_ready);
+        e.readyAt = done;
+
+        // Any-hit rays finish on the spot when a hit is found.
+        if (e.hit && e.ray.kind == RayKind::Occlusion) {
+            if (e.phase == RayPhase::PredEval) {
+                e.verified = true;
+                stats_.inc("rays_verified");
+            }
+            e.phase = RayPhase::Done;
+        }
+    }
+}
+
+void
+RtUnit::completeRay(std::uint32_t slot, Cycle now)
+{
+    RayEntry &e = buffer_.slot(slot);
+    RayResult res;
+    res.hit = e.hit;
+    res.t = e.hitT;
+    res.prim = e.hitPrim;
+    res.predicted = e.predicted;
+    res.verified = e.verified;
+    res.mispredicted = e.mispredicted;
+    results_[e.globalId] = res;
+
+    stats_.inc("rays_completed");
+    if (e.hit)
+        stats_.inc("rays_hit");
+    stats_.inc("ray_node_fetches", e.nodeFetches);
+    stats_.inc("ray_tri_fetches", e.triFetches);
+    stats_.inc("ray_pred_phase_fetches", e.predPhaseFetches);
+    if (e.mispredicted)
+        stats_.inc("wasted_pred_fetches", e.predPhaseFetches);
+    stats_.inc("stack_spills", e.stack.totalSpills());
+
+    // Train the predictor with the Go-Up-Level ancestor (Section 4.3).
+    if (predictor_ && e.hit && e.hitLeaf != ~0u)
+        predictor_->update(e.ray, e.hitLeaf, now);
+
+    completionCycle_ = std::max(completionCycle_, now);
+    buffer_.release(slot);
+    remainingRays_--;
+
+    if (remainingRays_ == 0) {
+        // Drain the collector so nothing is left behind at the end.
+        collector_.flushAll();
+    }
+}
+
+double
+RtUnit::simtEfficiency() const
+{
+    return issueSlots_ == 0
+               ? 1.0
+               : static_cast<double>(issueActiveThreads_) / issueSlots_;
+}
+
+} // namespace rtp

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The baseline ray tracing unit (Section 5.1, Figure 10), augmented with
+ * the ray intersection predictor and warp repacking.
+ *
+ * The RT unit receives __traceray() warps of 32 rays, holds them in the
+ * ray buffer, and walks each ray through the while-while BVH traversal
+ * (Algorithm 1) as a per-ray state machine:
+ *
+ *   Lookup   -> predictor table lookup; hit seeds the traversal stack
+ *               with the predicted node(s), miss seeds it with the root.
+ *   PredEval -> verification traversal from the predicted nodes; finding
+ *               an intersection verifies the ray, exhausting the stack
+ *               mispredicts it and restarts a full traversal (Section 3).
+ *   Normal   -> regular traversal from the root.
+ *   Done     -> result written back; hits train the predictor with the
+ *               Go-Up-Level ancestor of the intersected leaf.
+ *
+ * Timing is event-driven: rays carry ready-cycles, warps are served
+ * greedy-then-oldest (Section 5.1.2), duplicate node requests within a
+ * warp merge into one memory access, and the L1 port admits one request
+ * per cycle. Warp repacking (Section 4.4) pulls predicted rays into the
+ * partial warp collector after the lookup phase.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "bvh/bvh.hpp"
+#include "core/predictor.hpp"
+#include "core/repacker.hpp"
+#include "mem/memory_system.hpp"
+#include "rtunit/intersection_unit.hpp"
+#include "rtunit/ray_buffer.hpp"
+#include "util/stats.hpp"
+
+namespace rtp {
+
+/** RT unit configuration (Section 5.1 / Table 2 defaults). */
+struct RtUnitConfig
+{
+    std::uint32_t warpSize = 32;
+    std::uint32_t maxWarps = 8;       //!< concurrently resident warps
+    std::uint32_t additionalWarps = 0; //!< extra slots for repacked warps
+    std::uint32_t stackEntries = 8;   //!< hardware traversal stack window
+    std::uint32_t l1PortsPerCycle = 4; //!< L1 requests issued per cycle
+    Cycle queueLatency = 1;           //!< cycles to enter the unit
+    IntersectionConfig isect;
+    bool repackEnabled = true;        //!< Section 4.4 warp repacking
+    RepackerConfig repacker;
+};
+
+/** Final state of one traced ray. */
+struct RayResult
+{
+    bool hit = false;
+    float t = 0.0f;
+    std::uint32_t prim = ~0u;
+    bool predicted = false;
+    bool verified = false;
+    bool mispredicted = false;
+};
+
+/** One RT unit instance (one per SM). */
+class RtUnit
+{
+  public:
+    /**
+     * @param config Unit configuration.
+     * @param bvh Scene BVH (shared).
+     * @param triangles Scene triangles (shared).
+     * @param mem The memory hierarchy.
+     * @param sm_id Index of the owning SM (selects the L1).
+     * @param predictor The SM's predictor, or nullptr for the baseline.
+     */
+    RtUnit(const RtUnitConfig &config, const Bvh &bvh,
+           const std::vector<Triangle> &triangles, MemorySystem &mem,
+           std::uint32_t sm_id, RayPredictor *predictor);
+
+    /** Submit the full ray workload (traced as warps of 32). */
+    void submit(const std::vector<Ray> &rays,
+                const std::vector<std::uint32_t> &global_ids);
+
+    /** @return true once every submitted ray has completed. */
+    bool finished() const;
+
+    /** @return Cycle of the next pending event (only if !finished()). */
+    Cycle nextEventCycle() const;
+
+    /** Process the next pending event. */
+    void step();
+
+    /** @return Cycle the last ray completed. */
+    Cycle
+    completionCycle() const
+    {
+        return completionCycle_;
+    }
+
+    /** Per-ray results indexed by global ray id (valid when finished). */
+    const std::vector<RayResult> &
+    results() const
+    {
+        return results_;
+    }
+
+    const StatGroup &
+    stats() const
+    {
+        return stats_;
+    }
+
+    StatGroup &
+    stats()
+    {
+        return stats_;
+    }
+
+    const IntersectionUnit &
+    intersectionUnit() const
+    {
+        return isect_;
+    }
+
+    /** Average fraction of active threads per warp issue (SIMT eff.). */
+    double simtEfficiency() const;
+
+  private:
+    struct Warp
+    {
+        std::vector<std::uint32_t> slots; //!< ray buffer slot indices
+        std::uint64_t order = 0;          //!< dispatch order (GTO age)
+        bool repacked = false;
+        bool notPredictedResidue = false; //!< residue after repacking
+    };
+
+    enum class EventKind : std::uint8_t
+    {
+        WarpStep,
+        CollectorFlush,
+    };
+
+    struct Event
+    {
+        Cycle cycle;
+        std::uint64_t order; //!< tie-break: oldest warp first (GTO)
+        EventKind kind;
+        std::uint32_t warp;
+
+        bool
+        operator>(const Event &o) const
+        {
+            if (cycle != o.cycle)
+                return cycle > o.cycle;
+            return order > o.order;
+        }
+    };
+
+    /** Try to dispatch pending external warps into free slots. */
+    void dispatchPending(Cycle now);
+
+    /** Run one scheduling step for a warp. */
+    void stepWarp(std::uint32_t warp_idx, Cycle now);
+
+    /** Handle the lookup phase for the given warp members. */
+    void doLookups(Warp &warp, Cycle now);
+
+    /** One traversal iteration for all ready rays of a warp. */
+    void doTraversal(Warp &warp, Cycle now);
+
+    /** Process a node fetched for a ray; returns post-test ready time. */
+    Cycle processNode(RayEntry &entry, std::uint32_t node_idx,
+                      Cycle data_ready);
+
+    /** Mark a ray complete; trains the predictor on hits. */
+    void completeRay(std::uint32_t slot, Cycle now);
+
+    /** Create a warp from collector ray IDs (repacked). */
+    void dispatchRepacked(const std::vector<std::uint32_t> &slots,
+                          Cycle now);
+
+    /** Allocate a warp structure (reusing retired slots). */
+    std::uint32_t allocWarp();
+
+    /** Schedule (or reschedule) a warp's next event. */
+    void scheduleWarp(std::uint32_t warp_idx, Cycle cycle);
+
+    /** Schedule the collector timeout flush if needed. */
+    void scheduleCollectorFlush();
+
+    RtUnitConfig config_;
+    const Bvh &bvh_;
+    const std::vector<Triangle> &triangles_;
+    MemorySystem &mem_;
+    std::uint32_t smId_;
+    RayPredictor *predictor_;
+
+    RayBuffer buffer_;
+    IntersectionUnit isect_;
+    PartialWarpCollector collector_;
+    std::vector<Warp> warps_;
+    std::vector<std::uint32_t> freeWarpSlots_;
+    std::uint32_t activeExternalWarps_ = 0;
+    std::uint32_t activeWarps_ = 0;
+
+    // Pending (not yet dispatched) rays.
+    std::vector<Ray> pendingRays_;
+    std::vector<std::uint32_t> pendingIds_;
+    std::size_t pendingNext_ = 0;
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    std::uint64_t dispatchCounter_ = 0;
+    std::vector<Cycle> l1Ports_;
+    Cycle completionCycle_ = 0;
+    std::uint64_t remainingRays_ = 0;
+
+    std::vector<RayResult> results_;
+    StatGroup stats_;
+    std::uint64_t issueActiveThreads_ = 0;
+    std::uint64_t issueSlots_ = 0;
+};
+
+} // namespace rtp

@@ -1,0 +1,38 @@
+#include "rtunit/traversal_stack.hpp"
+
+namespace rtp {
+
+void
+TraversalStack::push(std::uint32_t node)
+{
+    entries_.push_back(node);
+    std::uint32_t hw_count =
+        static_cast<std::uint32_t>(entries_.size()) - spilledDepth_;
+    if (hw_count > hwEntries_) {
+        // Spill the oldest window entries to thread-local memory.
+        spilledDepth_ += spillChunk_;
+        pendingSpills_++;
+        totalSpills_++;
+    }
+}
+
+std::optional<std::uint32_t>
+TraversalStack::pop()
+{
+    if (entries_.empty())
+        return std::nullopt;
+    std::uint32_t hw_count =
+        static_cast<std::uint32_t>(entries_.size()) - spilledDepth_;
+    if (hw_count == 0) {
+        // Refill a chunk from thread-local memory.
+        std::uint32_t chunk =
+            spilledDepth_ < spillChunk_ ? spilledDepth_ : spillChunk_;
+        spilledDepth_ -= chunk;
+        pendingRefills_++;
+    }
+    std::uint32_t top = entries_.back();
+    entries_.pop_back();
+    return top;
+}
+
+} // namespace rtp

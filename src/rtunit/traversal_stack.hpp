@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-ray traversal stack (Section 5.1.2).
+ *
+ * The hardware stack holds eight entries; deeper traversals spill the
+ * oldest entries to thread-local memory and refill them later (Aila &
+ * Laine). Spills and refills are surfaced to the RT unit so it can charge
+ * the corresponding memory accesses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rtp {
+
+/** A traversal stack with a fixed-size hardware window. */
+class TraversalStack
+{
+  public:
+    TraversalStack() = default;
+
+    /**
+     * @param hw_entries Size of the hardware window (paper: 8).
+     * @param spill_chunk Entries moved per spill/refill transfer.
+     */
+    explicit TraversalStack(std::uint32_t hw_entries,
+                            std::uint32_t spill_chunk = 4)
+        : hwEntries_(hw_entries), spillChunk_(spill_chunk)
+    {}
+
+    /** Push a node index; may spill to local memory. */
+    void push(std::uint32_t node);
+
+    /** Pop the top node; may refill from local memory. */
+    std::optional<std::uint32_t> pop();
+
+    bool
+    empty() const
+    {
+        return entries_.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return entries_.size();
+    }
+
+    void
+    clear()
+    {
+        entries_.clear();
+        spilledDepth_ = 0;
+    }
+
+    /** Number of entries currently spilled to local memory. */
+    std::uint32_t
+    spilledDepth() const
+    {
+        return spilledDepth_;
+    }
+
+    /**
+     * Spill transfers since the last call (each is one local-memory
+     * store the RT unit should charge).
+     */
+    std::uint32_t
+    takeSpillEvents()
+    {
+        std::uint32_t s = pendingSpills_;
+        pendingSpills_ = 0;
+        return s;
+    }
+
+    /** Refill transfers since the last call. */
+    std::uint32_t
+    takeRefillEvents()
+    {
+        std::uint32_t r = pendingRefills_;
+        pendingRefills_ = 0;
+        return r;
+    }
+
+    std::uint64_t
+    totalSpills() const
+    {
+        return totalSpills_;
+    }
+
+  private:
+    std::uint32_t hwEntries_ = 8;
+    std::uint32_t spillChunk_ = 4;
+    std::vector<std::uint32_t> entries_;
+    std::uint32_t spilledDepth_ = 0; //!< bottom entries_ held in memory
+    std::uint32_t pendingSpills_ = 0;
+    std::uint32_t pendingRefills_ = 0;
+    std::uint64_t totalSpills_ = 0;
+};
+
+} // namespace rtp

@@ -1,0 +1,66 @@
+#include "scene/animation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.hpp"
+
+namespace rtp {
+
+SceneAnimator::SceneAnimator(Mesh &mesh, float dynamic_fraction,
+                             std::uint64_t seed)
+    : mesh_(mesh)
+{
+    Rng rng(seed);
+    auto &tris = mesh_.triangles();
+    std::size_t want = static_cast<std::size_t>(
+        std::clamp(dynamic_fraction, 0.0f, 1.0f) * tris.size());
+    if (want == 0 || tris.empty())
+        return;
+
+    // Pick a seed triangle and take the `want` nearest triangles by
+    // centroid distance — a spatially coherent "dynamic object".
+    std::uint32_t seed_tri = rng.nextBounded(
+        static_cast<std::uint32_t>(tris.size()));
+    Vec3 center = tris[seed_tri].centroid();
+    std::vector<std::uint32_t> order(tris.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::nth_element(order.begin(), order.begin() + want, order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return lengthSquared(tris[a].centroid() -
+                                              center) <
+                                lengthSquared(tris[b].centroid() -
+                                              center);
+                     });
+    dynamicIdx_.assign(order.begin(), order.begin() + want);
+    std::sort(dynamicIdx_.begin(), dynamicIdx_.end());
+
+    original_.reserve(dynamicIdx_.size());
+    for (std::uint32_t i : dynamicIdx_)
+        original_.push_back(tris[i]);
+
+    // Oscillation amplitude: ~1.5% of the scene diagonal, split over
+    // two axes so the motion is not axis-degenerate.
+    float diag = mesh_.bounds().diagonal();
+    amplitude_ = Vec3{0.010f * diag, 0.006f * diag, 0.012f * diag};
+    phase_ = rng.nextRange(0.0f, 6.283f);
+}
+
+void
+SceneAnimator::setFrame(float t)
+{
+    auto &tris = mesh_.triangles();
+    Vec3 offset{amplitude_.x * std::sin(t + phase_),
+                amplitude_.y * std::sin(2.0f * t + phase_),
+                amplitude_.z * std::cos(t + phase_)};
+    for (std::size_t k = 0; k < dynamicIdx_.size(); ++k) {
+        const Triangle &src = original_[k];
+        Triangle &dst = tris[dynamicIdx_[k]];
+        dst.v0 = src.v0 + offset;
+        dst.v1 = src.v1 + offset;
+        dst.v2 = src.v2 + offset;
+    }
+}
+
+} // namespace rtp

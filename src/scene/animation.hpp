@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Scene animation for the dynamic-scene experiment (the paper's
+ * Section 8 future work).
+ *
+ * The animator marks a spatially coherent subset of a mesh's triangles
+ * as dynamic and displaces them per frame with a smooth oscillation
+ * from their original positions. Displacements are kept small relative
+ * to the scene so a BVH refit (topology preserved, boxes updated)
+ * remains tight — which is the property that lets predictor state
+ * survive across frames.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scene/mesh.hpp"
+
+namespace rtp {
+
+/** Animates a dynamic subset of a mesh across frames. */
+class SceneAnimator
+{
+  public:
+    /**
+     * @param mesh Mesh to animate (held by reference; must outlive the
+     *        animator).
+     * @param dynamic_fraction Fraction of triangles to make dynamic,
+     *        chosen as a spatially contiguous cluster around a random
+     *        seed triangle.
+     * @param seed RNG seed for cluster selection and motion phase.
+     */
+    SceneAnimator(Mesh &mesh, float dynamic_fraction,
+                  std::uint64_t seed = 7);
+
+    /**
+     * Move dynamic triangles to their pose at time @p t (any float;
+     * frame k typically passes k * 0.1). Positions are computed from
+     * the originals, so setFrame is not cumulative.
+     */
+    void setFrame(float t);
+
+    /** @return Number of triangles marked dynamic. */
+    std::size_t
+    dynamicTriangles() const
+    {
+        return dynamicIdx_.size();
+    }
+
+    /** @return Indices of the dynamic triangles (for tests). */
+    const std::vector<std::uint32_t> &
+    dynamicIndices() const
+    {
+        return dynamicIdx_;
+    }
+
+  private:
+    Mesh &mesh_;
+    std::vector<std::uint32_t> dynamicIdx_;
+    std::vector<Triangle> original_;
+    Vec3 amplitude_;
+    float phase_ = 0.0f;
+};
+
+} // namespace rtp

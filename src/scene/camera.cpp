@@ -1,0 +1,32 @@
+#include "scene/camera.hpp"
+
+#include <cmath>
+
+namespace rtp {
+
+Camera::Camera(const Vec3 &position, const Vec3 &look_at, const Vec3 &up,
+               float vfov_deg)
+    : pos_(position)
+{
+    forward_ = normalize(look_at - position);
+    right_ = normalize(cross(forward_, up));
+    up_ = cross(right_, forward_);
+    tanHalfFov_ = std::tan(vfov_deg * 0.5f * 3.14159265358979323846f /
+                           180.0f);
+}
+
+Ray
+Camera::generateRay(float sx, float sy, float aspect) const
+{
+    float px = (2.0f * sx - 1.0f) * tanHalfFov_ * aspect;
+    float py = (1.0f - 2.0f * sy) * tanHalfFov_;
+    Ray ray;
+    ray.origin = pos_;
+    ray.dir = normalize(forward_ + right_ * px + up_ * py);
+    ray.kind = RayKind::Primary;
+    ray.tMin = 1e-4f;
+    ray.tMax = 1e30f;
+    return ray;
+}
+
+} // namespace rtp

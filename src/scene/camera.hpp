@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Pinhole camera used to generate primary rays (one per pixel,
+ * Section 5.2 of the paper: a 1024x1024 viewport by default in the paper,
+ * a smaller configurable viewport here).
+ */
+
+#pragma once
+
+#include "geometry/ray.hpp"
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/** A pinhole camera with position, orientation, and vertical FOV. */
+class Camera
+{
+  public:
+    Camera() = default;
+
+    /**
+     * @param position Eye position.
+     * @param look_at Point the camera looks at.
+     * @param up Up hint (need not be orthogonal).
+     * @param vfov_deg Vertical field of view in degrees.
+     */
+    Camera(const Vec3 &position, const Vec3 &look_at, const Vec3 &up,
+           float vfov_deg);
+
+    /**
+     * Generate the primary ray through normalised screen coordinates.
+     * @param sx Horizontal coordinate in [0,1) (0 = left).
+     * @param sy Vertical coordinate in [0,1) (0 = top).
+     * @param aspect Width / height aspect ratio.
+     */
+    Ray generateRay(float sx, float sy, float aspect = 1.0f) const;
+
+    const Vec3 &
+    position() const
+    {
+        return pos_;
+    }
+
+  private:
+    Vec3 pos_{0.0f, 0.0f, 0.0f};
+    Vec3 forward_{0.0f, 0.0f, -1.0f};
+    Vec3 right_{1.0f, 0.0f, 0.0f};
+    Vec3 up_{0.0f, 1.0f, 0.0f};
+    float tanHalfFov_ = 1.0f;
+};
+
+} // namespace rtp

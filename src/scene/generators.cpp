@@ -1,0 +1,957 @@
+#include "scene/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace rtp {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/**
+ * Linear tessellation scale: triangle counts of surface patches grow with
+ * the square of the returned factor, so s = sqrt(detail) keeps the total
+ * roughly linear in detail. Each scene applies an additional calibration
+ * multiplier to land near its Table 1 triangle count at detail = 1.
+ */
+float
+segScale(float detail, float calibration)
+{
+    return std::sqrt(std::max(1e-4f, detail * calibration));
+}
+
+/** Scaled segment count, never below @p floor_segs. */
+int
+seg(float base, float s, int floor_segs = 1)
+{
+    return std::max(floor_segs, static_cast<int>(std::lround(base * s)));
+}
+
+/** Scaled object count (linear in detail), never below @p floor_count. */
+int
+cnt(float base, float detail, int floor_count = 1)
+{
+    return std::max(floor_count,
+                    static_cast<int>(std::lround(base * detail)));
+}
+
+/** Deterministic 2D value-noise in [0,1] built on integer lattice hashes. */
+float
+valueNoise2D(float x, float y, std::uint32_t seed)
+{
+    auto hash = [seed](int ix, int iy) {
+        std::uint32_t h = seed;
+        h ^= static_cast<std::uint32_t>(ix) * 0x85ebca6bu;
+        h = (h << 13) | (h >> 19);
+        h ^= static_cast<std::uint32_t>(iy) * 0xc2b2ae35u;
+        h *= 0x27d4eb2fu;
+        h ^= h >> 15;
+        return static_cast<float>(h & 0xffffffu) / 16777215.0f;
+    };
+    int ix = static_cast<int>(std::floor(x));
+    int iy = static_cast<int>(std::floor(y));
+    float fx = x - ix;
+    float fy = y - iy;
+    // smoothstep weights
+    float wx = fx * fx * (3.0f - 2.0f * fx);
+    float wy = fy * fy * (3.0f - 2.0f * fy);
+    float v00 = hash(ix, iy), v10 = hash(ix + 1, iy);
+    float v01 = hash(ix, iy + 1), v11 = hash(ix + 1, iy + 1);
+    float a = v00 + (v10 - v00) * wx;
+    float b = v01 + (v11 - v01) * wx;
+    return a + (b - a) * wy;
+}
+
+/** Two-octave fractal value noise in [0,1]. */
+float
+fbm2D(float x, float y, std::uint32_t seed)
+{
+    return 0.65f * valueNoise2D(x, y, seed) +
+           0.35f * valueNoise2D(2.1f * x, 2.1f * y, seed ^ 0x9e3779b9u);
+}
+
+/** Add the six inward faces of a room shell (same geometry as a box). */
+void
+addRoomShell(Mesh &m, const Aabb &room, int nu, int nv)
+{
+    m.addBox(room, nu, nv);
+}
+
+/** Simple four-legged table: top slab plus cylinder legs. */
+void
+addTable(Mesh &m, const Vec3 &center, float w, float d, float h, int s)
+{
+    float top = 0.05f * h;
+    m.addBox(Aabb{{center.x - w / 2, center.y + h - top,
+                   center.z - d / 2},
+                  {center.x + w / 2, center.y + h, center.z + d / 2}},
+             s, s);
+    float lx = w / 2 - 0.06f * w;
+    float lz = d / 2 - 0.06f * d;
+    for (int ix = -1; ix <= 1; ix += 2) {
+        for (int iz = -1; iz <= 1; iz += 2) {
+            m.addCylinder({center.x + ix * lx, center.y, center.z + iz * lz},
+                          0.035f * std::min(w, d), h - top,
+                          std::max(6, 2 * s), s, false);
+        }
+    }
+}
+
+/** Simple chair: seat, back, four box legs. */
+void
+addChair(Mesh &m, const Vec3 &base, float size, float angle, int s)
+{
+    // Build axis-aligned, then rotate around y about `base`.
+    Mesh c;
+    float w = size, d = size, seat_h = 0.45f * 2.0f * size;
+    float leg = 0.04f * size;
+    c.addBox(Aabb{{-w / 2, seat_h - 0.05f, -d / 2},
+                  {w / 2, seat_h, d / 2}},
+             s, s);
+    c.addBox(Aabb{{-w / 2, seat_h, d / 2 - 0.05f},
+                  {w / 2, seat_h + 0.9f * size, d / 2}},
+             s, s);
+    for (int ix = -1; ix <= 1; ix += 2) {
+        for (int iz = -1; iz <= 1; iz += 2) {
+            float x = ix * (w / 2 - leg);
+            float z = iz * (d / 2 - leg);
+            c.addBox(Aabb{{x - leg, 0.0f, z - leg},
+                          {x + leg, seat_h - 0.05f, z + leg}},
+                     1, s);
+        }
+    }
+    float ca = std::cos(angle), sa = std::sin(angle);
+    for (auto &t : c.triangles()) {
+        for (Vec3 *v : {&t.v0, &t.v1, &t.v2}) {
+            float x = v->x * ca - v->z * sa;
+            float z = v->x * sa + v->z * ca;
+            *v = Vec3{base.x + x, base.y + v->y, base.z + z};
+        }
+    }
+    m.append(c);
+}
+
+/** Bottle: cylindrical body plus neck plus spherical stopper. */
+void
+addBottle(Mesh &m, const Vec3 &base, float r, float h, int s)
+{
+    int radial = std::max(8, 3 * s);
+    m.addCylinder(base, r, 0.7f * h, radial, std::max(2, s), true);
+    m.addCylinder({base.x, base.y + 0.7f * h, base.z}, 0.4f * r, 0.3f * h,
+                  radial, 1, false);
+    m.addSphere({base.x, base.y + h, base.z}, 0.45f * r,
+                std::max(6, 2 * s), std::max(3, s));
+}
+
+/**
+ * A row of book-like thin boxes. Runs along +x by default or along +z
+ * (for shelves mounted on x-facing walls) when @p along_z is set.
+ */
+void
+addBookRow(Mesh &m, const Vec3 &start, float row_w, float shelf_d,
+           float max_h, int books, Rng &rng, int s,
+           bool along_z = false)
+{
+    float pos = along_z ? start.z : start.x;
+    float end = pos + row_w;
+    for (int i = 0; i < books && pos < end; ++i) {
+        float bw = row_w / books * rng.nextRange(0.7f, 1.2f);
+        float bh = max_h * rng.nextRange(0.6f, 1.0f);
+        float bd = shelf_d * rng.nextRange(0.6f, 0.95f);
+        if (along_z) {
+            m.addBox(Aabb{{start.x, start.y, pos},
+                          {start.x + bd, start.y + bh,
+                           pos + bw * 0.85f}},
+                     1, s);
+        } else {
+            m.addBox(Aabb{{pos, start.y, start.z},
+                          {pos + bw * 0.85f, start.y + bh,
+                           start.z + bd}},
+                     1, s);
+        }
+        pos += bw;
+    }
+}
+
+/** Gothic arch sheet spanning two column tops (used in Sibenik/Sponza). */
+void
+addArch(Mesh &m, const Vec3 &a, const Vec3 &b, float rise, float width,
+        int nu, int nv)
+{
+    Vec3 along = b - a;
+    Vec3 side = normalize(cross(along, Vec3{0, 1, 0})) * (width * 0.5f);
+    auto surf = [&](float u, float v) {
+        Vec3 p = a + along * u;
+        p.y += rise * std::sin(u * kPi);
+        return p + side * (2.0f * v - 1.0f);
+    };
+    m.addParametric(surf, nu, nv);
+}
+
+} // namespace
+
+Mesh
+genSibenik(float detail, Camera &camera)
+{
+    // Cathedral nave: long hall, two colonnades, barrel-vaulted ceiling,
+    // apse at one end, pews on the floor. Calibrated to ~75K at detail 1.
+    float s = segScale(detail, 1.31f);
+    Mesh m;
+    Rng rng(101);
+
+    const float len = 40.0f, wid = 18.0f, hgt = 14.0f;
+
+    // Floor with gentle stone unevenness.
+    m.addHeightfield(-wid / 2, -len / 2, wid / 2, len / 2, 0.0f,
+                     [](float u, float v) {
+                         return 0.02f * fbm2D(24.0f * u, 48.0f * v, 7u);
+                     },
+                     seg(52, s, 4), seg(104, s, 8));
+
+    // Side and end walls.
+    m.addQuad({-wid / 2, 0, -len / 2}, {-wid / 2, 0, len / 2},
+              {-wid / 2, hgt * 0.72f, len / 2}, {-wid / 2, hgt * 0.72f,
+              -len / 2}, seg(60, s, 4), seg(24, s, 2));
+    m.addQuad({wid / 2, 0, -len / 2}, {wid / 2, 0, len / 2},
+              {wid / 2, hgt * 0.72f, len / 2}, {wid / 2, hgt * 0.72f,
+              -len / 2}, seg(60, s, 4), seg(24, s, 2));
+    m.addQuad({-wid / 2, 0, -len / 2}, {wid / 2, 0, -len / 2},
+              {wid / 2, hgt, -len / 2}, {-wid / 2, hgt, -len / 2},
+              seg(28, s, 3), seg(24, s, 2));
+    m.addQuad({-wid / 2, 0, len / 2}, {wid / 2, 0, len / 2},
+              {wid / 2, hgt, len / 2}, {-wid / 2, hgt, len / 2},
+              seg(28, s, 3), seg(24, s, 2));
+
+    // Barrel-vaulted ceiling along z.
+    auto vault = [&](float u, float v) {
+        float x = (u - 0.5f) * wid;
+        float z = (v - 0.5f) * len;
+        float y = hgt * 0.72f +
+                  (hgt * 0.28f) * std::sin(u * kPi);
+        return Vec3{x, y, z};
+    };
+    m.addParametric(vault, seg(56, s, 6), seg(110, s, 8));
+
+    // Two colonnades of eight columns with plinths and connecting arches.
+    const int n_cols = 8;
+    const float col_r = 0.55f, col_h = hgt * 0.6f;
+    for (int side = -1; side <= 1; side += 2) {
+        float x = side * (wid / 2 - 2.6f);
+        Vec3 prev_top;
+        for (int i = 0; i < n_cols; ++i) {
+            float z = -len / 2 + (i + 1) * len / (n_cols + 1);
+            m.addBox(Aabb{{x - 0.8f, 0.0f, z - 0.8f},
+                          {x + 0.8f, 0.7f, z + 0.8f}},
+                     seg(3, s, 1), seg(2, s, 1));
+            m.addCylinder({x, 0.7f, z}, col_r, col_h, seg(26, s, 8),
+                          seg(14, s, 2), true);
+            Vec3 top{x, 0.7f + col_h, z};
+            if (i > 0) {
+                addArch(m, prev_top, top, 1.6f, 1.0f, seg(14, s, 4),
+                        seg(7, s, 2));
+            }
+            prev_top = top;
+        }
+    }
+
+    // Apse: half dome at the -z end.
+    m.addSphere({0.0f, hgt * 0.45f, -len / 2 + 1.0f}, wid * 0.32f,
+                seg(36, s, 8), seg(18, s, 4));
+
+    // Altar and pews.
+    m.addBox(Aabb{{-1.6f, 0.0f, -len / 2 + 3.2f},
+                  {1.6f, 1.1f, -len / 2 + 5.0f}},
+             seg(4, s, 1), seg(3, s, 1));
+    int pew_rows = cnt(12, std::min(1.0f, detail * 4), 3);
+    for (int i = 0; i < pew_rows; ++i) {
+        float z = -len / 2 + 8.0f + i * 2.2f;
+        for (int side = -1; side <= 1; side += 2) {
+            float x0 = side == -1 ? -wid / 2 + 3.8f : 0.8f;
+            float x1 = x0 + wid / 2 - 4.6f;
+            m.addBox(Aabb{{x0, 0.0f, z}, {x1, 0.48f, z + 0.5f}},
+                     seg(6, s, 1), seg(2, s, 1));
+            m.addBox(Aabb{{x0, 0.48f, z + 0.38f},
+                          {x1, 1.0f, z + 0.5f}},
+                     seg(6, s, 1), seg(2, s, 1));
+        }
+    }
+
+    // Hanging chandeliers.
+    for (int i = 0; i < 4; ++i) {
+        float z = -len / 2 + (i + 1.5f) * len / 5.5f;
+        m.addCylinder({0.0f, hgt * 0.55f, z}, 0.03f, hgt * 0.35f, 6, 1,
+                      false);
+        m.addSphere({0.0f, hgt * 0.55f, z}, 0.5f, seg(14, s, 6),
+                    seg(7, s, 3));
+    }
+
+    camera = Camera({0.0f, 2.2f, len / 2 - 4.0f},
+                    {0.0f, 3.0f, -len / 2}, {0, 1, 0}, 58.0f);
+    return m;
+}
+
+Mesh
+genCrytekSponza(float detail, Camera &camera)
+{
+    // Atrium: rectangular courtyard, two arcade levels of columns, wavy
+    // hanging curtains, clutter pots. Calibrated to ~262K at detail 1.
+    float s = segScale(detail, 1.87f);
+    Mesh m;
+    Rng rng(202);
+
+    const float len = 36.0f, wid = 20.0f, hgt = 13.0f;
+
+    // Floor and outer walls.
+    m.addHeightfield(-wid / 2, -len / 2, wid / 2, len / 2, 0.0f,
+                     [](float u, float v) {
+                         return 0.015f * fbm2D(30.0f * u, 54.0f * v, 11u);
+                     },
+                     seg(80, s, 4), seg(140, s, 8));
+    addRoomShell(m, Aabb{{-wid / 2, 0.0f, -len / 2},
+                         {wid / 2, hgt, len / 2}},
+                 seg(54, s, 4), seg(30, s, 3));
+
+    // Two arcade levels of columns along both long sides with arches.
+    const int cols_per_side = 10;
+    for (int level = 0; level < 2; ++level) {
+        float y0 = level * hgt * 0.42f;
+        float col_h = hgt * 0.34f;
+        for (int side = -1; side <= 1; side += 2) {
+            float x = side * (wid / 2 - 2.4f);
+            Vec3 prev_top;
+            for (int i = 0; i < cols_per_side; ++i) {
+                float z = -len / 2 + (i + 1) * len / (cols_per_side + 1);
+                m.addCylinder({x, y0, z}, 0.42f, col_h, seg(30, s, 8),
+                              seg(12, s, 2), true);
+                m.addBox(Aabb{{x - 0.55f, y0 + col_h, z - 0.55f},
+                              {x + 0.55f, y0 + col_h + 0.35f, z + 0.55f}},
+                         seg(2, s, 1), seg(2, s, 1));
+                Vec3 top{x, y0 + col_h + 0.35f, z};
+                if (i > 0) {
+                    addArch(m, prev_top, top, 1.1f, 0.9f, seg(16, s, 4),
+                            seg(8, s, 2));
+                }
+                prev_top = top;
+            }
+        }
+        // Walkway slab above each arcade level.
+        for (int side = -1; side <= 1; side += 2) {
+            float x_in = side * (wid / 2 - 3.2f);
+            float x_out = side * (wid / 2 - 0.2f);
+            float y = y0 + col_h + 0.7f;
+            m.addQuad({std::min(x_in, x_out), y, -len / 2},
+                      {std::max(x_in, x_out), y, -len / 2},
+                      {std::max(x_in, x_out), y, len / 2},
+                      {std::min(x_in, x_out), y, len / 2},
+                      seg(10, s, 2), seg(80, s, 6));
+        }
+    }
+
+    // Hanging curtains: wavy sheets draped across the upper arcade.
+    int n_curtains = 10;
+    for (int i = 0; i < n_curtains; ++i) {
+        int side = (i % 2) ? 1 : -1;
+        float x = side * (wid / 2 - 2.9f);
+        float z0 = -len / 2 + 3.0f + i * (len - 6.0f) / n_curtains;
+        float phase = rng.nextRange(0.0f, 2.0f * kPi);
+        auto curtain = [&, x, z0, phase, side](float u, float v) {
+            float drop = hgt * 0.40f;
+            float sway = 0.45f * std::sin(3.0f * kPi * u + phase) *
+                         (1.0f - v);
+            return Vec3{x + side * sway, hgt * 0.82f - drop * v,
+                        z0 + 2.6f * u};
+        };
+        m.addParametric(curtain, seg(46, s, 6), seg(46, s, 6));
+    }
+
+    // Clutter: pots and plant spheres around the courtyard floor.
+    int pots = cnt(18, std::min(1.0f, detail * 2), 6);
+    for (int i = 0; i < pots; ++i) {
+        float x = rng.nextRange(-wid / 2 + 3.5f, wid / 2 - 3.5f);
+        float z = rng.nextRange(-len / 2 + 2.5f, len / 2 - 2.5f);
+        float r = rng.nextRange(0.25f, 0.5f);
+        m.addCylinder({x, 0.0f, z}, r, 2.2f * r, seg(18, s, 6),
+                      seg(4, s, 1), true);
+        m.addSphere({x, 2.2f * r + 0.8f * r, z}, 1.1f * r, seg(16, s, 6),
+                    seg(8, s, 3));
+    }
+
+    camera = Camera({-wid / 2 + 3.0f, 2.0f, len / 2 - 5.0f},
+                    {wid / 2 - 4.0f, 4.0f, -len / 2 + 6.0f}, {0, 1, 0},
+                    62.0f);
+    return m;
+}
+
+Mesh
+genLostEmpire(float detail, Camera &camera)
+{
+    // Voxel terrain: a grid of box columns from a fractal heightfield,
+    // plus a stepped temple and block trees. Box count (not tessellation)
+    // carries the triangle budget here, so the grid side scales with
+    // sqrt(detail). ~225K at detail 1.
+    Mesh m;
+    Rng rng(303);
+
+    float s = segScale(detail, 1.31f);
+    int grid = seg(118, s, 10);
+    const float world = 64.0f;
+    const float cell = world / grid;
+
+    for (int i = 0; i < grid; ++i) {
+        for (int j = 0; j < grid; ++j) {
+            float u = (i + 0.5f) / grid;
+            float v = (j + 0.5f) / grid;
+            float h = 2.0f + 10.0f * fbm2D(9.0f * u, 9.0f * v, 23u);
+            // Quantize height to voxel steps.
+            h = std::floor(h / cell) * cell;
+            float x0 = -world / 2 + i * cell;
+            float z0 = -world / 2 + j * cell;
+            m.addBox(Aabb{{x0, 0.0f, z0}, {x0 + cell, h, z0 + cell}}, 1,
+                     1);
+        }
+    }
+
+    // Stepped temple pyramid at the center.
+    int steps = 7;
+    for (int k = 0; k < steps; ++k) {
+        float half = 9.0f - k * 1.2f;
+        float y0 = 12.0f + k * 1.4f;
+        m.addBox(Aabb{{-half, y0, -half}, {half, y0 + 1.4f, half}}, 2, 1);
+    }
+
+    // Block trees scattered on the terrain.
+    int trees = cnt(70, detail, 8);
+    for (int t = 0; t < trees; ++t) {
+        float x = rng.nextRange(-world / 2 + 2, world / 2 - 2);
+        float z = rng.nextRange(-world / 2 + 2, world / 2 - 2);
+        float u = (x + world / 2) / world, v = (z + world / 2) / world;
+        float ground = 2.0f + 10.0f * fbm2D(9.0f * u, 9.0f * v, 23u);
+        m.addBox(Aabb{{x - 0.3f, ground, z - 0.3f},
+                      {x + 0.3f, ground + 3.0f, z + 0.3f}},
+                 1, 2);
+        m.addBox(Aabb{{x - 1.4f, ground + 3.0f, z - 1.4f},
+                      {x + 1.4f, ground + 5.2f, z + 1.4f}},
+                 2, 2);
+    }
+
+    camera = Camera({-world / 2 + 6.0f, 18.0f, world / 2 - 6.0f},
+                    {0.0f, 12.0f, 0.0f}, {0, 1, 0}, 60.0f);
+    return m;
+}
+
+Mesh
+genLivingRoom(float detail, Camera &camera)
+{
+    // Furnished living room: sofa with rounded cushions, armchairs,
+    // coffee table, bookshelf, rug, curtains, lamps. The paper's Living
+    // Room is its second-densest scene (~581K), dominated by smooth
+    // furniture, so tessellation here is deliberately high.
+    float s = segScale(detail, 10.8f);
+    Mesh m;
+    Rng rng(404);
+
+    const float wid = 8.0f, hgt = 3.0f, len = 6.0f;
+    addRoomShell(m, Aabb{{-wid / 2, 0, -len / 2}, {wid / 2, hgt, len / 2}},
+                 seg(34, s, 4), seg(22, s, 3));
+
+    // Rug with pile unevenness.
+    m.addHeightfield(-2.4f, -1.8f, 2.4f, 1.8f, 0.015f,
+                     [](float u, float v) {
+                         return 0.012f * fbm2D(40.0f * u, 30.0f * v, 31u);
+                     },
+                     seg(90, s, 6), seg(66, s, 5));
+
+    // Sofa against the -z wall: base, arms, back, three seat cushions,
+    // three back cushions (squashed spheres).
+    float sofa_z = -len / 2 + 0.55f;
+    m.addBox(Aabb{{-1.5f, 0.15f, sofa_z - 0.45f},
+                  {1.5f, 0.45f, sofa_z + 0.45f}},
+             seg(12, s, 2), seg(5, s, 1));
+    m.addBox(Aabb{{-1.5f, 0.15f, sofa_z - 0.45f},
+                  {1.5f, 1.0f, sofa_z - 0.30f}},
+             seg(12, s, 2), seg(5, s, 1));
+    for (int side = -1; side <= 1; side += 2) {
+        float x = side * 1.62f;
+        m.addBox(Aabb{{std::min(x, x + side * -0.24f), 0.15f,
+                       sofa_z - 0.45f},
+                      {std::max(x, x + side * -0.24f), 0.75f,
+                       sofa_z + 0.45f}},
+                 seg(3, s, 1), seg(6, s, 1));
+    }
+    for (int i = -1; i <= 1; ++i) {
+        Vec3 c{i * 0.95f, 0.55f, sofa_z + 0.05f};
+        Mesh cushion;
+        cushion.addSphere({0, 0, 0}, 0.5f, seg(40, s, 10), seg(20, s, 5));
+        for (auto &t : cushion.triangles()) {
+            for (Vec3 *p : {&t.v0, &t.v1, &t.v2}) {
+                *p = Vec3{c.x + p->x * 0.95f, c.y + p->y * 0.28f,
+                          c.z + p->z * 0.75f};
+            }
+        }
+        m.append(cushion);
+        Mesh back;
+        back.addSphere({0, 0, 0}, 0.5f, seg(40, s, 10), seg(20, s, 5));
+        for (auto &t : back.triangles()) {
+            for (Vec3 *p : {&t.v0, &t.v1, &t.v2}) {
+                *p = Vec3{c.x + p->x * 0.9f, 0.95f + p->y * 0.55f,
+                          sofa_z - 0.22f + p->z * 0.22f};
+            }
+        }
+        m.append(back);
+    }
+
+    // Two armchairs facing the sofa.
+    for (int side = -1; side <= 1; side += 2) {
+        Vec3 base{side * 2.6f, 0.0f, 0.9f};
+        addChair(m, base, 0.8f, side * 0.6f + kPi, seg(8, s, 2));
+        m.addSphere({base.x, 0.55f, base.z}, 0.34f, seg(26, s, 8),
+                    seg(13, s, 4));
+    }
+
+    // Coffee table with a glass top and two books.
+    addTable(m, {0.0f, 0.0f, 0.6f}, 1.4f, 0.8f, 0.45f, seg(6, s, 2));
+    m.addBox(Aabb{{-0.35f, 0.46f, 0.45f}, {0.05f, 0.52f, 0.75f}},
+             seg(3, s, 1), seg(2, s, 1));
+    m.addBox(Aabb{{0.1f, 0.46f, 0.5f}, {0.45f, 0.5f, 0.72f}},
+             seg(3, s, 1), seg(2, s, 1));
+
+    // Bookshelf along the +x wall with several rows of books.
+    float shelf_x = wid / 2 - 0.35f;
+    m.addBox(Aabb{{shelf_x - 0.05f, 0.0f, -1.6f},
+                  {shelf_x + 0.3f, 2.2f, 1.6f}},
+             seg(4, s, 1), seg(10, s, 2));
+    int rows = 4;
+    for (int r = 0; r < rows; ++r) {
+        float y = 0.25f + r * 0.5f;
+        addBookRow(m, {shelf_x - 0.31f, y, -1.45f}, 2.9f, 0.26f, 0.38f,
+                   cnt(22, std::min(1.0f, detail * 2), 8), rng,
+                   seg(3, s, 1), true);
+    }
+
+    // Floor lamp and two table lamps.
+    m.addCylinder({-wid / 2 + 0.8f, 0.0f, len / 2 - 1.0f}, 0.03f, 1.7f,
+                  seg(10, s, 6), seg(3, s, 1), false);
+    m.addCylinder({-wid / 2 + 0.8f, 1.7f, len / 2 - 1.0f}, 0.28f, 0.4f,
+                  seg(22, s, 8), seg(4, s, 1), false);
+    for (int side = -1; side <= 1; side += 2) {
+        Vec3 p{side * 1.9f, 0.0f, sofa_z + 0.1f};
+        m.addBox(Aabb{{p.x - 0.25f, 0.0f, p.z - 0.25f},
+                      {p.x + 0.25f, 0.6f, p.z + 0.25f}},
+                 seg(3, s, 1), seg(3, s, 1));
+        m.addSphere({p.x, 0.78f, p.z}, 0.17f, seg(18, s, 6),
+                    seg(9, s, 3));
+    }
+
+    // Wavy curtains on the +z wall (window wall).
+    for (int i = 0; i < 2; ++i) {
+        float x0 = -1.6f + i * 2.2f;
+        auto curtain = [&, x0](float u, float v) {
+            float sway = 0.12f * std::sin(5.0f * kPi * u);
+            return Vec3{x0 + 1.0f * u, hgt - 0.1f - (hgt - 0.4f) * v,
+                        len / 2 - 0.12f - sway};
+        };
+        m.addParametric(curtain, seg(52, s, 6), seg(52, s, 6));
+    }
+
+    // Potted plant.
+    m.addCylinder({2.9f, 0.0f, -len / 2 + 0.7f}, 0.22f, 0.4f,
+                  seg(18, s, 6), seg(3, s, 1), true);
+    m.addSphere({2.9f, 1.0f, -len / 2 + 0.7f}, 0.45f, seg(24, s, 8),
+                seg(12, s, 4));
+
+    camera = Camera({wid / 2 - 1.2f, 1.6f, len / 2 - 1.2f},
+                    {-1.0f, 0.8f, -len / 2 + 1.0f}, {0, 1, 0}, 60.0f);
+    return m;
+}
+
+Mesh
+genFireplaceRoom(float detail, Camera &camera)
+{
+    // Room with a brick fireplace alcove, mantel, log basket, two
+    // armchairs and a bookcase. ~143K at detail 1.
+    float s = segScale(detail, 4.5f);
+    Mesh m;
+    Rng rng(505);
+
+    const float wid = 7.0f, hgt = 3.2f, len = 5.5f;
+    addRoomShell(m, Aabb{{-wid / 2, 0, -len / 2}, {wid / 2, hgt, len / 2}},
+                 seg(30, s, 4), seg(20, s, 3));
+
+    // Plank floor: parallel slightly-raised strips.
+    int planks = cnt(22, std::min(1.0f, detail * 3), 8);
+    for (int i = 0; i < planks; ++i) {
+        float x0 = -wid / 2 + i * wid / planks;
+        m.addBox(Aabb{{x0 + 0.01f, 0.0f, -len / 2 + 0.01f},
+                      {x0 + wid / planks - 0.01f, 0.03f, len / 2 - 0.01f}},
+                 seg(2, s, 1), seg(16, s, 2));
+    }
+
+    // Brick fireplace on the -x wall: a grid of brick boxes around an
+    // opening, a hearth slab, a mantel shelf, and an inner firebox.
+    float fx = -wid / 2 + 0.02f;
+    int brick_rows = 14, brick_cols = 7;
+    float fp_w = 2.6f, fp_h = 2.4f, brick_d = 0.30f;
+    for (int r = 0; r < brick_rows; ++r) {
+        float y0 = r * fp_h / brick_rows;
+        float stagger = (r % 2) * 0.5f;
+        for (int c = 0; c < brick_cols; ++c) {
+            float z0 = -fp_w / 2 + (c + stagger * 0.5f) * fp_w / brick_cols;
+            // Leave the firebox opening empty.
+            bool in_opening = y0 < 1.1f && z0 > -0.75f && z0 + fp_w /
+                              brick_cols < 0.75f;
+            if (in_opening)
+                continue;
+            m.addBox(Aabb{{fx, y0 + 0.01f, z0 + 0.01f},
+                          {fx + brick_d, y0 + fp_h / brick_rows - 0.01f,
+                           z0 + fp_w / brick_cols - 0.02f}},
+                     seg(2, s, 1), seg(2, s, 1));
+        }
+    }
+    m.addBox(Aabb{{fx, 0.0f, -fp_w / 2 - 0.3f},
+                  {fx + 0.8f, 0.06f, fp_w / 2 + 0.3f}},
+             seg(5, s, 1), seg(8, s, 1)); // hearth
+    m.addBox(Aabb{{fx, fp_h * 0.52f, -fp_w / 2 - 0.15f},
+                  {fx + 0.45f, fp_h * 0.52f + 0.08f, fp_w / 2 + 0.15f}},
+             seg(4, s, 1), seg(8, s, 1)); // mantel
+    // Firebox interior walls.
+    m.addBox(Aabb{{fx, 0.06f, -0.75f}, {fx + 0.5f, 1.1f, 0.75f}},
+             seg(4, s, 1), seg(6, s, 1));
+
+    // Logs: a small stack of cylinders in a basket by the hearth.
+    for (int i = 0; i < 6; ++i) {
+        float z = -0.4f + 0.16f * i;
+        m.addCylinder({fx + 1.1f, 0.06f + 0.12f * (i % 2), z}, 0.07f,
+                      0.6f, seg(12, s, 6), seg(2, s, 1), true);
+    }
+
+    // Two armchairs facing the fireplace, with seat cushions.
+    for (int side = -1; side <= 1; side += 2) {
+        Vec3 base{0.6f, 0.0f, side * 1.3f};
+        addChair(m, base, 0.85f, kPi / 2, seg(9, s, 2));
+        m.addSphere({base.x, 0.55f, base.z}, 0.35f, seg(28, s, 8),
+                    seg(14, s, 4));
+    }
+
+    // Small side table with a bottle and two books.
+    addTable(m, {0.9f, 0.0f, 0.0f}, 0.7f, 0.7f, 0.5f, seg(5, s, 1));
+    addBottle(m, {0.85f, 0.52f, 0.1f}, 0.05f, 0.26f, seg(5, s, 2));
+
+    // Bookcase on the +x wall.
+    float bx = wid / 2 - 0.3f;
+    m.addBox(Aabb{{bx, 0.0f, -1.2f}, {bx + 0.28f, 2.0f, 1.2f}},
+             seg(3, s, 1), seg(8, s, 2));
+    for (int r = 0; r < 3; ++r) {
+        addBookRow(m, {bx - 0.26f, 0.3f + 0.55f * r, -1.05f}, 2.1f,
+                   0.24f, 0.4f, cnt(16, std::min(1.0f, detail * 2), 6),
+                   rng, seg(3, s, 1), true);
+    }
+
+    // Rug in front of the fire.
+    m.addHeightfield(-1.6f, -1.1f, 0.2f, 1.1f, 0.02f,
+                     [](float u, float v) {
+                         return 0.01f * fbm2D(26.0f * u, 20.0f * v, 41u);
+                     },
+                     seg(56, s, 5), seg(42, s, 4));
+
+    camera = Camera({wid / 2 - 1.0f, 1.7f, len / 2 - 1.0f},
+                    {-wid / 2 + 1.0f, 1.0f, 0.0f}, {0, 1, 0}, 58.0f);
+    return m;
+}
+
+Mesh
+genBistroInterior(float detail, Camera &camera)
+{
+    // Dense restaurant interior: many tables with chairs, bottles and
+    // plates, a long bar with stools and a back shelf of bottles, ceiling
+    // beams and pendant lamps. ~1M at detail 1 — clutter dominates.
+    float s = segScale(detail, 9.0f);
+    Mesh m;
+    Rng rng(606);
+
+    const float wid = 16.0f, hgt = 4.2f, len = 22.0f;
+    addRoomShell(m, Aabb{{-wid / 2, 0, -len / 2}, {wid / 2, hgt, len / 2}},
+                 seg(44, s, 4), seg(26, s, 3));
+
+    // Ceiling beams.
+    int beams = 8;
+    for (int i = 0; i < beams; ++i) {
+        float z = -len / 2 + (i + 0.5f) * len / beams;
+        m.addBox(Aabb{{-wid / 2, hgt - 0.35f, z - 0.12f},
+                      {wid / 2, hgt - 0.05f, z + 0.12f}},
+                 seg(24, s, 3), seg(2, s, 1));
+    }
+
+    // Dining tables in a grid, each with chairs, bottles, and plates.
+    int rows = 5, cols = 3;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            Vec3 p{-wid / 2 + 3.0f + c * 4.2f,
+                   0.0f, -len / 2 + 3.0f + r * 3.6f};
+            // Round table: cylinder top and pedestal.
+            m.addCylinder({p.x, 0.72f, p.z}, 0.65f, 0.06f, seg(30, s, 10),
+                          1, true);
+            m.addCylinder({p.x, 0.0f, p.z}, 0.08f, 0.72f, seg(10, s, 6),
+                          seg(3, s, 1), false);
+            m.addCylinder({p.x, 0.0f, p.z}, 0.3f, 0.05f, seg(16, s, 8), 1,
+                          true);
+            // Four chairs.
+            for (int k = 0; k < 4; ++k) {
+                float ang = k * kPi / 2 + rng.nextRange(-0.2f, 0.2f);
+                Vec3 cp{p.x + 1.05f * std::cos(ang), 0.0f,
+                        p.z + 1.05f * std::sin(ang)};
+                addChair(m, cp, 0.5f, ang + kPi, seg(5, s, 1));
+            }
+            // Tabletop clutter: bottle, two plates (thin cylinders),
+            // two glasses.
+            addBottle(m, {p.x - 0.15f, 0.78f, p.z}, 0.045f, 0.28f,
+                      seg(6, s, 2));
+            for (int k = -1; k <= 1; k += 2) {
+                m.addCylinder({p.x + 0.25f * k, 0.78f, p.z + 0.2f * k},
+                              0.12f, 0.02f, seg(20, s, 8), 1, true);
+                m.addCylinder({p.x + 0.18f * k, 0.78f, p.z - 0.25f * k},
+                              0.035f, 0.12f, seg(10, s, 6),
+                              seg(2, s, 1), false);
+            }
+        }
+    }
+
+    // Bar along the +x wall with stools and a bottle shelf.
+    float bar_x = wid / 2 - 1.4f;
+    m.addBox(Aabb{{bar_x, 0.0f, -len / 2 + 2.0f},
+                  {bar_x + 0.6f, 1.1f, len / 2 - 2.0f}},
+             seg(4, s, 1), seg(40, s, 4));
+    int stools = 9;
+    for (int i = 0; i < stools; ++i) {
+        float z = -len / 2 + 3.0f + i * (len - 6.0f) / (stools - 1);
+        m.addCylinder({bar_x - 0.7f, 0.0f, z}, 0.05f, 0.75f,
+                      seg(8, s, 6), seg(2, s, 1), false);
+        m.addCylinder({bar_x - 0.7f, 0.75f, z}, 0.22f, 0.06f,
+                      seg(18, s, 8), 1, true);
+    }
+    // Back shelf with a dense row of bottles.
+    int shelf_levels = 3;
+    for (int level = 0; level < shelf_levels; ++level) {
+        float y = 1.3f + 0.5f * level;
+        m.addBox(Aabb{{wid / 2 - 0.35f, y, -len / 2 + 2.0f},
+                      {wid / 2 - 0.05f, y + 0.05f, len / 2 - 2.0f}},
+                 seg(2, s, 1), seg(30, s, 3));
+        int bottles = cnt(26, std::min(1.0f, detail * 1.5f), 8);
+        for (int i = 0; i < bottles; ++i) {
+            float z = -len / 2 + 2.4f + i * (len - 4.8f) / bottles;
+            addBottle(m, {wid / 2 - 0.2f, y + 0.05f, z},
+                      rng.nextRange(0.035f, 0.055f),
+                      rng.nextRange(0.22f, 0.34f), seg(5, s, 2));
+        }
+    }
+
+    // Pendant lamps over the tables.
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            Vec3 p{-wid / 2 + 3.0f + c * 4.2f, 0.0f,
+                   -len / 2 + 3.0f + r * 3.6f};
+            m.addCylinder({p.x, hgt - 1.0f, p.z}, 0.015f, 1.0f, 6, 1,
+                          false);
+            m.addSphere({p.x, hgt - 1.05f, p.z}, 0.2f, seg(16, s, 6),
+                        seg(8, s, 3));
+        }
+    }
+
+    camera = Camera({-wid / 2 + 1.5f, 1.7f, len / 2 - 2.0f},
+                    {wid / 2 - 3.0f, 1.0f, -len / 2 + 4.0f}, {0, 1, 0},
+                    64.0f);
+    return m;
+}
+
+Mesh
+genCountryKitchen(float detail, Camera &camera)
+{
+    // Fully furnished kitchen: panelled cabinets, counters, sink, stove
+    // with hood, a dining table with chairs, shelves of dishes and jars,
+    // ceiling beams, tiled floor. The paper's densest scene (~1.4M).
+    float s = segScale(detail, 19.2f);
+    Mesh m;
+    Rng rng(707);
+
+    const float wid = 9.0f, hgt = 3.0f, len = 7.0f;
+    addRoomShell(m, Aabb{{-wid / 2, 0, -len / 2}, {wid / 2, hgt, len / 2}},
+                 seg(36, s, 4), seg(22, s, 3));
+
+    // Tiled floor: grid of slightly raised tile boxes.
+    int tiles = cnt(14, std::min(1.0f, detail * 2), 6);
+    for (int i = 0; i < tiles; ++i) {
+        for (int j = 0; j < tiles; ++j) {
+            float x0 = -wid / 2 + i * wid / tiles;
+            float z0 = -len / 2 + j * len / tiles;
+            m.addBox(Aabb{{x0 + 0.01f, 0.0f, z0 + 0.01f},
+                          {x0 + wid / tiles - 0.01f, 0.02f,
+                           z0 + len / tiles - 0.01f}},
+                     seg(3, s, 1), seg(3, s, 1));
+        }
+    }
+
+    // Lower cabinets with panelled doors along the -x and -z walls.
+    auto add_cabinet_run = [&](Vec3 start, Vec3 along, int units,
+                               float unit_w) {
+        Vec3 u = normalize(along);
+        for (int i = 0; i < units; ++i) {
+            Vec3 p = start + u * (i * unit_w);
+            // Carcass.
+            Aabb box{{std::min(p.x, p.x + u.x * unit_w) ,
+                      0.1f, std::min(p.z, p.z + u.z * unit_w)},
+                     {std::max(p.x, p.x + u.x * unit_w) +
+                      (u.x == 0 ? 0.6f : 0.0f),
+                      0.9f,
+                      std::max(p.z, p.z + u.z * unit_w) +
+                      (u.z == 0 ? 0.6f : 0.0f)}};
+            m.addBox(box, seg(6, s, 2), seg(6, s, 2));
+            // Door panel: an inset box on the room-facing side.
+            Vec3 face{u.z, 0.0f, u.x}; // perpendicular, into the room
+            Vec3 c = box.center();
+            Vec3 fp = c + face * 0.33f;
+            m.addBox(Aabb{{fp.x - (u.x != 0 ? unit_w * 0.38f : 0.02f),
+                           0.2f,
+                           fp.z - (u.z != 0 ? unit_w * 0.38f : 0.02f)},
+                          {fp.x + (u.x != 0 ? unit_w * 0.38f : 0.02f),
+                           0.8f,
+                           fp.z + (u.z != 0 ? unit_w * 0.38f : 0.02f)}},
+                     seg(6, s, 2), seg(6, s, 2));
+            // Knob.
+            m.addSphere(fp + Vec3{0.0f, 0.55f, 0.0f} + face * 0.03f,
+                        0.025f, seg(8, s, 4), seg(4, s, 2));
+        }
+        // Countertop slab over the run.
+        Vec3 end = start + u * (units * unit_w);
+        Aabb top{{std::min(start.x, end.x) - (u.z != 0 ? 0.0f : 0.0f),
+                  0.9f, std::min(start.z, end.z)},
+                 {std::max(start.x, end.x) + (u.x == 0 ? 0.65f : 0.0f),
+                  0.95f,
+                  std::max(start.z, end.z) + (u.z == 0 ? 0.65f : 0.0f)}};
+        m.addBox(top, seg(16, s, 3), seg(4, s, 1));
+    };
+    add_cabinet_run({-wid / 2 + 0.02f, 0.0f, -len / 2 + 0.4f},
+                    {0.0f, 0.0f, 1.0f}, 6, 0.9f);
+    add_cabinet_run({-wid / 2 + 0.8f, 0.0f, -len / 2 + 0.02f},
+                    {1.0f, 0.0f, 0.0f}, 5, 0.9f);
+
+    // Upper cabinets with panel doors on the -z wall.
+    for (int i = 0; i < 5; ++i) {
+        float x0 = -wid / 2 + 0.8f + i * 0.9f;
+        m.addBox(Aabb{{x0 + 0.02f, 1.5f, -len / 2 + 0.02f},
+                      {x0 + 0.88f, 2.3f, -len / 2 + 0.4f}},
+                 seg(6, s, 2), seg(6, s, 2));
+        m.addBox(Aabb{{x0 + 0.1f, 1.58f, -len / 2 + 0.4f},
+                      {x0 + 0.8f, 2.22f, -len / 2 + 0.44f}},
+                 seg(5, s, 2), seg(5, s, 2));
+    }
+
+    // Sink: counter cut-out basin plus faucet.
+    m.addBox(Aabb{{-wid / 2 + 0.1f, 0.78f, -0.4f},
+                  {-wid / 2 + 0.55f, 0.9f, 0.4f}},
+             seg(5, s, 2), seg(6, s, 2));
+    m.addCylinder({-wid / 2 + 0.15f, 0.95f, 0.0f}, 0.02f, 0.3f,
+                  seg(8, s, 6), seg(3, s, 1), false);
+
+    // Stove with hood on the -z wall.
+    m.addBox(Aabb{{1.6f, 0.1f, -len / 2 + 0.05f},
+                  {2.5f, 0.95f, -len / 2 + 0.65f}},
+             seg(8, s, 2), seg(8, s, 2));
+    for (int i = 0; i < 4; ++i) {
+        float bx = 1.75f + (i % 2) * 0.55f;
+        float bz = -len / 2 + 0.2f + (i / 2) * 0.3f;
+        m.addCylinder({bx, 0.95f, bz}, 0.09f, 0.02f, seg(16, s, 8), 1,
+                      true);
+    }
+    auto hood = [&](float u, float v) {
+        float yy = 1.7f + 0.6f * v;
+        float half = 0.55f - 0.25f * v;
+        return Vec3{2.05f + half * (2.0f * u - 1.0f), yy,
+                    -len / 2 + 0.35f + 0.25f * (1.0f - v)};
+    };
+    m.addParametric(hood, seg(18, s, 4), seg(12, s, 3));
+
+    // Dining table with four chairs and table setting.
+    addTable(m, {1.2f, 0.0f, 1.2f}, 1.6f, 1.0f, 0.75f, seg(8, s, 2));
+    for (int k = 0; k < 4; ++k) {
+        float ang = k * kPi / 2 + 0.3f;
+        Vec3 cp{1.2f + 1.2f * std::cos(ang), 0.0f,
+                1.2f + 1.0f * std::sin(ang)};
+        addChair(m, cp, 0.55f, ang + kPi, seg(6, s, 1));
+    }
+    for (int k = 0; k < 4; ++k) {
+        float ang = k * kPi / 2 + 0.3f;
+        Vec3 pp{1.2f + 0.45f * std::cos(ang), 0.78f,
+                1.2f + 0.32f * std::sin(ang)};
+        m.addCylinder(pp, 0.13f, 0.02f, seg(24, s, 8), 1, true);
+        m.addCylinder({pp.x + 0.12f, 0.78f, pp.z + 0.1f}, 0.035f, 0.1f,
+                      seg(10, s, 6), seg(2, s, 1), false);
+    }
+    addBottle(m, {1.2f, 0.78f, 1.2f}, 0.05f, 0.3f, seg(6, s, 2));
+
+    // Open shelves with jars, pots and plates on the +x wall.
+    float sx = wid / 2 - 0.35f;
+    for (int level = 0; level < 4; ++level) {
+        float y = 0.8f + 0.5f * level;
+        m.addBox(Aabb{{sx, y, -2.2f}, {sx + 0.3f, y + 0.05f, 2.2f}},
+                 seg(3, s, 1), seg(18, s, 2));
+        int items = cnt(18, std::min(1.0f, detail * 1.5f), 6);
+        for (int i = 0; i < items; ++i) {
+            float z = -2.0f + i * 4.0f / items;
+            float kind = rng.nextFloat();
+            if (kind < 0.4f) {
+                // Jar: cylinder with spherical lid.
+                float r = rng.nextRange(0.05f, 0.09f);
+                m.addCylinder({sx + 0.15f, y + 0.05f, z}, r, 3.0f * r,
+                              seg(14, s, 6), seg(3, s, 1), true);
+                m.addSphere({sx + 0.15f, y + 0.05f + 3.2f * r, z},
+                            0.8f * r, seg(10, s, 5), seg(5, s, 3));
+            } else if (kind < 0.7f) {
+                // Upright plate.
+                m.addCylinder({sx + 0.15f, y + 0.05f, z},
+                              rng.nextRange(0.1f, 0.14f), 0.02f,
+                              seg(22, s, 8), 1, true);
+            } else {
+                // Pot: wide cylinder with handles.
+                float r = rng.nextRange(0.08f, 0.12f);
+                m.addCylinder({sx + 0.15f, y + 0.05f, z}, r, 1.4f * r,
+                              seg(16, s, 6), seg(3, s, 1), true);
+            }
+        }
+    }
+
+    // Ceiling beams and a hanging pot rack.
+    for (int i = 0; i < 4; ++i) {
+        float z = -len / 2 + (i + 0.5f) * len / 4;
+        m.addBox(Aabb{{-wid / 2, hgt - 0.3f, z - 0.1f},
+                      {wid / 2, hgt - 0.05f, z + 0.1f}},
+                 seg(18, s, 2), seg(2, s, 1));
+    }
+    m.addBox(Aabb{{0.4f, hgt - 1.0f, -0.4f}, {2.0f, hgt - 0.95f, 0.4f}},
+             seg(8, s, 2), seg(4, s, 1));
+    for (int i = 0; i < 5; ++i) {
+        float x = 0.55f + i * 0.33f;
+        m.addCylinder({x, hgt - 1.35f, 0.0f}, 0.07f, 0.12f, seg(12, s, 6),
+                      seg(2, s, 1), true);
+        m.addCylinder({x, hgt - 1.23f, 0.0f}, 0.008f, 0.23f, 6, 1, false);
+    }
+
+    // Window frame on the +z wall over the sink area.
+    m.addBox(Aabb{{-1.8f, 1.0f, len / 2 - 0.12f},
+                  {-1.7f, 2.2f, len / 2 - 0.02f}},
+             seg(2, s, 1), seg(6, s, 1));
+    m.addBox(Aabb{{-0.3f, 1.0f, len / 2 - 0.12f},
+                  {-0.2f, 2.2f, len / 2 - 0.02f}},
+             seg(2, s, 1), seg(6, s, 1));
+    m.addBox(Aabb{{-1.8f, 1.55f, len / 2 - 0.12f},
+                  {-0.2f, 1.65f, len / 2 - 0.02f}},
+             seg(6, s, 1), seg(2, s, 1));
+
+    camera = Camera({wid / 2 - 1.3f, 1.7f, len / 2 - 1.0f},
+                    {-wid / 2 + 1.5f, 0.9f, -len / 2 + 1.2f}, {0, 1, 0},
+                    62.0f);
+    return m;
+}
+
+} // namespace rtp

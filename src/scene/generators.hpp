@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Procedural generators for the seven benchmark-scene analogues.
+ *
+ * Each generator returns the scene geometry and sets an interior camera
+ * appropriate for ambient-occlusion rendering. The @p detail parameter in
+ * (0, 1] scales tessellation so that detail = 1.0 lands near the paper's
+ * Table 1 triangle count for that scene.
+ */
+
+#pragma once
+
+#include "scene/camera.hpp"
+#include "scene/mesh.hpp"
+
+namespace rtp {
+
+/** Cathedral interior analogue (Sibenik, ~75K tris at detail 1). */
+Mesh genSibenik(float detail, Camera &camera);
+
+/** Atrium with columns and curtains (Crytek Sponza, ~262K). */
+Mesh genCrytekSponza(float detail, Camera &camera);
+
+/** Voxel terrain with a temple (Lost Empire, ~225K). */
+Mesh genLostEmpire(float detail, Camera &camera);
+
+/** Furnished living room (Living Room, ~581K). */
+Mesh genLivingRoom(float detail, Camera &camera);
+
+/** Room with fireplace alcove (Fireplace Room, ~143K). */
+Mesh genFireplaceRoom(float detail, Camera &camera);
+
+/** Dense restaurant interior (Bistro Interior, ~1M). */
+Mesh genBistroInterior(float detail, Camera &camera);
+
+/** Fully furnished kitchen (Country Kitchen, ~1.4M). */
+Mesh genCountryKitchen(float detail, Camera &camera);
+
+} // namespace rtp

@@ -1,0 +1,141 @@
+#include "scene/mesh.hpp"
+
+#include <cmath>
+
+namespace rtp {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979323846f;
+
+} // namespace
+
+void
+Mesh::addQuad(const Vec3 &p00, const Vec3 &p10, const Vec3 &p11,
+              const Vec3 &p01, int nu, int nv)
+{
+    auto bilerp = [&](float u, float v) {
+        Vec3 a = lerp(p00, p10, u);
+        Vec3 b = lerp(p01, p11, u);
+        return lerp(a, b, v);
+    };
+    addParametric(bilerp, nu, nv);
+}
+
+void
+Mesh::addParametric(const std::function<Vec3(float, float)> &f, int nu,
+                    int nv)
+{
+    if (nu < 1)
+        nu = 1;
+    if (nv < 1)
+        nv = 1;
+    for (int j = 0; j < nv; ++j) {
+        float v0 = static_cast<float>(j) / nv;
+        float v1 = static_cast<float>(j + 1) / nv;
+        for (int i = 0; i < nu; ++i) {
+            float u0 = static_cast<float>(i) / nu;
+            float u1 = static_cast<float>(i + 1) / nu;
+            Vec3 a = f(u0, v0);
+            Vec3 b = f(u1, v0);
+            Vec3 c = f(u1, v1);
+            Vec3 d = f(u0, v1);
+            addTriangle(a, b, c);
+            addTriangle(a, c, d);
+        }
+    }
+}
+
+void
+Mesh::addBox(const Aabb &box, int nu, int nv)
+{
+    const Vec3 &l = box.lo;
+    const Vec3 &h = box.hi;
+    Vec3 p000{l.x, l.y, l.z}, p100{h.x, l.y, l.z};
+    Vec3 p010{l.x, h.y, l.z}, p110{h.x, h.y, l.z};
+    Vec3 p001{l.x, l.y, h.z}, p101{h.x, l.y, h.z};
+    Vec3 p011{l.x, h.y, h.z}, p111{h.x, h.y, h.z};
+
+    addQuad(p000, p100, p110, p010, nu, nv); // -z
+    addQuad(p101, p001, p011, p111, nu, nv); // +z
+    addQuad(p001, p000, p010, p011, nu, nv); // -x
+    addQuad(p100, p101, p111, p110, nu, nv); // +x
+    addQuad(p001, p101, p100, p000, nu, nv); // -y
+    addQuad(p010, p110, p111, p011, nu, nv); // +y
+}
+
+void
+Mesh::addCylinder(const Vec3 &base, float radius, float height, int radial,
+                  int stacks, bool caps)
+{
+    if (radial < 3)
+        radial = 3;
+    if (stacks < 1)
+        stacks = 1;
+
+    auto side = [&](float u, float v) {
+        float ang = u * 2.0f * kPi;
+        return Vec3{base.x + radius * std::cos(ang), base.y + v * height,
+                    base.z + radius * std::sin(ang)};
+    };
+    addParametric(side, radial, stacks);
+
+    if (caps) {
+        Vec3 cb{base.x, base.y, base.z};
+        Vec3 ct{base.x, base.y + height, base.z};
+        for (int i = 0; i < radial; ++i) {
+            float a0 = static_cast<float>(i) / radial * 2.0f * kPi;
+            float a1 = static_cast<float>(i + 1) / radial * 2.0f * kPi;
+            Vec3 r0{radius * std::cos(a0), 0.0f, radius * std::sin(a0)};
+            Vec3 r1{radius * std::cos(a1), 0.0f, radius * std::sin(a1)};
+            addTriangle(cb, cb + r1, cb + r0);
+            addTriangle(ct, ct + r0, ct + r1);
+        }
+    }
+}
+
+void
+Mesh::addSphere(const Vec3 &center, float radius, int slices, int stacks)
+{
+    if (slices < 3)
+        slices = 3;
+    if (stacks < 2)
+        stacks = 2;
+    auto surf = [&](float u, float v) {
+        float theta = v * kPi;
+        float phi = u * 2.0f * kPi;
+        return center + Vec3{radius * std::sin(theta) * std::cos(phi),
+                             radius * std::cos(theta),
+                             radius * std::sin(theta) * std::sin(phi)};
+    };
+    addParametric(surf, slices, stacks);
+}
+
+void
+Mesh::addHeightfield(float x0, float z0, float x1, float z1, float yBase,
+                     const std::function<float(float, float)> &height,
+                     int nu, int nv)
+{
+    auto surf = [&](float u, float v) {
+        return Vec3{x0 + (x1 - x0) * u, yBase + height(u, v),
+                    z0 + (z1 - z0) * v};
+    };
+    addParametric(surf, nu, nv);
+}
+
+void
+Mesh::append(const Mesh &other)
+{
+    tris_.insert(tris_.end(), other.tris_.begin(), other.tris_.end());
+}
+
+Aabb
+Mesh::bounds() const
+{
+    Aabb b;
+    for (const auto &t : tris_)
+        b.extend(t.bounds());
+    return b;
+}
+
+} // namespace rtp

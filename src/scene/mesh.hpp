@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Triangle mesh container plus the shape-construction helpers the
+ * procedural scene generators are built from (quads, boxes, cylinders,
+ * heightfields, vaulted ceilings, cloth-like sheets).
+ *
+ * The paper renders seven .obj scenes from McGuire's archive; this repo
+ * substitutes procedural architectural interiors with matching scale (see
+ * DESIGN.md, Substitutions). All generators bottom out in these helpers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/triangle.hpp"
+
+namespace rtp {
+
+/** A growable triangle soup. */
+class Mesh
+{
+  public:
+    /** Append one triangle. */
+    void
+    addTriangle(const Vec3 &a, const Vec3 &b, const Vec3 &c)
+    {
+        tris_.emplace_back(a, b, c);
+    }
+
+    /**
+     * Append a tessellated quad patch.
+     *
+     * The patch is the bilinear surface spanned by corners
+     * p00, p10, p11, p01 (counter-clockwise), split into 2*nu*nv triangles.
+     */
+    void addQuad(const Vec3 &p00, const Vec3 &p10, const Vec3 &p11,
+                 const Vec3 &p01, int nu = 1, int nv = 1);
+
+    /**
+     * Append a parametric patch: position = f(u, v) for u, v in [0,1],
+     * tessellated into 2*nu*nv triangles.
+     */
+    void addParametric(const std::function<Vec3(float, float)> &f, int nu,
+                       int nv);
+
+    /** Append the six faces of an axis-aligned box, each split nu x nv. */
+    void addBox(const Aabb &box, int nu = 1, int nv = 1);
+
+    /**
+     * Append an open or capped cylinder along +y.
+     * @param base Center of the bottom disc.
+     * @param radius Cylinder radius.
+     * @param height Cylinder height.
+     * @param radial Number of radial segments (>= 3).
+     * @param stacks Number of vertical segments (>= 1).
+     * @param caps Whether to add top/bottom fan caps.
+     */
+    void addCylinder(const Vec3 &base, float radius, float height,
+                     int radial, int stacks, bool caps = true);
+
+    /** Append a UV-sphere. */
+    void addSphere(const Vec3 &center, float radius, int slices,
+                   int stacks);
+
+    /**
+     * Append a heightfield floor over [x0,x1] x [z0,z1]:
+     * y = yBase + height(u, v). Tessellated nu x nv.
+     */
+    void addHeightfield(float x0, float z0, float x1, float z1, float yBase,
+                        const std::function<float(float, float)> &height,
+                        int nu, int nv);
+
+    /** Append all triangles from @p other. */
+    void append(const Mesh &other);
+
+    /** @return Number of triangles. */
+    std::size_t
+    size() const
+    {
+        return tris_.size();
+    }
+
+    /** @return Triangle array. */
+    const std::vector<Triangle> &
+    triangles() const
+    {
+        return tris_;
+    }
+
+    /** @return Mutable triangle array (for transforms in generators). */
+    std::vector<Triangle> &
+    triangles()
+    {
+        return tris_;
+    }
+
+    /** @return Bounding box over all triangles. */
+    Aabb bounds() const;
+
+  private:
+    std::vector<Triangle> tris_;
+};
+
+} // namespace rtp

@@ -1,0 +1,72 @@
+#include "scene/obj_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace rtp {
+
+bool
+saveObj(const std::string &path, const Mesh &mesh)
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << "# exported by ray-intersection-predictor\n";
+    for (const Triangle &t : mesh.triangles()) {
+        for (const Vec3 *v : {&t.v0, &t.v1, &t.v2})
+            f << "v " << v->x << " " << v->y << " " << v->z << "\n";
+    }
+    for (std::size_t i = 0; i < mesh.size(); ++i) {
+        std::size_t base = i * 3;
+        f << "f " << base + 1 << " " << base + 2 << " " << base + 3
+          << "\n";
+    }
+    return static_cast<bool>(f);
+}
+
+bool
+loadObj(const std::string &path, Mesh &mesh)
+{
+    std::ifstream f(path);
+    if (!f)
+        return false;
+
+    std::vector<Vec3> vertices;
+    std::size_t before = mesh.size();
+    std::string line;
+    while (std::getline(f, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string tag;
+        ss >> tag;
+        if (tag == "v") {
+            Vec3 v;
+            ss >> v.x >> v.y >> v.z;
+            if (!ss.fail())
+                vertices.push_back(v);
+        } else if (tag == "f") {
+            // Face indices may be "i", "i/t", "i/t/n", or "i//n";
+            // take the vertex index and fan-triangulate polygons.
+            std::vector<int> idx;
+            std::string tok;
+            while (ss >> tok) {
+                int v = std::atoi(tok.c_str()); // stops at '/'
+                if (v < 0)
+                    v = static_cast<int>(vertices.size()) + v + 1;
+                if (v >= 1 &&
+                    v <= static_cast<int>(vertices.size()))
+                    idx.push_back(v - 1);
+            }
+            for (std::size_t k = 2; k < idx.size(); ++k) {
+                mesh.addTriangle(vertices[idx[0]], vertices[idx[k - 1]],
+                                 vertices[idx[k]]);
+            }
+        }
+    }
+    return mesh.size() > before;
+}
+
+} // namespace rtp

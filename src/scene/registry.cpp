@@ -1,0 +1,87 @@
+#include "scene/registry.hpp"
+
+#include "scene/generators.hpp"
+
+namespace rtp {
+
+const std::vector<SceneId> &
+allSceneIds()
+{
+    static const std::vector<SceneId> ids = {
+        SceneId::Sibenik,       SceneId::CrytekSponza,
+        SceneId::LostEmpire,    SceneId::LivingRoom,
+        SceneId::FireplaceRoom, SceneId::BistroInterior,
+        SceneId::CountryKitchen,
+    };
+    return ids;
+}
+
+std::string
+sceneShortName(SceneId id)
+{
+    switch (id) {
+      case SceneId::Sibenik: return "SB";
+      case SceneId::CrytekSponza: return "SP";
+      case SceneId::LostEmpire: return "LE";
+      case SceneId::LivingRoom: return "LR";
+      case SceneId::FireplaceRoom: return "FR";
+      case SceneId::BistroInterior: return "BI";
+      case SceneId::CountryKitchen: return "CK";
+    }
+    return "??";
+}
+
+Scene
+makeScene(SceneId id, float detail)
+{
+    Scene scene;
+    scene.id = id;
+    scene.shortName = sceneShortName(id);
+    switch (id) {
+      case SceneId::Sibenik:
+        scene.name = "Sibenik";
+        scene.paperTriangles = 75000;
+        scene.paperBvhDepth = 23;
+        scene.mesh = genSibenik(detail, scene.camera);
+        break;
+      case SceneId::CrytekSponza:
+        scene.name = "Crytek Sponza";
+        scene.paperTriangles = 262000;
+        scene.paperBvhDepth = 23;
+        scene.mesh = genCrytekSponza(detail, scene.camera);
+        break;
+      case SceneId::LostEmpire:
+        scene.name = "Lost Empire";
+        scene.paperTriangles = 225000;
+        scene.paperBvhDepth = 22;
+        scene.mesh = genLostEmpire(detail, scene.camera);
+        break;
+      case SceneId::LivingRoom:
+        scene.name = "Living Room";
+        scene.paperTriangles = 581000;
+        scene.paperBvhDepth = 23;
+        scene.mesh = genLivingRoom(detail, scene.camera);
+        break;
+      case SceneId::FireplaceRoom:
+        scene.name = "Fireplace Room";
+        scene.paperTriangles = 143000;
+        scene.paperBvhDepth = 23;
+        scene.mesh = genFireplaceRoom(detail, scene.camera);
+        break;
+      case SceneId::BistroInterior:
+        scene.name = "Bistro (Interior)";
+        scene.paperTriangles = 1000000;
+        scene.paperBvhDepth = 25;
+        scene.mesh = genBistroInterior(detail, scene.camera);
+        break;
+      case SceneId::CountryKitchen:
+        scene.name = "Country Kitchen";
+        scene.paperTriangles = 1400000;
+        scene.paperBvhDepth = 27;
+        scene.mesh = genCountryKitchen(detail, scene.camera);
+        break;
+    }
+    return scene;
+}
+
+} // namespace rtp

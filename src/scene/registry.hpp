@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Scene registry: the seven benchmark scenes of Table 1.
+ *
+ * The paper uses seven .obj scenes from McGuire's Computer Graphics
+ * Archive. This repo substitutes procedural architectural analogues with
+ * matching structure and (at detail = 1.0) comparable triangle counts; see
+ * DESIGN.md. Every experiment binary iterates this registry.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scene/camera.hpp"
+#include "scene/mesh.hpp"
+
+namespace rtp {
+
+/** Identifiers for the seven Table 1 benchmark scenes. */
+enum class SceneId
+{
+    Sibenik,        //!< SB, cathedral interior, 75K tris in the paper
+    CrytekSponza,   //!< SP, atrium with columns and curtains, 262K
+    LostEmpire,     //!< LE, voxel terrain and temple, 225K
+    LivingRoom,     //!< LR, furnished living room, 581K
+    FireplaceRoom,  //!< FR, room with fireplace, 143K
+    BistroInterior, //!< BI, dense restaurant interior, 1M
+    CountryKitchen, //!< CK, fully furnished kitchen, 1.4M
+};
+
+/** A generated scene: geometry plus a preset interior camera. */
+struct Scene
+{
+    SceneId id;
+    std::string name;      //!< full name, e.g. "Crytek Sponza"
+    std::string shortName; //!< paper abbreviation, e.g. "SP"
+    Mesh mesh;
+    Camera camera;
+    std::size_t paperTriangles; //!< triangle count reported in Table 1
+    int paperBvhDepth;          //!< BVH depth reported in Table 1
+};
+
+/** @return All seven scene ids in Table 1 order. */
+const std::vector<SceneId> &allSceneIds();
+
+/** @return Paper short name for @p id (SB, SP, LE, LR, FR, BI, CK). */
+std::string sceneShortName(SceneId id);
+
+/**
+ * Build a scene.
+ * @param id Which scene.
+ * @param detail Tessellation scale in (0, 1]; triangle count scales
+ *        roughly linearly. detail = 1.0 approximates the paper's counts.
+ */
+Scene makeScene(SceneId id, float detail = 1.0f);
+
+} // namespace rtp

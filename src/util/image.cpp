@@ -1,0 +1,84 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace rtp {
+
+namespace {
+
+std::uint8_t
+toByte(float v)
+{
+    return static_cast<std::uint8_t>(
+        std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+} // namespace
+
+Image::Image(int width, int height, int channels)
+    : width_(std::max(1, width)), height_(std::max(1, height)),
+      channels_(channels == 3 ? 3 : 1)
+{
+    data_.assign(static_cast<std::size_t>(width_) * height_ * channels_,
+                 0);
+}
+
+void
+Image::setPixel(int x, int y, float value)
+{
+    if (x < 0 || y < 0 || x >= width_ || y >= height_)
+        return;
+    std::size_t base =
+        (static_cast<std::size_t>(y) * width_ + x) * channels_;
+    for (int c = 0; c < channels_; ++c)
+        data_[base + c] = toByte(value);
+}
+
+void
+Image::setPixel(int x, int y, float r, float g, float b)
+{
+    if (x < 0 || y < 0 || x >= width_ || y >= height_)
+        return;
+    std::size_t base =
+        (static_cast<std::size_t>(y) * width_ + x) * channels_;
+    if (channels_ == 3) {
+        data_[base] = toByte(r);
+        data_[base + 1] = toByte(g);
+        data_[base + 2] = toByte(b);
+    } else {
+        data_[base] = toByte(0.2126f * r + 0.7152f * g + 0.0722f * b);
+    }
+}
+
+std::uint8_t
+Image::pixel(int x, int y, int c) const
+{
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * channels_ +
+                 std::min(c, channels_ - 1)];
+}
+
+bool
+Image::writePnm(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << (channels_ == 3 ? "P6" : "P5") << "\n"
+      << width_ << " " << height_ << "\n255\n";
+    f.write(reinterpret_cast<const char *>(data_.data()),
+            static_cast<std::streamsize>(data_.size()));
+    return static_cast<bool>(f);
+}
+
+double
+Image::mean() const
+{
+    double acc = 0;
+    for (std::uint8_t b : data_)
+        acc += b;
+    return data_.empty() ? 0.0 : acc / data_.size() / 255.0;
+}
+
+} // namespace rtp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal grayscale / RGB image container with PGM/PPM output.
+ *
+ * The examples render AO and GI images with it; keeping it in the
+ * library (rather than copy-pasted into each example) also lets tests
+ * validate the render paths end to end.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtp {
+
+/** A simple 8-bit image, grayscale or RGB. */
+class Image
+{
+  public:
+    /**
+     * @param width Pixels per row.
+     * @param height Rows.
+     * @param channels 1 (grayscale) or 3 (RGB).
+     */
+    Image(int width, int height, int channels = 1);
+
+    int
+    width() const
+    {
+        return width_;
+    }
+
+    int
+    height() const
+    {
+        return height_;
+    }
+
+    int
+    channels() const
+    {
+        return channels_;
+    }
+
+    /** Set pixel (x, y) from floats in [0, 1] (clamped). */
+    void setPixel(int x, int y, float value);
+    void setPixel(int x, int y, float r, float g, float b);
+
+    /** @return 8-bit value of channel @p c at (x, y). */
+    std::uint8_t pixel(int x, int y, int c = 0) const;
+
+    /**
+     * Write as binary PGM (1 channel) or PPM (3 channels).
+     * @retval true on success.
+     */
+    bool writePnm(const std::string &path) const;
+
+    /** Mean pixel value in [0, 1] (for tests / sanity checks). */
+    double mean() const;
+
+  private:
+    int width_;
+    int height_;
+    int channels_;
+    std::vector<std::uint8_t> data_;
+};
+
+} // namespace rtp

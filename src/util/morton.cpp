@@ -1,0 +1,44 @@
+#include "util/morton.hpp"
+
+namespace rtp {
+
+std::uint32_t
+mortonExpandBits10(std::uint32_t v)
+{
+    v &= 0x3ffu;
+    v = (v | (v << 16)) & 0x30000ffu;
+    v = (v | (v << 8)) & 0x300f00fu;
+    v = (v | (v << 4)) & 0x30c30c3u;
+    v = (v | (v << 2)) & 0x9249249u;
+    return v;
+}
+
+std::uint32_t
+mortonEncode3D(std::uint32_t x, std::uint32_t y, std::uint32_t z)
+{
+    return (mortonExpandBits10(x) << 2) | (mortonExpandBits10(y) << 1) |
+           mortonExpandBits10(z);
+}
+
+std::uint32_t
+mortonExpandBits5(std::uint32_t v)
+{
+    // Spread 5 bits so that consecutive source bits land 6 positions apart:
+    // bit i of v moves to bit 6*i of the result.
+    v &= 0x1fu;
+    std::uint32_t r = 0;
+    for (int i = 0; i < 5; ++i)
+        r |= ((v >> i) & 1u) << (6 * i);
+    return r;
+}
+
+std::uint32_t
+mortonEncode6D(std::uint32_t x, std::uint32_t y, std::uint32_t z,
+               std::uint32_t dx, std::uint32_t dy, std::uint32_t dz)
+{
+    return (mortonExpandBits5(x) << 5) | (mortonExpandBits5(y) << 4) |
+           (mortonExpandBits5(z) << 3) | (mortonExpandBits5(dx) << 2) |
+           (mortonExpandBits5(dy) << 1) | mortonExpandBits5(dz);
+}
+
+} // namespace rtp

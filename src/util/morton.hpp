@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Morton (Z-order) code helpers.
+ *
+ * Used by the Aila–Laine-style ray sorter (Section 5.2 of the paper) and by
+ * scene-generation utilities. 3D codes interleave 10 bits per axis into a
+ * 30-bit key; the 6D ray key additionally interleaves quantised direction.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace rtp {
+
+/** Spread the low 10 bits of @p v so consecutive bits are 3 apart. */
+std::uint32_t mortonExpandBits10(std::uint32_t v);
+
+/**
+ * Compute a 30-bit 3D Morton code.
+ * @param x,y,z Coordinates already quantised to [0, 1024).
+ */
+std::uint32_t mortonEncode3D(std::uint32_t x, std::uint32_t y,
+                             std::uint32_t z);
+
+/** Spread the low 5 bits of @p v so consecutive bits are 6 apart. */
+std::uint32_t mortonExpandBits5(std::uint32_t v);
+
+/**
+ * Compute a 30-bit 6D Morton code interleaving origin and direction,
+ * each axis quantised to 5 bits ([0, 32)).
+ */
+std::uint32_t mortonEncode6D(std::uint32_t x, std::uint32_t y,
+                             std::uint32_t z, std::uint32_t dx,
+                             std::uint32_t dy, std::uint32_t dz);
+
+} // namespace rtp

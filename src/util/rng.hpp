@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Small, fast, deterministic pseudo-random number generator.
+ *
+ * The simulator, the procedural scene generators, and the ray generators
+ * all need reproducible randomness that is independent of the platform's
+ * std::mt19937 ordering. We use the PCG32 generator (O'Neill, 2014): a
+ * 64-bit LCG state with an output permutation. It is tiny, statistically
+ * solid for our purposes, and trivially seedable per-stream.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace rtp {
+
+/** PCG32 pseudo-random number generator (deterministic across platforms). */
+class Rng
+{
+  public:
+    /**
+     * Construct a generator.
+     * @param seed Initial state seed.
+     * @param stream Stream selector; different streams are independent.
+     */
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+                 std::uint64_t stream = 0xda3e39cb94b95bdbULL)
+    {
+        state_ = 0u;
+        inc_ = (stream << 1u) | 1u;
+        nextU32();
+        state_ += seed;
+        nextU32();
+    }
+
+    /** @return A uniformly distributed 32-bit value. */
+    std::uint32_t
+    nextU32()
+    {
+        std::uint64_t old = state_;
+        state_ = old * 6364136223846793005ULL + inc_;
+        std::uint32_t xorshifted =
+            static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+        std::uint32_t rot = static_cast<std::uint32_t>(old >> 59u);
+        return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+    }
+
+    /** @return A uniformly distributed value in [0, bound). */
+    std::uint32_t
+    nextBounded(std::uint32_t bound)
+    {
+        // Lemire's nearly-divisionless method would be overkill; simple
+        // modulo bias is acceptable for workload generation.
+        return bound == 0 ? 0 : nextU32() % bound;
+    }
+
+    /** @return A uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(nextU32() >> 8) * (1.0f / 16777216.0f);
+    }
+
+    /** @return A uniform float in [lo, hi). */
+    float
+    nextRange(float lo, float hi)
+    {
+        return lo + (hi - lo) * nextFloat();
+    }
+
+  private:
+    std::uint64_t state_;
+    std::uint64_t inc_;
+};
+
+} // namespace rtp

@@ -1,0 +1,44 @@
+#include "util/stats.hpp"
+
+namespace rtp {
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::getScalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+void
+StatGroup::clear()
+{
+    counters_.clear();
+    scalars_.clear();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &kv : other.counters_)
+        counters_[kv.first] += kv.second;
+    for (const auto &kv : other.scalars_)
+        scalars_[kv.first] = kv.second;
+}
+
+void
+StatGroup::dump(std::ostream &os, const std::string &prefix) const
+{
+    for (const auto &kv : counters_)
+        os << prefix << kv.first << " = " << kv.second << "\n";
+    for (const auto &kv : scalars_)
+        os << prefix << kv.first << " = " << kv.second << "\n";
+}
+
+} // namespace rtp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Lightweight named-counter statistics registry.
+ *
+ * Every simulator component owns a StatGroup; counters register by name and
+ * can be dumped, diffed, and aggregated. This plays the role gem5's Stats
+ * package plays for GPGPU-Sim-style simulators, at a fraction of the weight.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace rtp {
+
+/** A collection of named 64-bit counters and double-valued scalars. */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero if absent). */
+    void
+    inc(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set scalar @p name to @p value. */
+    void
+    set(const std::string &name, double value)
+    {
+        scalars_[name] = value;
+    }
+
+    /** @return Counter value, or 0 if never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** @return Scalar value, or 0.0 if never set. */
+    double getScalar(const std::string &name) const;
+
+    /** Reset all counters and scalars to zero / remove them. */
+    void clear();
+
+    /** Merge another group into this one (counters add, scalars overwrite). */
+    void merge(const StatGroup &other);
+
+    /** Pretty-print all stats, one per line, prefixed by @p prefix. */
+    void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /** @return All counters (for tests and table generation). */
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        return counters_;
+    }
+
+    /** @return All scalars. */
+    const std::map<std::string, double> &
+    scalars() const
+    {
+        return scalars_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace rtp

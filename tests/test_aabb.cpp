@@ -1,0 +1,102 @@
+/** @file Unit tests for Aabb. */
+
+#include <gtest/gtest.h>
+
+#include "geometry/aabb.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Aabb, DefaultIsEmpty)
+{
+    Aabb box;
+    EXPECT_TRUE(box.empty());
+    EXPECT_EQ(box.surfaceArea(), 0.0f);
+}
+
+TEST(Aabb, ExtendPoint)
+{
+    Aabb box;
+    box.extend(Vec3{1.0f, 2.0f, 3.0f});
+    EXPECT_FALSE(box.empty());
+    EXPECT_EQ(box.lo, Vec3(1.0f, 2.0f, 3.0f));
+    EXPECT_EQ(box.hi, Vec3(1.0f, 2.0f, 3.0f));
+    box.extend(Vec3{-1.0f, 4.0f, 0.0f});
+    EXPECT_EQ(box.lo, Vec3(-1.0f, 2.0f, 0.0f));
+    EXPECT_EQ(box.hi, Vec3(1.0f, 4.0f, 3.0f));
+}
+
+TEST(Aabb, ExtendBox)
+{
+    Aabb a{{0, 0, 0}, {1, 1, 1}};
+    Aabb b{{2, -1, 0}, {3, 0.5f, 4}};
+    a.extend(b);
+    EXPECT_EQ(a.lo, Vec3(0.0f, -1.0f, 0.0f));
+    EXPECT_EQ(a.hi, Vec3(3.0f, 1.0f, 4.0f));
+}
+
+TEST(Aabb, CenterExtentDiagonal)
+{
+    Aabb box{{0, 0, 0}, {2, 4, 6}};
+    EXPECT_EQ(box.center(), Vec3(1.0f, 2.0f, 3.0f));
+    EXPECT_EQ(box.extent(), Vec3(2.0f, 4.0f, 6.0f));
+    EXPECT_FLOAT_EQ(box.diagonal(),
+                    std::sqrt(4.0f + 16.0f + 36.0f));
+}
+
+TEST(Aabb, SurfaceArea)
+{
+    Aabb unit{{0, 0, 0}, {1, 1, 1}};
+    EXPECT_FLOAT_EQ(unit.surfaceArea(), 6.0f);
+    Aabb slab{{0, 0, 0}, {2, 3, 0}};
+    EXPECT_FLOAT_EQ(slab.surfaceArea(), 2.0f * (6.0f + 0.0f + 0.0f) +
+                                            2.0f * 2.0f * 3.0f -
+                                            2.0f * 6.0f);
+    // Degenerate (flat) boxes still have the 2*(xy+yz+zx) area.
+    EXPECT_FLOAT_EQ(slab.surfaceArea(), 12.0f);
+}
+
+TEST(Aabb, Contains)
+{
+    Aabb box{{0, 0, 0}, {1, 1, 1}};
+    EXPECT_TRUE(box.contains(Vec3{0.5f, 0.5f, 0.5f}));
+    EXPECT_TRUE(box.contains(Vec3{0.0f, 0.0f, 0.0f})); // boundary
+    EXPECT_FALSE(box.contains(Vec3{1.1f, 0.5f, 0.5f}));
+    EXPECT_TRUE(box.contains(Aabb{{0.2f, 0.2f, 0.2f},
+                                  {0.8f, 0.8f, 0.8f}}));
+    EXPECT_FALSE(box.contains(Aabb{{0.5f, 0.5f, 0.5f},
+                                   {1.5f, 0.8f, 0.8f}}));
+}
+
+TEST(Aabb, Overlaps)
+{
+    Aabb a{{0, 0, 0}, {1, 1, 1}};
+    EXPECT_TRUE(a.overlaps(Aabb{{0.5f, 0.5f, 0.5f}, {2, 2, 2}}));
+    EXPECT_TRUE(a.overlaps(Aabb{{1, 1, 1}, {2, 2, 2}})); // touching
+    EXPECT_FALSE(a.overlaps(Aabb{{1.1f, 0, 0}, {2, 1, 1}}));
+}
+
+TEST(Aabb, LongestAxis)
+{
+    EXPECT_EQ((Aabb{{0, 0, 0}, {3, 1, 1}}).longestAxis(), 0);
+    EXPECT_EQ((Aabb{{0, 0, 0}, {1, 3, 1}}).longestAxis(), 1);
+    EXPECT_EQ((Aabb{{0, 0, 0}, {1, 1, 3}}).longestAxis(), 2);
+}
+
+TEST(Aabb, ExtendIsMonotoneProperty)
+{
+    Rng rng(3);
+    Aabb box;
+    float prev_area = 0.0f;
+    for (int i = 0; i < 100; ++i) {
+        box.extend(Vec3{rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+                        rng.nextRange(-10, 10)});
+        float area = box.surfaceArea();
+        EXPECT_GE(area, prev_area - 1e-3f);
+        prev_area = area;
+    }
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,146 @@
+/** @file Combined / adaptive hashing tests (Section 4.2 future work). */
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_hash.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+Aabb
+bounds()
+{
+    return Aabb{{0, 0, 0}, {100, 100, 100}};
+}
+
+Ray
+makeRay(Vec3 o, Vec3 d)
+{
+    Ray r;
+    r.origin = o;
+    r.dir = normalize(d);
+    return r;
+}
+
+TEST(CombinedHash, WidthMatchesWidestComponent)
+{
+    CombinedRayHasher h({HashFunction::GridSpherical, 5, 3, 0.15f},
+                        {HashFunction::TwoPoint, 5, 3, 0.15f},
+                        bounds());
+    EXPECT_EQ(h.hashBits(), 15);
+}
+
+TEST(CombinedHash, Deterministic)
+{
+    CombinedRayHasher h({HashFunction::GridSpherical, 5, 3, 0.15f},
+                        {HashFunction::TwoPoint, 5, 3, 0.15f},
+                        bounds());
+    Ray r = makeRay({20, 30, 40}, {1, 0.2f, 0.1f});
+    EXPECT_EQ(h.hash(r), h.hash(r));
+    EXPECT_LT(h.hash(r), 1u << 15);
+}
+
+TEST(CombinedHash, TighterThanEitherComponent)
+{
+    // Rays that collide under Grid Spherical but not Two Point (or vice
+    // versa) must not collide under the combination.
+    HashConfig gs{HashFunction::GridSpherical, 5, 3, 0.15f};
+    HashConfig tp{HashFunction::TwoPoint, 5, 3, 0.35f};
+    RayHasher grid(gs, bounds());
+    RayHasher two(tp, bounds());
+    CombinedRayHasher comb(gs, tp, bounds());
+
+    Rng rng(1);
+    int grid_coll = 0, comb_coll = 0;
+    for (int i = 0; i < 4000; ++i) {
+        Vec3 o{rng.nextRange(5, 95), rng.nextRange(5, 95),
+               rng.nextRange(5, 95)};
+        Vec3 d{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+               rng.nextRange(-1, 1) + 1e-3f};
+        Ray a = makeRay(o, d);
+        Ray b = makeRay(o + Vec3{1.0f, 0.5f, 0.8f},
+                        d + Vec3{0.05f, 0.02f, 0.0f});
+        if (grid.hash(a) == grid.hash(b))
+            grid_coll++;
+        if (comb.hash(a) == comb.hash(b))
+            comb_coll++;
+    }
+    EXPECT_LE(comb_coll, grid_coll);
+}
+
+TEST(AdaptiveHash, CommitsAfterWindow)
+{
+    std::vector<HashConfig> cands = {
+        {HashFunction::GridSpherical, 3, 3, 0.15f},
+        {HashFunction::GridSpherical, 5, 3, 0.15f},
+    };
+    AdaptiveRayHasher h(cands, bounds(), 100);
+    Rng rng(2);
+    EXPECT_FALSE(h.committed());
+    for (int i = 0; i < 100; ++i) {
+        Ray r = makeRay({rng.nextRange(0, 100), rng.nextRange(0, 100),
+                         rng.nextRange(0, 100)},
+                        {rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                         rng.nextRange(-1, 1) + 1e-3f});
+        h.observe(r, rng.nextBounded(1000));
+    }
+    EXPECT_TRUE(h.committed());
+}
+
+TEST(AdaptiveHash, PrefersAgreeingCandidate)
+{
+    // Construct a workload where coarse-origin hashing collides a lot
+    // but agreements only happen under the fine configuration: rays in
+    // the same fine cell always hit the same node; rays in different
+    // fine cells (but same coarse cell) hit different nodes.
+    std::vector<HashConfig> cands = {
+        {HashFunction::GridSpherical, 2, 1, 0.15f}, // coarse
+        {HashFunction::GridSpherical, 5, 1, 0.15f}, // fine
+    };
+    AdaptiveRayHasher h(cands, bounds(), 2000);
+    RayHasher fine(cands[1], bounds());
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        Ray r = makeRay({rng.nextRange(0, 100), rng.nextRange(0, 100),
+                         rng.nextRange(0, 100)},
+                        {0, 0, 1});
+        // "Hit node" is a function of the fine cell.
+        std::uint32_t node = fine.hash(r);
+        h.observe(r, node);
+    }
+    ASSERT_TRUE(h.committed());
+    EXPECT_EQ(h.bestConfig().originBits, 5);
+}
+
+TEST(AdaptiveHash, EmptyCandidateListFallsBack)
+{
+    AdaptiveRayHasher h({}, bounds(), 10);
+    Ray r = makeRay({50, 50, 50}, {0, 0, 1});
+    // Must produce the default 5/3 config hash without crashing.
+    EXPECT_LT(h.hash(r), 1u << 15);
+    EXPECT_EQ(h.bestConfig().originBits, 5);
+}
+
+TEST(AdaptiveHash, ObserveAfterCommitIsNoop)
+{
+    std::vector<HashConfig> cands = {
+        {HashFunction::GridSpherical, 5, 3, 0.15f},
+    };
+    AdaptiveRayHasher h(cands, bounds(), 5);
+    Rng rng(4);
+    for (int i = 0; i < 10; ++i) {
+        Ray r = makeRay({rng.nextRange(0, 100), rng.nextRange(0, 100),
+                         rng.nextRange(0, 100)},
+                        {0, 0, 1});
+        h.observe(r, i);
+    }
+    auto collisions = h.candidates()[0].collisions;
+    Ray r = makeRay({50, 50, 50}, {0, 0, 1});
+    h.observe(r, 1);
+    h.observe(r, 1);
+    EXPECT_EQ(h.candidates()[0].collisions, collisions);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,173 @@
+/** @file BVH builder invariant tests. */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "scene/registry.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Triangle>
+randomTriangles(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Triangle> tris;
+    for (int i = 0; i < n; ++i) {
+        Vec3 c{rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+               rng.nextRange(-10, 10)};
+        tris.emplace_back(
+            c,
+            c + Vec3{rng.nextRange(0.01f, 1), rng.nextRange(-1, 1),
+                     rng.nextRange(-1, 1)},
+            c + Vec3{rng.nextRange(-1, 1), rng.nextRange(0.01f, 1),
+                     rng.nextRange(-1, 1)});
+    }
+    return tris;
+}
+
+TEST(BvhBuild, SingleTriangle)
+{
+    auto tris = randomTriangles(1, 1);
+    Bvh bvh = BvhBuilder().build(tris);
+    EXPECT_EQ(bvh.nodeCount(), 1u);
+    EXPECT_TRUE(bvh.node(kBvhRoot).isLeaf());
+    EXPECT_EQ(bvh.validate(tris.size()), "");
+}
+
+TEST(BvhBuild, EmptyThrows)
+{
+    std::vector<Triangle> empty;
+    EXPECT_THROW(BvhBuilder().build(empty), std::invalid_argument);
+}
+
+/** Parameterised over sizes: invariants hold at every scale. */
+class BvhSizeTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BvhSizeTest, ValidatesAndCoversAllPrims)
+{
+    auto tris = randomTriangles(GetParam(), 42 + GetParam());
+    Bvh bvh = BvhBuilder().build(tris);
+    EXPECT_EQ(bvh.validate(tris.size()), "") << "n=" << GetParam();
+    // Root bounds must contain every triangle.
+    Aabb root = bvh.sceneBounds();
+    Aabb grown = root;
+    grown.lo -= Vec3(1e-3f);
+    grown.hi += Vec3(1e-3f);
+    for (const auto &t : tris)
+        EXPECT_TRUE(grown.contains(t.bounds()));
+}
+
+TEST_P(BvhSizeTest, DepthIsLogarithmicish)
+{
+    auto tris = randomTriangles(GetParam(), 7);
+    Bvh bvh = BvhBuilder().build(tris);
+    // SAH over uniformly random triangles should stay near log2(n),
+    // certainly under 4*log2(n) + 8.
+    double log2n = std::log2(std::max(2, GetParam()));
+    EXPECT_LT(bvh.maxDepth(), 4 * log2n + 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BvhSizeTest,
+                         ::testing::Values(2, 5, 16, 100, 1000, 5000));
+
+TEST(BvhBuild, LeafSizeRespected)
+{
+    BvhBuildConfig cfg;
+    cfg.maxLeafSize = 2;
+    auto tris = randomTriangles(500, 9);
+    Bvh bvh = BvhBuilder(cfg).build(tris);
+    for (const auto &n : bvh.nodes()) {
+        if (n.isLeaf())
+            EXPECT_LE(n.primCount, 8u); // SAH may keep small clusters
+    }
+    EXPECT_EQ(bvh.validate(tris.size()), "");
+}
+
+TEST(BvhBuild, IdenticalCentroidsStillTerminate)
+{
+    // Many triangles with the same centroid force the median fallback.
+    std::vector<Triangle> tris;
+    for (int i = 0; i < 64; ++i) {
+        float s = 0.1f + 0.01f * i;
+        tris.emplace_back(Vec3{-s, -s, 0}, Vec3{s, -s, 0},
+                          Vec3{0, 2 * s, 0});
+    }
+    Bvh bvh = BvhBuilder().build(tris);
+    EXPECT_EQ(bvh.validate(tris.size()), "");
+}
+
+TEST(BvhBuild, AncestorWalk)
+{
+    auto tris = randomTriangles(200, 10);
+    Bvh bvh = BvhBuilder().build(tris);
+    for (std::uint32_t i = 0; i < bvh.nodeCount(); ++i) {
+        // 0th ancestor is the node itself.
+        EXPECT_EQ(bvh.ancestorOf(i, 0), i);
+        // A huge k clamps at the root.
+        EXPECT_EQ(bvh.ancestorOf(i, 10000), kBvhRoot);
+        // k-th ancestor depth decreases by exactly min(k, depth).
+        std::uint32_t a = bvh.ancestorOf(i, 3);
+        std::uint32_t expect_depth =
+            bvh.node(i).depth >= 3 ? bvh.node(i).depth - 3 : 0;
+        EXPECT_EQ(bvh.node(a).depth, expect_depth);
+    }
+}
+
+TEST(BvhBuild, EulerSubtreeContainment)
+{
+    auto tris = randomTriangles(300, 11);
+    Bvh bvh = BvhBuilder().build(tris);
+    for (std::uint32_t i = 0; i < bvh.nodeCount(); ++i) {
+        const BvhNode &n = bvh.node(i);
+        EXPECT_TRUE(bvh.inSubtree(kBvhRoot, i));
+        EXPECT_TRUE(bvh.inSubtree(i, i));
+        if (!n.isLeaf()) {
+            EXPECT_TRUE(bvh.inSubtree(i, n.left));
+            EXPECT_TRUE(bvh.inSubtree(i, n.right));
+            EXPECT_FALSE(bvh.inSubtree(n.left, i));
+            // Siblings are not in each other's subtree.
+            EXPECT_FALSE(bvh.inSubtree(n.left, n.right));
+        }
+    }
+}
+
+TEST(BvhBuild, LeafOfPrimSlotRoundTrip)
+{
+    auto tris = randomTriangles(400, 12);
+    Bvh bvh = BvhBuilder().build(tris);
+    for (std::uint32_t slot = 0; slot < tris.size(); ++slot) {
+        std::uint32_t leaf = bvh.leafOfPrimSlot(slot);
+        const BvhNode &n = bvh.node(leaf);
+        ASSERT_TRUE(n.isLeaf());
+        EXPECT_GE(slot, n.firstPrim);
+        EXPECT_LT(slot, n.firstPrim + n.primCount);
+    }
+}
+
+TEST(BvhBuild, NodeAddressesAreDistinctAndAligned)
+{
+    auto tris = randomTriangles(100, 13);
+    Bvh bvh = BvhBuilder().build(tris);
+    EXPECT_EQ(bvh.nodeAddress(1) - bvh.nodeAddress(0), kBvhNodeBytes);
+    EXPECT_EQ(bvh.triangleAddress(1) - bvh.triangleAddress(0),
+              kTriangleBytes);
+    EXPECT_NE(bvh.nodeAddress(0), bvh.triangleAddress(0));
+}
+
+TEST(BvhBuild, SceneBvhDepthInPaperBallpark)
+{
+    // At detail 0.12, tree depth should be in a plausible range for
+    // architectural scenes (the paper's full-size scenes are 22-27).
+    Scene s = makeScene(SceneId::CrytekSponza, 0.12f);
+    Bvh bvh = BvhBuilder().build(s.mesh.triangles());
+    EXPECT_GE(bvh.maxDepth(), 12u);
+    EXPECT_LE(bvh.maxDepth(), 40u);
+    EXPECT_EQ(bvh.validate(s.mesh.size()), "");
+}
+
+} // namespace
+} // namespace rtp

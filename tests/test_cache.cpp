@@ -1,0 +1,137 @@
+/** @file Timed cache model tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace rtp {
+namespace {
+
+/** Fill function with a fixed latency that counts invocations. */
+struct CountingFill
+{
+    Cycle latency = 100;
+    int calls = 0;
+
+    CacheModel::FillFn
+    fn()
+    {
+        return [this](std::uint64_t, Cycle c) {
+            calls++;
+            return c + latency;
+        };
+    }
+};
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+
+    CacheAccess a = cache.access(0x1000, 0, f);
+    EXPECT_FALSE(a.hit);
+    EXPECT_EQ(fill.calls, 1);
+    EXPECT_EQ(a.readyCycle, 101u); // fill 100 + hit latency 1
+
+    CacheAccess b = cache.access(0x1000, 200, f);
+    EXPECT_TRUE(b.hit);
+    EXPECT_EQ(b.readyCycle, 201u);
+    EXPECT_EQ(fill.calls, 1);
+}
+
+TEST(Cache, SameLineDifferentOffsetHits)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0x1000, 0, f);
+    CacheAccess b = cache.access(0x1000 + 64, 200, f);
+    EXPECT_TRUE(b.hit);
+    EXPECT_EQ(fill.calls, 1);
+}
+
+TEST(Cache, MshrMergeWhileFillInFlight)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0x2000, 0, f); // fill completes at 100
+    CacheAccess b = cache.access(0x2000, 50, f);
+    EXPECT_FALSE(b.hit);
+    EXPECT_TRUE(b.merged);
+    EXPECT_EQ(b.readyCycle, 101u); // waits for the same fill
+    EXPECT_EQ(fill.calls, 1);      // no duplicate downstream request
+    EXPECT_EQ(cache.stats().get("mshr_merges"), 1u);
+}
+
+TEST(Cache, LruEvictionOrder)
+{
+    // 2 lines total, fully associative: third distinct line evicts the
+    // least recently used.
+    CacheModel cache({256, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0 * 128, 0, f);
+    cache.access(1 * 128, 200, f);
+    // Touch line 0 so line 1 becomes LRU.
+    cache.access(0 * 128, 400, f);
+    cache.access(2 * 128, 600, f); // evicts line 1
+    EXPECT_TRUE(cache.contains(0 * 128));
+    EXPECT_FALSE(cache.contains(1 * 128));
+    EXPECT_TRUE(cache.contains(2 * 128));
+    EXPECT_EQ(cache.stats().get("evictions"), 1u);
+}
+
+TEST(Cache, SetAssociativeIndexing)
+{
+    // 4 lines, 2-way: 2 sets. Lines 0 and 2 share set 0; lines 1 and 3
+    // share set 1. Three conflicting lines in one set must evict.
+    CacheModel cache({512, 128, 2, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0 * 128, 0, f);   // set 0
+    cache.access(2 * 128, 200, f); // set 0
+    cache.access(1 * 128, 400, f); // set 1
+    cache.access(4 * 128, 600, f); // set 0: evicts line 0 (LRU)
+    EXPECT_FALSE(cache.contains(0 * 128));
+    EXPECT_TRUE(cache.contains(2 * 128));
+    EXPECT_TRUE(cache.contains(1 * 128)); // other set untouched
+}
+
+TEST(Cache, HitLatencyConfigured)
+{
+    CacheModel cache({1024, 128, 0, 24, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0, 0, f);
+    CacheAccess b = cache.access(0, 1000, f);
+    EXPECT_EQ(b.readyCycle, 1024u);
+}
+
+TEST(Cache, StatsCount)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0, 0, f);
+    cache.access(0, 500, f);
+    cache.access(128, 500, f);
+    EXPECT_EQ(cache.stats().get("hits"), 1u);
+    EXPECT_EQ(cache.stats().get("misses"), 2u);
+}
+
+TEST(Cache, ResetEmptiesContents)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0, 0, f);
+    cache.reset();
+    EXPECT_FALSE(cache.contains(0));
+    CacheAccess a = cache.access(0, 1000, f);
+    EXPECT_FALSE(a.hit);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,70 @@
+/** @file Pinhole camera tests. */
+
+#include <gtest/gtest.h>
+
+#include "scene/camera.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Camera, CenterRayPointsAtTarget)
+{
+    Camera cam({0, 0, 0}, {0, 0, -10}, {0, 1, 0}, 60.0f);
+    Ray r = cam.generateRay(0.5f, 0.5f);
+    EXPECT_NEAR(r.dir.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.dir.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(r.dir.z, -1.0f, 1e-5f);
+    EXPECT_EQ(r.kind, RayKind::Primary);
+}
+
+TEST(Camera, RaysAreNormalized)
+{
+    Camera cam({1, 2, 3}, {4, 5, 6}, {0, 1, 0}, 45.0f);
+    for (float sx : {0.0f, 0.25f, 0.75f, 0.99f}) {
+        for (float sy : {0.0f, 0.5f, 0.99f}) {
+            Ray r = cam.generateRay(sx, sy);
+            EXPECT_NEAR(length(r.dir), 1.0f, 1e-5f);
+            EXPECT_EQ(r.origin.x, 1.0f);
+        }
+    }
+}
+
+TEST(Camera, ScreenXMovesRight)
+{
+    // Looking down -z with +y up, right is +x.
+    Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0f);
+    Ray left = cam.generateRay(0.1f, 0.5f);
+    Ray right = cam.generateRay(0.9f, 0.5f);
+    EXPECT_LT(left.dir.x, 0.0f);
+    EXPECT_GT(right.dir.x, 0.0f);
+}
+
+TEST(Camera, ScreenYMovesDown)
+{
+    Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0f);
+    Ray top = cam.generateRay(0.5f, 0.1f);
+    Ray bottom = cam.generateRay(0.5f, 0.9f);
+    EXPECT_GT(top.dir.y, 0.0f);
+    EXPECT_LT(bottom.dir.y, 0.0f);
+}
+
+TEST(Camera, FovControlsSpread)
+{
+    Camera narrow({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 30.0f);
+    Camera wide({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 90.0f);
+    float narrow_spread =
+        std::fabs(narrow.generateRay(0.99f, 0.5f).dir.x);
+    float wide_spread = std::fabs(wide.generateRay(0.99f, 0.5f).dir.x);
+    EXPECT_LT(narrow_spread, wide_spread);
+}
+
+TEST(Camera, AspectStretchesX)
+{
+    Camera cam({0, 0, 0}, {0, 0, -1}, {0, 1, 0}, 60.0f);
+    Ray square = cam.generateRay(0.9f, 0.5f, 1.0f);
+    Ray wide = cam.generateRay(0.9f, 0.5f, 2.0f);
+    EXPECT_GT(std::fabs(wide.dir.x), std::fabs(square.dir.x));
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,89 @@
+/** @file Banked DRAM model tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hpp"
+
+namespace rtp {
+namespace {
+
+DramConfig
+smallConfig()
+{
+    DramConfig c;
+    c.numBanks = 4;
+    c.rowBytes = 1024;
+    c.rowHitLatency = 10;
+    c.rowMissLatency = 50;
+    c.burstOccupancy = 8;
+    c.queuePenalty = 4;
+    return c;
+}
+
+TEST(Dram, FirstAccessIsRowMiss)
+{
+    DramModel dram(smallConfig());
+    Cycle ready = dram.access(0, 0);
+    EXPECT_EQ(ready, 50u);
+    EXPECT_EQ(dram.stats().get("row_misses"), 1u);
+}
+
+TEST(Dram, SameRowHitsRowBuffer)
+{
+    DramModel dram(smallConfig());
+    dram.access(0, 0);
+    Cycle ready = dram.access(512, 100); // same 1 KB row
+    EXPECT_EQ(ready, 110u);
+    EXPECT_EQ(dram.stats().get("row_hits"), 1u);
+}
+
+TEST(Dram, DifferentRowSameBankConflicts)
+{
+    DramModel dram(smallConfig());
+    // Rows 0 and 4 map to bank 0 (4 banks).
+    dram.access(0, 0);
+    Cycle ready = dram.access(4 * 1024, 0);
+    // Bank busy until 8, queue penalty 4, then row miss 50.
+    EXPECT_EQ(ready, 8u + 4u + 50u);
+    EXPECT_EQ(dram.stats().get("bank_conflicts"), 1u);
+}
+
+TEST(Dram, DifferentBanksProceedInParallel)
+{
+    DramModel dram(smallConfig());
+    Cycle r0 = dram.access(0 * 1024, 0); // bank 0
+    Cycle r1 = dram.access(1 * 1024, 0); // bank 1
+    EXPECT_EQ(r0, 50u);
+    EXPECT_EQ(r1, 50u); // no serialization across banks
+    EXPECT_EQ(dram.stats().get("bank_conflicts"), 0u);
+}
+
+TEST(Dram, BusyBanksStatistic)
+{
+    DramModel dram(smallConfig());
+    dram.access(0 * 1024, 0);
+    dram.access(1 * 1024, 1); // bank 0 busy at arrival
+    dram.access(2 * 1024, 2); // banks 0,1 busy
+    EXPECT_GT(dram.avgBusyBanks(), 0.5);
+    EXPECT_LE(dram.avgBusyBanks(), 3.0);
+}
+
+TEST(Dram, AccessCountTracked)
+{
+    DramModel dram(smallConfig());
+    for (int i = 0; i < 10; ++i)
+        dram.access(i * 128, i * 5);
+    EXPECT_EQ(dram.stats().get("accesses"), 10u);
+}
+
+TEST(Dram, ClearStatsResets)
+{
+    DramModel dram(smallConfig());
+    dram.access(0, 0);
+    dram.clearStats();
+    EXPECT_EQ(dram.stats().get("accesses"), 0u);
+    EXPECT_EQ(dram.avgBusyBanks(), 0.0);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Reference-model fuzz tests: long random operation sequences on the
+ * timed/structured components, checked step-by-step against trivially
+ * correct reference implementations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "core/hash.hpp"
+#include "core/predictor_table.hpp"
+#include "mem/cache.hpp"
+#include "rtunit/traversal_stack.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+// ---- cache vs reference LRU -------------------------------------------
+
+/** Trivially correct fully-associative LRU over line addresses. */
+class RefLru
+{
+  public:
+    explicit RefLru(std::size_t lines) : capacity_(lines) {}
+
+    /** @return true if resident (and refreshes recency). */
+    bool
+    access(std::uint64_t line)
+    {
+        auto it = std::find(order_.begin(), order_.end(), line);
+        if (it != order_.end()) {
+            order_.erase(it);
+            order_.push_front(line);
+            return true;
+        }
+        order_.push_front(line);
+        if (order_.size() > capacity_)
+            order_.pop_back();
+        return false;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::list<std::uint64_t> order_;
+};
+
+TEST(FuzzModels, FullyAssociativeCacheMatchesReferenceLru)
+{
+    const std::uint32_t lines = 16;
+    CacheModel cache({lines * 128, 128, 0, 1, "fuzz"});
+    RefLru ref(lines);
+    Rng rng(91);
+    Cycle cycle = 0;
+    auto fill = [](std::uint64_t, Cycle c) { return c; }; // instant
+
+    for (int i = 0; i < 20000; ++i) {
+        // Skewed address distribution to get plenty of both hits and
+        // conflict evictions.
+        std::uint64_t line = rng.nextBounded(lines * 3);
+        cycle += 2; // fills complete instantly, no in-flight merging
+        CacheAccess a = cache.access(line * 128, cycle, fill);
+        bool ref_hit = ref.access(line);
+        ASSERT_EQ(ref_hit, a.hit) << "op " << i << " line " << line;
+    }
+}
+
+TEST(FuzzModels, SetAssociativeCacheRespectsSetIsolation)
+{
+    // 2 sets x 2 ways: accesses to set 0 must never evict set 1 lines.
+    CacheModel cache({512, 128, 2, 1, "fuzz"});
+    auto fill = [](std::uint64_t, Cycle c) { return c; };
+    Rng rng(92);
+    cache.access(1 * 128, 0, fill); // set 1 resident
+    cache.access(3 * 128, 1, fill); // set 1 resident
+    for (int i = 0; i < 1000; ++i) {
+        std::uint64_t even_line = rng.nextBounded(64) * 2; // set 0 only
+        cache.access(even_line * 128, 10 + i, fill);
+        ASSERT_TRUE(cache.contains(1 * 128)) << "op " << i;
+        ASSERT_TRUE(cache.contains(3 * 128)) << "op " << i;
+    }
+}
+
+// ---- predictor table vs reference map ----------------------------------
+
+/** Reference model: per-set LRU map of tag -> node (1 node/entry). */
+class RefTable
+{
+  public:
+    RefTable(std::uint32_t sets, std::uint32_t ways, int tag_bits,
+             int index_bits)
+        : sets_(sets), ways_(ways), tagBits_(tag_bits),
+          indexBits_(index_bits), entries_(sets)
+    {}
+
+    std::optional<std::uint32_t>
+    lookup(std::uint32_t hash)
+    {
+        auto &set = entries_[foldHash(hash, tagBits_, indexBits_)];
+        auto it = std::find_if(set.begin(), set.end(),
+                               [&](auto &e) { return e.first == hash; });
+        if (it == set.end())
+            return std::nullopt;
+        auto entry = *it;
+        set.erase(it);
+        set.push_front(entry); // refresh recency
+        return entry.second;
+    }
+
+    void
+    update(std::uint32_t hash, std::uint32_t node)
+    {
+        auto &set = entries_[foldHash(hash, tagBits_, indexBits_)];
+        auto it = std::find_if(set.begin(), set.end(),
+                               [&](auto &e) { return e.first == hash; });
+        if (it != set.end())
+            set.erase(it);
+        set.push_front({hash, node});
+        if (set.size() > ways_)
+            set.pop_back();
+    }
+
+  private:
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    int tagBits_;
+    int indexBits_;
+    std::vector<std::deque<std::pair<std::uint32_t, std::uint32_t>>>
+        entries_;
+};
+
+TEST(FuzzModels, PredictorTableMatchesReferenceModel)
+{
+    PredictorTableConfig cfg;
+    cfg.numEntries = 32;
+    cfg.ways = 4;
+    cfg.nodesPerEntry = 1;
+    const int tag_bits = 10;
+    PredictorTable table(cfg, tag_bits);
+    RefTable ref(table.numSets(), cfg.ways, tag_bits,
+                 table.indexBits());
+
+    Rng rng(93);
+    for (int i = 0; i < 30000; ++i) {
+        std::uint32_t hash = rng.nextBounded(1 << tag_bits);
+        if (rng.nextFloat() < 0.5f) {
+            std::uint32_t node = rng.nextBounded(1000);
+            table.update(hash, node);
+            ref.update(hash, node);
+        } else {
+            auto got = table.lookup(hash);
+            auto want = ref.lookup(hash);
+            ASSERT_EQ(want.has_value(), got.has_value())
+                << "op " << i << " hash " << hash;
+            if (want) {
+                ASSERT_EQ(got->size(), 1u);
+                ASSERT_EQ(*want, (*got)[0]) << "op " << i;
+            }
+        }
+    }
+}
+
+// ---- traversal stack vs std::vector -------------------------------------
+
+TEST(FuzzModels, TraversalStackMatchesPlainStack)
+{
+    Rng rng(94);
+    for (std::uint32_t hw : {2u, 4u, 8u}) {
+        TraversalStack s(hw, 2);
+        std::vector<std::uint32_t> ref;
+        for (int i = 0; i < 20000; ++i) {
+            if (ref.empty() || rng.nextFloat() < 0.55f) {
+                std::uint32_t v = rng.nextU32();
+                s.push(v);
+                ref.push_back(v);
+            } else {
+                auto got = s.pop();
+                ASSERT_TRUE(got.has_value());
+                ASSERT_EQ(*got, ref.back()) << "op " << i;
+                ref.pop_back();
+            }
+            ASSERT_EQ(s.size(), ref.size());
+            ASSERT_EQ(s.empty(), ref.empty());
+        }
+        // Drain completely.
+        while (!ref.empty()) {
+            ASSERT_EQ(*s.pop(), ref.back());
+            ref.pop_back();
+        }
+        ASSERT_FALSE(s.pop().has_value());
+    }
+}
+
+// ---- fold hash properties -----------------------------------------------
+
+TEST(FuzzModels, FoldHashStaysInRangeAndIsDeterministic)
+{
+    Rng rng(95);
+    for (int i = 0; i < 20000; ++i) {
+        std::uint32_t h = rng.nextU32() & 0x7fffffff;
+        int n = 1 + static_cast<int>(rng.nextBounded(31));
+        int m = 1 + static_cast<int>(rng.nextBounded(16));
+        std::uint32_t folded =
+            foldHash(h & ((n >= 31) ? ~0u : ((1u << n) - 1)), n, m);
+        ASSERT_LT(folded, 1u << m);
+        ASSERT_EQ(folded,
+                  foldHash(h & ((n >= 31) ? ~0u : ((1u << n) - 1)), n,
+                           m));
+    }
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,105 @@
+/** @file Image container / PNM writer tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/image.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Image, DimensionsAndChannels)
+{
+    Image g(4, 3);
+    EXPECT_EQ(g.width(), 4);
+    EXPECT_EQ(g.height(), 3);
+    EXPECT_EQ(g.channels(), 1);
+    Image c(4, 3, 3);
+    EXPECT_EQ(c.channels(), 3);
+    Image weird(2, 2, 7); // clamps to grayscale
+    EXPECT_EQ(weird.channels(), 1);
+}
+
+TEST(Image, SetAndGetPixel)
+{
+    Image img(4, 4);
+    img.setPixel(1, 2, 0.5f);
+    EXPECT_NEAR(img.pixel(1, 2), 128, 1);
+    EXPECT_EQ(img.pixel(0, 0), 0);
+}
+
+TEST(Image, ClampsValues)
+{
+    Image img(2, 2);
+    img.setPixel(0, 0, -1.0f);
+    img.setPixel(1, 0, 2.0f);
+    EXPECT_EQ(img.pixel(0, 0), 0);
+    EXPECT_EQ(img.pixel(1, 0), 255);
+}
+
+TEST(Image, OutOfBoundsIgnored)
+{
+    Image img(2, 2);
+    img.setPixel(-1, 0, 1.0f);
+    img.setPixel(0, 5, 1.0f);
+    EXPECT_NEAR(img.mean(), 0.0, 1e-9);
+}
+
+TEST(Image, RgbPixels)
+{
+    Image img(2, 2, 3);
+    img.setPixel(0, 0, 1.0f, 0.0f, 0.0f);
+    EXPECT_EQ(img.pixel(0, 0, 0), 255);
+    EXPECT_EQ(img.pixel(0, 0, 1), 0);
+}
+
+TEST(Image, RgbOnGrayscaleUsesLuma)
+{
+    Image img(1, 1, 1);
+    img.setPixel(0, 0, 0.0f, 1.0f, 0.0f);
+    EXPECT_NEAR(img.pixel(0, 0), 0.7152 * 255, 2);
+}
+
+TEST(Image, WritePgmRoundTripHeader)
+{
+    Image img(3, 2);
+    img.setPixel(0, 0, 1.0f);
+    std::string path = "/tmp/rtp_test_image.pgm";
+    ASSERT_TRUE(img.writePnm(path));
+    std::ifstream f(path, std::ios::binary);
+    std::string magic;
+    int w, h, maxv;
+    f >> magic >> w >> h >> maxv;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(w, 3);
+    EXPECT_EQ(h, 2);
+    EXPECT_EQ(maxv, 255);
+    f.get(); // whitespace
+    EXPECT_EQ(f.get(), 255);
+    std::remove(path.c_str());
+}
+
+TEST(Image, WritePpmForRgb)
+{
+    Image img(2, 2, 3);
+    std::string path = "/tmp/rtp_test_image.ppm";
+    ASSERT_TRUE(img.writePnm(path));
+    std::ifstream f(path, std::ios::binary);
+    std::string magic;
+    f >> magic;
+    EXPECT_EQ(magic, "P6");
+    std::remove(path.c_str());
+}
+
+TEST(Image, MeanComputation)
+{
+    Image img(2, 1);
+    img.setPixel(0, 0, 0.0f);
+    img.setPixel(1, 0, 1.0f);
+    EXPECT_NEAR(img.mean(), 0.5, 0.01);
+}
+
+} // namespace
+} // namespace rtp

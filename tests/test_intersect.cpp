@@ -1,0 +1,211 @@
+/** @file Ray-box and ray-triangle intersection tests. */
+
+#include <gtest/gtest.h>
+
+#include "geometry/intersect.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+Ray
+makeRay(Vec3 o, Vec3 d, float tmax = 1e30f)
+{
+    Ray r;
+    r.origin = o;
+    r.dir = d;
+    r.tMax = tmax;
+    return r;
+}
+
+TEST(RayBox, StraightHit)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    EXPECT_TRUE(intersectRayAabb(makeRay({-5, 0, 0}, {1, 0, 0}), box, t));
+    EXPECT_NEAR(t, 4.0f, 1e-5f);
+}
+
+TEST(RayBox, Miss)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    EXPECT_FALSE(
+        intersectRayAabb(makeRay({-5, 3, 0}, {1, 0, 0}), box, t));
+    EXPECT_FALSE(
+        intersectRayAabb(makeRay({-5, 0, 0}, {-1, 0, 0}), box, t));
+}
+
+TEST(RayBox, OriginInsideBox)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    EXPECT_TRUE(intersectRayAabb(makeRay({0, 0, 0}, {1, 0, 0}), box, t));
+    // Entry is clamped to tMin when the origin is inside.
+    EXPECT_NEAR(t, 1e-4f, 1e-5f);
+}
+
+TEST(RayBox, TMaxCulls)
+{
+    Aabb box{{10, -1, -1}, {12, 1, 1}};
+    float t;
+    EXPECT_TRUE(intersectRayAabb(makeRay({0, 0, 0}, {1, 0, 0}, 20.0f),
+                                 box, t));
+    EXPECT_FALSE(intersectRayAabb(makeRay({0, 0, 0}, {1, 0, 0}, 5.0f),
+                                  box, t));
+}
+
+TEST(RayBox, AxisParallelRays)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    // Direction has a zero component; IEEE inf semantics must handle it.
+    EXPECT_TRUE(intersectRayAabb(makeRay({0, -5, 0}, {0, 1, 0}), box, t));
+    EXPECT_FALSE(
+        intersectRayAabb(makeRay({3, -5, 0}, {0, 1, 0}), box, t));
+}
+
+TEST(RayBox, DiagonalRay)
+{
+    Aabb box{{1, 1, 1}, {2, 2, 2}};
+    float t;
+    EXPECT_TRUE(
+        intersectRayAabb(makeRay({0, 0, 0}, {1, 1, 1}), box, t));
+    EXPECT_NEAR(t, 1.0f, 1e-5f); // parametric, direction unnormalised
+}
+
+TEST(RayTriangle, FrontAndBackHit)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    HitRecord rec;
+    EXPECT_TRUE(intersectRayTriangle(
+        makeRay({0.5f, 0.5f, 0}, {0, 0, 1}), tri, rec));
+    EXPECT_NEAR(rec.t, 5.0f, 1e-4f);
+    // From the other side (no backface culling for occlusion rays).
+    HitRecord rec2;
+    EXPECT_TRUE(intersectRayTriangle(
+        makeRay({0.5f, 0.5f, 10}, {0, 0, -1}), tri, rec2));
+    EXPECT_NEAR(rec2.t, 5.0f, 1e-4f);
+}
+
+TEST(RayTriangle, MissOutsideEdges)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    HitRecord rec;
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({1.5f, 1.5f, 0}, {0, 0, 1}), tri, rec)); // u+v > 1
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({-0.5f, 0.5f, 0}, {0, 0, 1}), tri, rec)); // u < 0
+}
+
+TEST(RayTriangle, ParallelRayMisses)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    HitRecord rec;
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({0.5f, 0.5f, 0}, {1, 0, 0}), tri, rec));
+}
+
+TEST(RayTriangle, BehindOriginMisses)
+{
+    Triangle tri{{0, 0, -5}, {2, 0, -5}, {0, 2, -5}};
+    HitRecord rec;
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({0.5f, 0.5f, 0}, {0, 0, 1}), tri, rec));
+}
+
+TEST(RayTriangle, TMaxCulls)
+{
+    Triangle tri{{0, 0, 5}, {2, 0, 5}, {0, 2, 5}};
+    HitRecord rec;
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({0.5f, 0.5f, 0}, {0, 0, 1}, 4.0f), tri, rec));
+}
+
+TEST(RayTriangle, BarycentricsConsistentProperty)
+{
+    // Sample random points inside random triangles; the reported (u, v)
+    // must reconstruct the sample point.
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+        Triangle tri{{rng.nextRange(-3, 3), rng.nextRange(-3, 3), 5.0f},
+                     {rng.nextRange(-3, 3), rng.nextRange(-3, 3), 5.5f},
+                     {rng.nextRange(-3, 3), rng.nextRange(-3, 3), 6.0f}};
+        if (tri.area() < 1e-3f)
+            continue;
+        float u = rng.nextFloat(), v = rng.nextFloat();
+        if (u + v > 1.0f) {
+            u = 1.0f - u;
+            v = 1.0f - v;
+        }
+        Vec3 p = tri.v0 + (tri.v1 - tri.v0) * u + (tri.v2 - tri.v0) * v;
+        Ray ray = makeRay(p - Vec3{0, 0, 10}, {0, 0, 1});
+        HitRecord rec;
+        ASSERT_TRUE(intersectRayTriangle(ray, tri, rec));
+        EXPECT_NEAR(rec.u, u, 1e-3f);
+        EXPECT_NEAR(rec.v, v, 1e-3f);
+        Vec3 hit = ray.at(rec.t);
+        EXPECT_NEAR(hit.x, p.x, 1e-3f);
+        EXPECT_NEAR(hit.y, p.y, 1e-3f);
+    }
+}
+
+/**
+ * Property: a ray that hits a triangle must also hit the triangle's
+ * bounding box (conservativeness of the box test, which BVH pruning
+ * relies on).
+ */
+TEST(Intersect, BoxTestIsConservativeProperty)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 1000; ++i) {
+        Triangle tri{{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                      rng.nextRange(-5, 5)},
+                     {rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                      rng.nextRange(-5, 5)},
+                     {rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                      rng.nextRange(-5, 5)}};
+        Ray ray = makeRay({rng.nextRange(-10, 10),
+                           rng.nextRange(-10, 10), -20.0f},
+                          {rng.nextRange(-0.5f, 0.5f),
+                           rng.nextRange(-0.5f, 0.5f), 1.0f});
+        HitRecord rec;
+        if (intersectRayTriangle(ray, tri, rec)) {
+            hits++;
+            float t;
+            EXPECT_TRUE(intersectRayAabb(ray, tri.bounds(), t));
+        }
+    }
+    EXPECT_GT(hits, 10); // the sample must actually exercise hits
+}
+
+TEST(RayBoxPrecompTest, MatchesUncachedOverload)
+{
+    Rng rng(17);
+    for (int i = 0; i < 300; ++i) {
+        Aabb box;
+        box.extend(Vec3{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                        rng.nextRange(-5, 5)});
+        box.extend(Vec3{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                        rng.nextRange(-5, 5)});
+        Ray ray = makeRay({rng.nextRange(-10, 10),
+                           rng.nextRange(-10, 10),
+                           rng.nextRange(-10, 10)},
+                          {rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                           rng.nextRange(-1, 1)});
+        if (length(ray.dir) < 1e-3f)
+            continue;
+        RayBoxPrecomp pre(ray);
+        float t1 = 0, t2 = 0;
+        bool h1 = intersectRayAabb(ray, pre, box, t1);
+        bool h2 = intersectRayAabb(ray, box, t2);
+        EXPECT_EQ(h1, h2);
+        if (h1) {
+            EXPECT_FLOAT_EQ(t1, t2);
+        }
+    }
+}
+
+} // namespace
+} // namespace rtp

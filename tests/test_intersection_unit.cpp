@@ -1,0 +1,48 @@
+/** @file Intersection unit latency model tests. */
+
+#include <gtest/gtest.h>
+
+#include "rtunit/intersection_unit.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(IntersectionUnit, BoxPairLatency)
+{
+    IntersectionUnit u({2, 2});
+    EXPECT_EQ(u.boxPairLatency(), 3u); // pipeline depth + 1
+    EXPECT_EQ(u.stats().get("box_tests"), 2u);
+}
+
+TEST(IntersectionUnit, LeafLatencyPipelines)
+{
+    IntersectionUnit u({2, 2});
+    EXPECT_EQ(u.leafLatency(1), 2u);
+    EXPECT_EQ(u.leafLatency(4), 5u); // depth 2 + 3 extra prims
+    EXPECT_EQ(u.stats().get("tri_tests"), 5u);
+}
+
+TEST(IntersectionUnit, ConfigurableDepth)
+{
+    IntersectionUnit u({6, 10});
+    EXPECT_EQ(u.boxPairLatency(), 7u);
+    EXPECT_EQ(u.leafLatency(2), 11u);
+}
+
+TEST(IntersectionUnit, ZeroPrimLeaf)
+{
+    IntersectionUnit u({2, 2});
+    EXPECT_EQ(u.leafLatency(0), 2u);
+    EXPECT_EQ(u.stats().get("tri_tests"), 0u);
+}
+
+TEST(IntersectionUnit, ClearStats)
+{
+    IntersectionUnit u;
+    u.boxPairLatency();
+    u.clearStats();
+    EXPECT_EQ(u.stats().get("box_tests"), 0u);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,105 @@
+/** @file Memory hierarchy composition tests. */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.hpp"
+
+namespace rtp {
+namespace {
+
+MemoryConfig
+fastConfig()
+{
+    MemoryConfig c;
+    c.l1 = {512, 128, 0, 1, "l1"}; // 4 lines
+    c.l2 = {2048, 128, 2, 1, "l2"}; // 16 lines
+    c.l1ToL2Latency = 10;
+    c.l2ToDramLatency = 20;
+    c.dram.rowMissLatency = 50;
+    c.dram.rowHitLatency = 10;
+    return c;
+}
+
+TEST(MemorySystem, ColdAccessGoesToDram)
+{
+    MemorySystem mem(fastConfig(), 1);
+    MemAccess a = mem.access(0, 0x1000, 0);
+    EXPECT_EQ(a.servedBy, MemLevel::Dram);
+    // l1ToL2 10 + l2ToDram 20 + dram 50 + l2 hitlat 1 + l1 hitlat 1.
+    EXPECT_GE(a.readyCycle, 80u);
+}
+
+TEST(MemorySystem, SecondAccessHitsL1)
+{
+    MemorySystem mem(fastConfig(), 1);
+    mem.access(0, 0x1000, 0);
+    MemAccess b = mem.access(0, 0x1000, 500);
+    EXPECT_EQ(b.servedBy, MemLevel::L1);
+    EXPECT_EQ(b.readyCycle, 501u);
+}
+
+TEST(MemorySystem, L1EvictionFallsBackToL2)
+{
+    MemorySystem mem(fastConfig(), 1);
+    mem.access(0, 0 * 128, 0);
+    // Fill the 4-line L1 with other lines to evict line 0.
+    for (int i = 1; i <= 4; ++i)
+        mem.access(0, i * 128, 1000 + i * 100);
+    MemAccess b = mem.access(0, 0 * 128, 5000);
+    EXPECT_EQ(b.servedBy, MemLevel::L2);
+    EXPECT_LT(b.readyCycle, 5000u + 40u); // no DRAM trip
+}
+
+TEST(MemorySystem, PerSmL1sAreIndependent)
+{
+    MemorySystem mem(fastConfig(), 2);
+    mem.access(0, 0x1000, 0);
+    // SM 1's L1 is cold but L2 is warm.
+    MemAccess b = mem.access(1, 0x1000, 500);
+    EXPECT_EQ(b.servedBy, MemLevel::L2);
+    MemAccess c = mem.access(1, 0x1000, 1000);
+    EXPECT_EQ(c.servedBy, MemLevel::L1);
+}
+
+TEST(MemorySystem, L2DisabledGoesStraightToDram)
+{
+    MemoryConfig cfg = fastConfig();
+    cfg.l2Enabled = false;
+    MemorySystem mem(cfg, 1);
+    mem.access(0, 0x1000, 0);
+    // Evict from tiny L1...
+    for (int i = 1; i <= 4; ++i)
+        mem.access(0, 0x1000 + i * 128, 100 * i + 200);
+    MemAccess b = mem.access(0, 0x1000, 5000);
+    EXPECT_EQ(b.servedBy, MemLevel::Dram);
+}
+
+TEST(MemorySystem, AggregateStatsCombineLevels)
+{
+    MemorySystem mem(fastConfig(), 2);
+    mem.access(0, 0, 0);
+    // Wait for SM0's L2 fill to complete so SM1's access is a true L2
+    // hit rather than an MSHR merge into the in-flight fill.
+    mem.access(1, 0, 500);
+    mem.access(0, 0, 1000);
+    StatGroup g = mem.aggregateStats();
+    EXPECT_EQ(g.get("l1.misses"), 2u);
+    EXPECT_EQ(g.get("l1.hits"), 1u);
+    EXPECT_EQ(g.get("l2.misses"), 1u);
+    EXPECT_EQ(g.get("l2.hits"), 1u);
+    EXPECT_EQ(g.get("dram.accesses"), 1u);
+}
+
+TEST(MemorySystem, ClearStatsKeepsContents)
+{
+    MemorySystem mem(fastConfig(), 1);
+    mem.access(0, 0, 0);
+    mem.clearStats();
+    EXPECT_EQ(mem.aggregateStats().get("l1.misses"), 0u);
+    // Line is still resident.
+    MemAccess a = mem.access(0, 0, 100);
+    EXPECT_EQ(a.servedBy, MemLevel::L1);
+}
+
+} // namespace
+} // namespace rtp

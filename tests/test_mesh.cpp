@@ -1,0 +1,110 @@
+/** @file Mesh construction helper tests. */
+
+#include <gtest/gtest.h>
+
+#include "scene/mesh.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Mesh, AddTriangle)
+{
+    Mesh m;
+    m.addTriangle({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Mesh, QuadTessellationCount)
+{
+    Mesh m;
+    m.addQuad({0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, 3, 5);
+    EXPECT_EQ(m.size(), 2u * 3u * 5u);
+}
+
+TEST(Mesh, QuadCoversUnitSquare)
+{
+    Mesh m;
+    m.addQuad({0, 0, 0}, {1, 0, 0}, {1, 1, 0}, {0, 1, 0}, 4, 4);
+    Aabb b = m.bounds();
+    EXPECT_NEAR(b.lo.x, 0.0f, 1e-6f);
+    EXPECT_NEAR(b.hi.x, 1.0f, 1e-6f);
+    EXPECT_NEAR(b.hi.y, 1.0f, 1e-6f);
+    // Total area of the tessellation equals the quad area.
+    float area = 0.0f;
+    for (const auto &t : m.triangles())
+        area += t.area();
+    EXPECT_NEAR(area, 1.0f, 1e-4f);
+}
+
+TEST(Mesh, BoxHasSixFaces)
+{
+    Mesh m;
+    m.addBox(Aabb{{0, 0, 0}, {1, 2, 3}}, 2, 3);
+    EXPECT_EQ(m.size(), 6u * 2u * 2u * 3u);
+    Aabb b = m.bounds();
+    EXPECT_NEAR(b.hi.z, 3.0f, 1e-6f);
+    float area = 0.0f;
+    for (const auto &t : m.triangles())
+        area += t.area();
+    EXPECT_NEAR(area, 2.0f * (2.0f + 6.0f + 3.0f), 1e-3f);
+}
+
+TEST(Mesh, CylinderCounts)
+{
+    Mesh m;
+    m.addCylinder({0, 0, 0}, 1.0f, 2.0f, 8, 3, true);
+    // Side: 2*8*3, caps: 2*8 fans.
+    EXPECT_EQ(m.size(), 2u * 8u * 3u + 2u * 8u);
+    Aabb b = m.bounds();
+    EXPECT_NEAR(b.hi.y, 2.0f, 1e-5f);
+    EXPECT_NEAR(b.lo.y, 0.0f, 1e-5f);
+    EXPECT_NEAR(b.hi.x, 1.0f, 1e-2f);
+}
+
+TEST(Mesh, CylinderNoCaps)
+{
+    Mesh m;
+    m.addCylinder({0, 0, 0}, 1.0f, 2.0f, 8, 3, false);
+    EXPECT_EQ(m.size(), 2u * 8u * 3u);
+}
+
+TEST(Mesh, SphereBoundsAndCount)
+{
+    Mesh m;
+    m.addSphere({1, 2, 3}, 0.5f, 12, 6);
+    EXPECT_EQ(m.size(), 2u * 12u * 6u);
+    Aabb b = m.bounds();
+    EXPECT_NEAR(b.center().x, 1.0f, 0.05f);
+    EXPECT_NEAR(b.extent().y, 1.0f, 0.05f);
+}
+
+TEST(Mesh, HeightfieldFollowsFunction)
+{
+    Mesh m;
+    m.addHeightfield(0, 0, 2, 2, 1.0f,
+                     [](float u, float v) { return u + v; }, 4, 4);
+    EXPECT_EQ(m.size(), 2u * 4u * 4u);
+    Aabb b = m.bounds();
+    EXPECT_NEAR(b.lo.y, 1.0f, 1e-5f);
+    EXPECT_NEAR(b.hi.y, 3.0f, 1e-5f);
+}
+
+TEST(Mesh, AppendConcatenates)
+{
+    Mesh a, b;
+    a.addTriangle({0, 0, 0}, {1, 0, 0}, {0, 1, 0});
+    b.addBox(Aabb{{0, 0, 0}, {1, 1, 1}});
+    a.append(b);
+    EXPECT_EQ(a.size(), 1u + 12u);
+}
+
+TEST(Mesh, ParametricDegenerateClamped)
+{
+    Mesh m;
+    m.addParametric([](float u, float v) { return Vec3{u, v, 0.0f}; },
+                    0, -1);
+    EXPECT_EQ(m.size(), 2u); // clamped to 1x1
+}
+
+} // namespace
+} // namespace rtp

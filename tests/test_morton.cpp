@@ -1,0 +1,100 @@
+/** @file Morton code tests. */
+
+#include <gtest/gtest.h>
+
+#include "util/morton.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Morton, ExpandBits10Examples)
+{
+    EXPECT_EQ(mortonExpandBits10(0u), 0u);
+    EXPECT_EQ(mortonExpandBits10(1u), 1u);
+    EXPECT_EQ(mortonExpandBits10(2u), 8u);      // bit 1 -> bit 3
+    EXPECT_EQ(mortonExpandBits10(3u), 9u);
+    EXPECT_EQ(mortonExpandBits10(0x3ffu), 0x9249249u);
+}
+
+TEST(Morton, Encode3DInterleaves)
+{
+    // x=1,y=0,z=0 -> bit 2; y=1 -> bit 1; z=1 -> bit 0.
+    EXPECT_EQ(mortonEncode3D(1, 0, 0), 4u);
+    EXPECT_EQ(mortonEncode3D(0, 1, 0), 2u);
+    EXPECT_EQ(mortonEncode3D(0, 0, 1), 1u);
+    EXPECT_EQ(mortonEncode3D(1, 1, 1), 7u);
+}
+
+TEST(Morton, Encode3DIsInjectiveOnSamples)
+{
+    Rng rng(31);
+    std::vector<std::uint32_t> keys;
+    std::vector<std::uint64_t> coords;
+    for (int i = 0; i < 2000; ++i) {
+        std::uint32_t x = rng.nextBounded(1024);
+        std::uint32_t y = rng.nextBounded(1024);
+        std::uint32_t z = rng.nextBounded(1024);
+        std::uint64_t packed =
+            (static_cast<std::uint64_t>(x) << 20) | (y << 10) | z;
+        std::uint32_t key = mortonEncode3D(x, y, z);
+        for (std::size_t j = 0; j < keys.size(); ++j) {
+            if (keys[j] == key) {
+                EXPECT_EQ(coords[j], packed);
+            }
+        }
+        keys.push_back(key);
+        coords.push_back(packed);
+    }
+}
+
+TEST(Morton, LocalityProperty)
+{
+    // Adjacent cells must differ in fewer high bits than distant cells
+    // on average (the whole point of Z-order for ray sorting).
+    auto high_bits_shared = [](std::uint32_t a, std::uint32_t b) {
+        std::uint32_t x = a ^ b;
+        int shared = 30;
+        while (x) {
+            x >>= 1;
+            shared--;
+        }
+        return shared;
+    };
+    double near_acc = 0, far_acc = 0;
+    Rng rng(32);
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+        std::uint32_t x = rng.nextBounded(1000);
+        std::uint32_t y = rng.nextBounded(1000);
+        std::uint32_t z = rng.nextBounded(1000);
+        std::uint32_t base = mortonEncode3D(x, y, z);
+        near_acc += high_bits_shared(base, mortonEncode3D(x + 1, y, z));
+        far_acc += high_bits_shared(
+            base, mortonEncode3D((x + 500) % 1024, (y + 500) % 1024, z));
+    }
+    EXPECT_GT(near_acc / n, far_acc / n);
+}
+
+TEST(Morton, Encode6DUsesAllFields)
+{
+    std::uint32_t base = mortonEncode6D(1, 2, 3, 4, 5, 6);
+    EXPECT_NE(base, mortonEncode6D(2, 2, 3, 4, 5, 6));
+    EXPECT_NE(base, mortonEncode6D(1, 3, 3, 4, 5, 6));
+    EXPECT_NE(base, mortonEncode6D(1, 2, 4, 4, 5, 6));
+    EXPECT_NE(base, mortonEncode6D(1, 2, 3, 5, 5, 6));
+    EXPECT_NE(base, mortonEncode6D(1, 2, 3, 4, 6, 6));
+    EXPECT_NE(base, mortonEncode6D(1, 2, 3, 4, 5, 7));
+}
+
+TEST(Morton, ExpandBits5Placement)
+{
+    // Bit i of the input moves to bit 6*i.
+    EXPECT_EQ(mortonExpandBits5(1u), 1u);
+    EXPECT_EQ(mortonExpandBits5(2u), 1u << 6);
+    EXPECT_EQ(mortonExpandBits5(4u), 1u << 12);
+    EXPECT_EQ(mortonExpandBits5(16u), 1u << 24);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,137 @@
+/** @file Limit-study oracle tests (Section 6.3 orderings). */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "core/oracle.hpp"
+#include "gpu/config.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
+
+namespace rtp {
+namespace {
+
+struct Rig
+{
+    Scene scene;
+    Bvh bvh;
+    RayBatch ao;
+
+    Rig() : scene(makeScene(SceneId::Sibenik, 0.05f))
+    {
+        bvh = BvhBuilder().build(scene.mesh.triangles());
+        RayGenConfig cfg;
+        cfg.width = 40;
+        cfg.height = 40;
+        cfg.samplesPerPixel = 2;
+        cfg.viewportFraction = 0.15f;
+        ao = generateAoRays(scene, bvh, cfg);
+    }
+};
+
+Rig &
+rig()
+{
+    static Rig r;
+    return r;
+}
+
+LimitStudyConfig
+defaultCfg()
+{
+    LimitStudyConfig cfg;
+    cfg.predictor = SimConfig::proposed().predictor;
+    cfg.trainingDelay = 256;
+    return cfg;
+}
+
+LimitResult
+run(OracleMode mode)
+{
+    return runLimitStudy(rig().bvh, rig().scene.mesh.triangles(),
+                         rig().ao.rays, defaultCfg(), mode);
+}
+
+TEST(Oracle, RealisticBasicSanity)
+{
+    LimitResult r = run(OracleMode::Realistic);
+    EXPECT_EQ(r.rays, rig().ao.rays.size());
+    EXPECT_GT(r.hits, 0u);
+    EXPECT_LE(r.verified, r.predicted);
+    EXPECT_LE(r.verified, r.hits);
+    EXPECT_GT(r.baselineAccesses, 0u);
+}
+
+TEST(Oracle, VerifiedOrderingAcrossModes)
+{
+    // The paper's Figure 2 ordering: OL >= Realistic, OT >= OL (the
+    // unbounded table can only widen the candidate pool), OU >= OT.
+    LimitResult realistic = run(OracleMode::Realistic);
+    LimitResult ol = run(OracleMode::OracleLookup);
+    LimitResult ot = run(OracleMode::OracleTraining);
+    LimitResult ou = run(OracleMode::OracleUpdates);
+
+    EXPECT_GE(ol.verifiedRate(), realistic.verifiedRate());
+    EXPECT_GE(ot.verifiedRate(), ol.verifiedRate() * 0.99);
+    EXPECT_GE(ou.verifiedRate(), ot.verifiedRate() * 0.99);
+}
+
+TEST(Oracle, MemorySavingsOrdering)
+{
+    LimitResult realistic = run(OracleMode::Realistic);
+    LimitResult ol = run(OracleMode::OracleLookup);
+    LimitResult ot = run(OracleMode::OracleTraining);
+    // Oracle lookups avoid misprediction overhead entirely, so their
+    // savings dominate the realistic predictor's.
+    EXPECT_GE(ol.memorySavings(), realistic.memorySavings());
+    EXPECT_GE(ot.memorySavings(), ol.memorySavings() * 0.99);
+}
+
+TEST(Oracle, OracleLookupNeverMispredicts)
+{
+    LimitResult ol = run(OracleMode::OracleLookup);
+    // By construction OL only predicts when verification will succeed.
+    EXPECT_EQ(ol.predicted, ol.verified);
+}
+
+TEST(Oracle, VerifiedBoundedByHitRate)
+{
+    for (OracleMode mode :
+         {OracleMode::Realistic, OracleMode::OracleLookup,
+          OracleMode::OracleTraining, OracleMode::OracleUpdates}) {
+        LimitResult r = run(mode);
+        EXPECT_LE(r.verified, r.hits)
+            << "mode " << static_cast<int>(mode);
+    }
+}
+
+TEST(Oracle, SavingsAreFraction)
+{
+    for (OracleMode mode :
+         {OracleMode::Realistic, OracleMode::OracleTraining}) {
+        LimitResult r = run(mode);
+        EXPECT_GT(r.memorySavings(), -1.0);
+        EXPECT_LT(r.memorySavings(), 1.0);
+    }
+}
+
+TEST(Oracle, ZeroDelayTrainsFaster)
+{
+    LimitStudyConfig fast = defaultCfg();
+    fast.trainingDelay = 0;
+    LimitStudyConfig slow = defaultCfg();
+    slow.trainingDelay = 4096;
+    LimitResult f = runLimitStudy(rig().bvh,
+                                  rig().scene.mesh.triangles(),
+                                  rig().ao.rays, fast,
+                                  OracleMode::Realistic);
+    LimitResult s = runLimitStudy(rig().bvh,
+                                  rig().scene.mesh.triangles(),
+                                  rig().ao.rays, slow,
+                                  OracleMode::Realistic);
+    // Immediate training sees strictly more usable history.
+    EXPECT_GE(f.predictedRate(), s.predictedRate());
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,190 @@
+/** @file Predictor table tests (Section 4.1, Figure 5). */
+
+#include <gtest/gtest.h>
+
+#include "core/hash.hpp"
+#include "core/predictor_table.hpp"
+
+namespace rtp {
+namespace {
+
+PredictorTableConfig
+smallConfig(std::uint32_t entries = 8, std::uint32_t ways = 2,
+            std::uint32_t nodes = 1)
+{
+    PredictorTableConfig c;
+    c.numEntries = entries;
+    c.ways = ways;
+    c.nodesPerEntry = nodes;
+    return c;
+}
+
+TEST(PredictorTable, MissOnEmpty)
+{
+    PredictorTable t(smallConfig(), 15);
+    EXPECT_FALSE(t.lookup(0x1234).has_value());
+    EXPECT_EQ(t.stats().get("lookup_misses"), 1u);
+}
+
+TEST(PredictorTable, UpdateThenLookup)
+{
+    PredictorTable t(smallConfig(), 15);
+    t.update(0x1234, 77);
+    auto nodes = t.lookup(0x1234);
+    ASSERT_TRUE(nodes.has_value());
+    ASSERT_EQ(nodes->size(), 1u);
+    EXPECT_EQ((*nodes)[0], 77u);
+}
+
+TEST(PredictorTable, TagDisambiguatesSameSet)
+{
+    // Direct-mapped tables still tag-match (Section 6.1.2).
+    PredictorTable t(smallConfig(4, 1), 15);
+    int idx_bits = t.indexBits();
+    ASSERT_EQ(idx_bits, 2);
+    // Two hashes folding to the same index but different tags: XOR in a
+    // pair of identical index-width chunks so the fold cancels.
+    std::uint32_t h1 = 0x0001;
+    std::uint32_t h2 = h1 ^ (0x3u << idx_bits) ^ (0x3u << (2 * idx_bits));
+    ASSERT_EQ(foldHash(h1, 15, idx_bits), foldHash(h2, 15, idx_bits));
+    ASSERT_NE(h1, h2);
+    t.update(h1, 10);
+    EXPECT_FALSE(t.lookup(h2).has_value());
+    EXPECT_TRUE(t.lookup(h1).has_value());
+}
+
+TEST(PredictorTable, UpdateOverwritesSingleNodeEntry)
+{
+    PredictorTable t(smallConfig(8, 2, 1), 15);
+    t.update(0x42, 1);
+    t.update(0x42, 2);
+    auto nodes = t.lookup(0x42);
+    ASSERT_TRUE(nodes.has_value());
+    EXPECT_EQ(nodes->size(), 1u);
+    EXPECT_EQ((*nodes)[0], 2u);
+}
+
+TEST(PredictorTable, MultiNodeEntryAccumulates)
+{
+    PredictorTable t(smallConfig(8, 2, 4), 15);
+    t.update(0x42, 1);
+    t.update(0x42, 2);
+    t.update(0x42, 3);
+    auto nodes = t.lookup(0x42);
+    ASSERT_TRUE(nodes.has_value());
+    EXPECT_EQ(nodes->size(), 3u);
+}
+
+TEST(PredictorTable, DuplicateNodeNotAddedTwice)
+{
+    PredictorTable t(smallConfig(8, 2, 4), 15);
+    t.update(0x42, 1);
+    t.update(0x42, 1);
+    auto nodes = t.lookup(0x42);
+    ASSERT_TRUE(nodes.has_value());
+    EXPECT_EQ(nodes->size(), 1u);
+}
+
+TEST(PredictorTable, LruEntryEvictionWithinSet)
+{
+    // 2-way set: insert three tags mapping to one set; LRU evicted.
+    PredictorTable t(smallConfig(2, 2), 15);
+    ASSERT_EQ(t.numSets(), 1u);
+    t.update(0x1, 10);
+    t.update(0x2, 20);
+    t.lookup(0x1); // make 0x2 the LRU
+    t.update(0x3, 30);
+    EXPECT_TRUE(t.lookup(0x1).has_value());
+    EXPECT_FALSE(t.lookup(0x2).has_value());
+    EXPECT_TRUE(t.lookup(0x3).has_value());
+    EXPECT_EQ(t.stats().get("entry_evictions"), 1u);
+}
+
+TEST(PredictorTable, NodeReplacementLru)
+{
+    auto cfg = smallConfig(8, 2, 2);
+    cfg.nodeReplacement = NodeReplacement::LRU;
+    PredictorTable t(cfg, 15);
+    t.update(0x5, 1);
+    t.update(0x5, 2);
+    // Entry is full; inserting 3 evicts node 1 (older).
+    t.update(0x5, 3);
+    auto nodes = t.lookup(0x5);
+    ASSERT_TRUE(nodes.has_value());
+    EXPECT_EQ(nodes->size(), 2u);
+    EXPECT_TRUE((*nodes)[0] == 2u || (*nodes)[1] == 2u);
+    EXPECT_TRUE((*nodes)[0] == 3u || (*nodes)[1] == 3u);
+}
+
+TEST(PredictorTable, NodeReplacementLfu)
+{
+    auto cfg = smallConfig(8, 2, 2);
+    cfg.nodeReplacement = NodeReplacement::LFU;
+    PredictorTable t(cfg, 15);
+    t.update(0x5, 1);
+    t.update(0x5, 2);
+    t.update(0x5, 1); // node 1 now frequency 2
+    t.update(0x5, 3); // evicts node 2 (lower frequency)
+    auto nodes = t.lookup(0x5);
+    ASSERT_TRUE(nodes.has_value());
+    bool has1 = false, has2 = false;
+    for (auto n : *nodes) {
+        has1 |= n == 1;
+        has2 |= n == 2;
+    }
+    EXPECT_TRUE(has1);
+    EXPECT_FALSE(has2);
+}
+
+TEST(PredictorTable, NodeReplacementLruK)
+{
+    auto cfg = smallConfig(8, 2, 2);
+    cfg.nodeReplacement = NodeReplacement::LRUK;
+    cfg.lruK = 2;
+    PredictorTable t(cfg, 15);
+    t.update(0x5, 1);
+    t.update(0x5, 1); // node 1 has K=2 references
+    t.update(0x5, 2); // node 2 has one reference (K-th ref = 0)
+    t.update(0x5, 3); // evicts node 2 (no K-th reference)
+    auto nodes = t.lookup(0x5);
+    ASSERT_TRUE(nodes.has_value());
+    bool has2 = false;
+    for (auto n : *nodes)
+        has2 |= n == 2;
+    EXPECT_FALSE(has2);
+}
+
+TEST(PredictorTable, SizeBytesMatchesPaper)
+{
+    // Table 3 / Section 6.1.1: 1024 entries x (1 valid + 15 tag + 27
+    // node) bits = 43 bits -> ~5.5 KB.
+    PredictorTableConfig cfg;
+    cfg.numEntries = 1024;
+    cfg.ways = 4;
+    cfg.nodesPerEntry = 1;
+    PredictorTable t(cfg, 15);
+    EXPECT_EQ(t.bitsPerEntry(), 43u);
+    EXPECT_NEAR(t.sizeBytes(), 5504.0, 1.0); // 1024*43/8 = 5504 B
+    EXPECT_NEAR(t.sizeBytes() / 1024.0, 5.4, 0.2);
+}
+
+TEST(PredictorTable, ResetInvalidatesEverything)
+{
+    PredictorTable t(smallConfig(), 15);
+    t.update(0x7, 9);
+    t.reset();
+    EXPECT_FALSE(t.lookup(0x7).has_value());
+}
+
+TEST(PredictorTable, WaysGeometry)
+{
+    PredictorTable direct(smallConfig(16, 1), 15);
+    EXPECT_EQ(direct.numSets(), 16u);
+    PredictorTable assoc4(smallConfig(16, 4), 15);
+    EXPECT_EQ(assoc4.numSets(), 4u);
+    PredictorTable assoc8(smallConfig(16, 8), 15);
+    EXPECT_EQ(assoc8.numSets(), 2u);
+}
+
+} // namespace
+} // namespace rtp

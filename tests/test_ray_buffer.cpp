@@ -1,0 +1,68 @@
+/** @file Ray buffer slot manager tests. */
+
+#include <gtest/gtest.h>
+
+#include "rtunit/ray_buffer.hpp"
+
+namespace rtp {
+namespace {
+
+Ray
+dummyRay(float x)
+{
+    Ray r;
+    r.origin = {x, 0, 0};
+    r.dir = {0, 0, 1};
+    return r;
+}
+
+TEST(RayBuffer, CapacityAndFreeSlots)
+{
+    RayBuffer buf(256);
+    EXPECT_EQ(buf.capacity(), 256u);
+    EXPECT_EQ(buf.freeSlots(), 256u);
+    EXPECT_TRUE(buf.hasFree(256));
+    EXPECT_FALSE(buf.hasFree(257));
+}
+
+TEST(RayBuffer, AllocateStoresRay)
+{
+    RayBuffer buf(4);
+    std::uint32_t s = buf.allocate(dummyRay(7.0f), 42, 8);
+    EXPECT_EQ(buf.slot(s).ray.origin.x, 7.0f);
+    EXPECT_EQ(buf.slot(s).globalId, 42u);
+    EXPECT_EQ(buf.slot(s).phase, RayPhase::Lookup);
+    EXPECT_EQ(buf.freeSlots(), 3u);
+}
+
+TEST(RayBuffer, ReleaseRecycles)
+{
+    RayBuffer buf(2);
+    std::uint32_t a = buf.allocate(dummyRay(1), 0, 8);
+    std::uint32_t b = buf.allocate(dummyRay(2), 1, 8);
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(buf.hasFree(1));
+    buf.release(a);
+    EXPECT_TRUE(buf.hasFree(1));
+    std::uint32_t c = buf.allocate(dummyRay(3), 2, 8);
+    EXPECT_EQ(c, a); // recycled slot
+    EXPECT_EQ(buf.slot(c).ray.origin.x, 3.0f);
+}
+
+TEST(RayBuffer, AllocationResetsState)
+{
+    RayBuffer buf(1);
+    std::uint32_t s = buf.allocate(dummyRay(1), 0, 8);
+    buf.slot(s).hit = true;
+    buf.slot(s).predicted = true;
+    buf.slot(s).stack.push(5);
+    buf.release(s);
+    std::uint32_t t = buf.allocate(dummyRay(2), 1, 8);
+    ASSERT_EQ(s, t);
+    EXPECT_FALSE(buf.slot(t).hit);
+    EXPECT_FALSE(buf.slot(t).predicted);
+    EXPECT_TRUE(buf.slot(t).stack.empty());
+}
+
+} // namespace
+} // namespace rtp

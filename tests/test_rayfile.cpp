@@ -1,0 +1,107 @@
+/** @file Ray file serialization tests. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "rays/rayfile.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+RayBatch
+makeBatch(int n)
+{
+    Rng rng(55);
+    RayBatch b;
+    b.primaryRays = 100;
+    b.primaryHits = 90;
+    for (int i = 0; i < n; ++i) {
+        Ray r;
+        r.origin = {rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+                    rng.nextRange(-10, 10)};
+        r.dir = {rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                 rng.nextRange(-1, 1)};
+        r.tMin = rng.nextRange(0, 0.1f);
+        r.tMax = rng.nextRange(1, 50);
+        r.kind = i % 3 == 0 ? RayKind::Occlusion
+                            : (i % 3 == 1 ? RayKind::Primary
+                                          : RayKind::Secondary);
+        b.rays.push_back(r);
+    }
+    return b;
+}
+
+TEST(RayFile, RoundTrip)
+{
+    std::string path = "/tmp/rtp_test.rays";
+    RayBatch out = makeBatch(137);
+    ASSERT_TRUE(saveRayFile(path, out));
+
+    RayBatch in;
+    ASSERT_TRUE(loadRayFile(path, in));
+    ASSERT_EQ(in.rays.size(), out.rays.size());
+    EXPECT_EQ(in.primaryRays, out.primaryRays);
+    EXPECT_EQ(in.primaryHits, out.primaryHits);
+    for (std::size_t i = 0; i < out.rays.size(); ++i) {
+        EXPECT_EQ(in.rays[i].origin, out.rays[i].origin);
+        EXPECT_EQ(in.rays[i].dir, out.rays[i].dir);
+        EXPECT_EQ(in.rays[i].tMin, out.rays[i].tMin);
+        EXPECT_EQ(in.rays[i].tMax, out.rays[i].tMax);
+        EXPECT_EQ(in.rays[i].kind, out.rays[i].kind);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(RayFile, EmptyBatch)
+{
+    std::string path = "/tmp/rtp_test_empty.rays";
+    RayBatch out;
+    ASSERT_TRUE(saveRayFile(path, out));
+    RayBatch in;
+    ASSERT_TRUE(loadRayFile(path, in));
+    EXPECT_TRUE(in.rays.empty());
+    std::remove(path.c_str());
+}
+
+TEST(RayFile, MissingFileFails)
+{
+    RayBatch in;
+    EXPECT_FALSE(loadRayFile("/tmp/definitely_not_here.rays", in));
+}
+
+TEST(RayFile, BadMagicRejected)
+{
+    std::string path = "/tmp/rtp_test_bad.rays";
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "NOT A RAY FILE AT ALL, JUST BYTES.............";
+    }
+    RayBatch in;
+    EXPECT_FALSE(loadRayFile(path, in));
+    std::remove(path.c_str());
+}
+
+TEST(RayFile, TruncatedFileRejected)
+{
+    std::string path = "/tmp/rtp_test_trunc.rays";
+    RayBatch out = makeBatch(10);
+    ASSERT_TRUE(saveRayFile(path, out));
+    // Truncate mid-record.
+    {
+        std::ifstream f(path, std::ios::binary);
+        std::string all((std::istreambuf_iterator<char>(f)),
+                        std::istreambuf_iterator<char>());
+        std::ofstream g(path, std::ios::binary | std::ios::trunc);
+        g.write(all.data(),
+                static_cast<std::streamsize>(all.size() - 20));
+    }
+    RayBatch in;
+    EXPECT_FALSE(loadRayFile(path, in));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace rtp

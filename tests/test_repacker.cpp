@@ -1,0 +1,111 @@
+/** @file Partial warp collector tests (Section 4.4, Figure 10). */
+
+#include <gtest/gtest.h>
+
+#include "core/repacker.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<std::uint32_t>
+ids(std::uint32_t first, std::uint32_t count)
+{
+    std::vector<std::uint32_t> v;
+    for (std::uint32_t i = 0; i < count; ++i)
+        v.push_back(first + i);
+    return v;
+}
+
+TEST(Repacker, BuffersBelowWarpSize)
+{
+    PartialWarpCollector c;
+    auto warps = c.add(ids(0, 20), 100);
+    EXPECT_TRUE(warps.empty());
+    EXPECT_EQ(c.pendingCount(), 20u);
+}
+
+TEST(Repacker, EmitsFullWarpAtThirtyTwo)
+{
+    PartialWarpCollector c;
+    c.add(ids(0, 20), 100);
+    auto warps = c.add(ids(20, 12), 105);
+    ASSERT_EQ(warps.size(), 1u);
+    EXPECT_EQ(warps[0].size(), 32u);
+    EXPECT_EQ(c.pendingCount(), 0u);
+    // FIFO order preserved.
+    EXPECT_EQ(warps[0][0], 0u);
+    EXPECT_EQ(warps[0][31], 31u);
+}
+
+TEST(Repacker, OverflowKeptForNextWarp)
+{
+    // Section 4.4.1's example: 30 pending + 15 added -> one warp of 32
+    // leaves 13 in the collector.
+    PartialWarpCollector c;
+    c.add(ids(0, 30), 100);
+    auto warps = c.add(ids(100, 15), 110);
+    ASSERT_EQ(warps.size(), 1u);
+    EXPECT_EQ(warps[0].size(), 32u);
+    EXPECT_EQ(c.pendingCount(), 13u);
+}
+
+TEST(Repacker, TimeoutFlushesPartialWarp)
+{
+    RepackerConfig cfg;
+    cfg.timeout = 16;
+    PartialWarpCollector c(cfg);
+    c.add(ids(0, 5), 100);
+    EXPECT_TRUE(c.flushIfExpired(110).empty()); // not yet
+    auto warp = c.flushIfExpired(116);
+    EXPECT_EQ(warp.size(), 5u);
+    EXPECT_EQ(c.pendingCount(), 0u);
+}
+
+TEST(Repacker, DeadlineTracksOldestAdd)
+{
+    RepackerConfig cfg;
+    cfg.timeout = 16;
+    PartialWarpCollector c(cfg);
+    EXPECT_EQ(c.deadline(), 0u);
+    c.add(ids(0, 3), 100);
+    c.add(ids(3, 3), 110); // timer anchored at the first add
+    EXPECT_EQ(c.deadline(), 116u);
+}
+
+TEST(Repacker, FlushAllDrains)
+{
+    PartialWarpCollector c;
+    c.add(ids(0, 10), 100);
+    auto warp = c.flushAll();
+    EXPECT_EQ(warp.size(), 10u);
+    EXPECT_EQ(c.pendingCount(), 0u);
+    EXPECT_TRUE(c.flushAll().empty());
+}
+
+TEST(Repacker, TwoFullWarpsFromLargeAdd)
+{
+    RepackerConfig cfg;
+    cfg.capacity = 64;
+    PartialWarpCollector c(cfg);
+    c.add(ids(0, 31), 100);
+    auto warps = c.add(ids(31, 33), 101);
+    ASSERT_EQ(warps.size(), 2u);
+    EXPECT_EQ(warps[0].size(), 32u);
+    EXPECT_EQ(warps[1].size(), 32u);
+}
+
+TEST(Repacker, StatsCountEvents)
+{
+    RepackerConfig cfg;
+    cfg.timeout = 8;
+    PartialWarpCollector c(cfg);
+    c.add(ids(0, 32), 100);
+    c.add(ids(32, 4), 110);
+    c.flushIfExpired(200);
+    EXPECT_EQ(c.stats().get("full_warps_formed"), 1u);
+    EXPECT_EQ(c.stats().get("timeout_flushes"), 1u);
+    EXPECT_EQ(c.stats().get("rays_collected"), 36u);
+}
+
+} // namespace
+} // namespace rtp

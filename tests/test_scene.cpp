@@ -1,0 +1,105 @@
+/** @file Scene registry / generator tests (Table 1 scenes). */
+
+#include <gtest/gtest.h>
+
+#include "scene/registry.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(SceneRegistry, SevenScenesInTableOrder)
+{
+    const auto &ids = allSceneIds();
+    ASSERT_EQ(ids.size(), 7u);
+    EXPECT_EQ(sceneShortName(ids[0]), "SB");
+    EXPECT_EQ(sceneShortName(ids[1]), "SP");
+    EXPECT_EQ(sceneShortName(ids[2]), "LE");
+    EXPECT_EQ(sceneShortName(ids[3]), "LR");
+    EXPECT_EQ(sceneShortName(ids[4]), "FR");
+    EXPECT_EQ(sceneShortName(ids[5]), "BI");
+    EXPECT_EQ(sceneShortName(ids[6]), "CK");
+}
+
+/** Parameterised over all scenes at a small detail. */
+class SceneGenTest : public ::testing::TestWithParam<SceneId>
+{
+};
+
+TEST_P(SceneGenTest, ProducesGeometryWithFiniteBounds)
+{
+    Scene s = makeScene(GetParam(), 0.05f);
+    EXPECT_GT(s.mesh.size(), 100u);
+    Aabb b = s.mesh.bounds();
+    EXPECT_FALSE(b.empty());
+    EXPECT_GT(b.diagonal(), 1.0f);
+    EXPECT_LT(b.diagonal(), 1000.0f);
+    for (const auto &t : s.mesh.triangles()) {
+        for (const Vec3 *v : {&t.v0, &t.v1, &t.v2}) {
+            EXPECT_TRUE(std::isfinite(v->x));
+            EXPECT_TRUE(std::isfinite(v->y));
+            EXPECT_TRUE(std::isfinite(v->z));
+        }
+    }
+}
+
+TEST_P(SceneGenTest, CameraSitsInsideSceneBounds)
+{
+    Scene s = makeScene(GetParam(), 0.05f);
+    Aabb b = s.mesh.bounds();
+    // Allow slight slack: cameras sit inside the room shells.
+    Aabb grown = b;
+    grown.lo -= Vec3(1.0f);
+    grown.hi += Vec3(1.0f);
+    EXPECT_TRUE(grown.contains(s.camera.position()));
+}
+
+TEST_P(SceneGenTest, DetailScalesTriangleCount)
+{
+    Scene coarse = makeScene(GetParam(), 0.04f);
+    Scene fine = makeScene(GetParam(), 0.16f);
+    // 4x detail should give noticeably more triangles (allowing for
+    // fixed-count objects and floors at tessellation minimums).
+    EXPECT_GT(fine.mesh.size(), coarse.mesh.size() * 2);
+}
+
+TEST_P(SceneGenTest, DeterministicAcrossCalls)
+{
+    Scene a = makeScene(GetParam(), 0.05f);
+    Scene b = makeScene(GetParam(), 0.05f);
+    ASSERT_EQ(a.mesh.size(), b.mesh.size());
+    for (std::size_t i = 0; i < a.mesh.size(); i += 97)
+        EXPECT_EQ(a.mesh.triangles()[i].v0,
+                  b.mesh.triangles()[i].v0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenes, SceneGenTest,
+                         ::testing::ValuesIn(allSceneIds()),
+                         [](const auto &info) {
+                             return sceneShortName(info.param);
+                         });
+
+TEST(SceneRegistry, FullDetailApproximatesPaperCounts)
+{
+    // Spot-check two scenes at detail 1.0 (the others are covered by the
+    // Table 1 bench); keep this test modest so the suite stays fast.
+    Scene sb = makeScene(SceneId::Sibenik, 1.0f);
+    EXPECT_GT(sb.mesh.size(), sb.paperTriangles * 0.6);
+    EXPECT_LT(sb.mesh.size(), sb.paperTriangles * 1.5);
+    Scene fr = makeScene(SceneId::FireplaceRoom, 1.0f);
+    EXPECT_GT(fr.mesh.size(), fr.paperTriangles * 0.6);
+    EXPECT_LT(fr.mesh.size(), fr.paperTriangles * 1.5);
+}
+
+TEST(SceneRegistry, PaperMetadataPopulated)
+{
+    for (SceneId id : allSceneIds()) {
+        Scene s = makeScene(id, 0.03f);
+        EXPECT_GE(s.paperTriangles, 75000u);
+        EXPECT_GE(s.paperBvhDepth, 22);
+        EXPECT_LE(s.paperBvhDepth, 27);
+        EXPECT_FALSE(s.name.empty());
+    }
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,134 @@
+/** @file Multi-SM simulation driver tests. */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "bvh/traversal.hpp"
+#include "gpu/simulator.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
+
+namespace rtp {
+namespace {
+
+struct Rig
+{
+    Scene scene;
+    Bvh bvh;
+    RayBatch ao;
+
+    Rig()
+        : scene(makeScene(SceneId::FireplaceRoom, 0.05f))
+    {
+        bvh = BvhBuilder().build(scene.mesh.triangles());
+        RayGenConfig cfg;
+        cfg.width = 32;
+        cfg.height = 32;
+        cfg.samplesPerPixel = 2;
+        cfg.viewportFraction = 0.3f;
+        ao = generateAoRays(scene, bvh, cfg);
+    }
+};
+
+Rig &
+rig()
+{
+    static Rig r;
+    return r;
+}
+
+TEST(Simulator, AllRaysComplete)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::baseline());
+    EXPECT_EQ(r.stats.get("rays_completed"), rig().ao.rays.size());
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_EQ(r.rayResults.size(), rig().ao.rays.size());
+}
+
+TEST(Simulator, ResultsMatchReferenceBothConfigs)
+{
+    for (const SimConfig &cfg :
+         {SimConfig::baseline(), SimConfig::proposed()}) {
+        SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                               rig().ao.rays, cfg);
+        for (std::size_t i = 0; i < rig().ao.rays.size(); ++i) {
+            bool ref = traverseAnyHit(rig().bvh,
+                                      rig().scene.mesh.triangles(),
+                                      rig().ao.rays[i])
+                           .hit;
+            ASSERT_EQ(ref, r.rayResults[i].hit) << "ray " << i;
+        }
+    }
+}
+
+TEST(Simulator, DeterministicRepeatRuns)
+{
+    SimConfig cfg = SimConfig::proposed();
+    SimResult a = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, cfg);
+    SimResult b = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, cfg);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.stats.get("rays_verified"), b.stats.get("rays_verified"));
+    EXPECT_EQ(a.totalMemAccesses(), b.totalMemAccesses());
+}
+
+TEST(Simulator, MultiSmDistributesWork)
+{
+    SimConfig cfg = SimConfig::baseline();
+    cfg.numSms = 4;
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, cfg);
+    EXPECT_EQ(r.stats.get("rays_completed"), rig().ao.rays.size());
+    // More SMs -> fewer cycles for the same workload (more parallelism).
+    SimConfig one = cfg;
+    one.numSms = 1;
+    SimResult r1 = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                            rig().ao.rays, one);
+    EXPECT_LT(r.cycles, r1.cycles);
+}
+
+TEST(Simulator, RateHelpersInRange)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::proposed());
+    EXPECT_GE(r.predictedRate(), 0.0);
+    EXPECT_LE(r.predictedRate(), 1.0);
+    EXPECT_GE(r.verifiedRate(), 0.0);
+    EXPECT_LE(r.verifiedRate(), r.predictedRate());
+    EXPECT_GE(r.hitRate(), 0.0);
+    EXPECT_LE(r.hitRate(), 1.0);
+    // Verified rays are a subset of hit rays.
+    EXPECT_LE(r.verifiedRate(), r.hitRate() + 1e-9);
+}
+
+TEST(Simulator, BaselineHasNoPredictorActivity)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::baseline());
+    EXPECT_EQ(r.stats.get("rays_predicted"), 0u);
+    EXPECT_EQ(r.stats.get("lookups"), 0u);
+    EXPECT_EQ(r.predictedRate(), 0.0);
+}
+
+TEST(Simulator, MemStatsPopulated)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::baseline());
+    EXPECT_GT(r.memStats.get("l1.hits") + r.memStats.get("l1.misses"),
+              0u);
+    EXPECT_GT(r.postMergeAccesses(), 0u);
+    EXPECT_LE(r.postMergeAccesses(), r.totalMemAccesses() * 3);
+}
+
+TEST(Simulator, EmptyWorkload)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(), {},
+                           SimConfig::baseline());
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.stats.get("rays_completed"), 0u);
+}
+
+} // namespace
+} // namespace rtp

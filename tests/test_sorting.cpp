@@ -1,0 +1,94 @@
+/** @file Morton ray sorting tests. */
+
+#include <gtest/gtest.h>
+
+#include "rays/sorting.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Ray>
+randomRays(int n, std::uint64_t seed, const Aabb &bounds)
+{
+    Rng rng(seed);
+    std::vector<Ray> rays;
+    for (int i = 0; i < n; ++i) {
+        Ray r;
+        r.origin = {rng.nextRange(bounds.lo.x, bounds.hi.x),
+                    rng.nextRange(bounds.lo.y, bounds.hi.y),
+                    rng.nextRange(bounds.lo.z, bounds.hi.z)};
+        r.dir = normalize(Vec3{rng.nextRange(-1, 1),
+                               rng.nextRange(-1, 1),
+                               rng.nextRange(-1, 1)} +
+                          Vec3(1e-3f));
+        rays.push_back(r);
+    }
+    return rays;
+}
+
+TEST(Sorting, KeysAreSortedAfterSort)
+{
+    Aabb bounds{{0, 0, 0}, {10, 10, 10}};
+    auto rays = randomRays(500, 1, bounds);
+    sortRaysMorton(rays, bounds);
+    for (std::size_t i = 1; i < rays.size(); ++i) {
+        EXPECT_LE(rayMortonKey(rays[i - 1], bounds),
+                  rayMortonKey(rays[i], bounds));
+    }
+}
+
+TEST(Sorting, PreservesMultiset)
+{
+    Aabb bounds{{0, 0, 0}, {10, 10, 10}};
+    auto rays = randomRays(200, 2, bounds);
+    double sum_before = 0;
+    for (const Ray &r : rays)
+        sum_before += r.origin.x + r.origin.y + r.origin.z + r.dir.x;
+    sortRaysMorton(rays, bounds);
+    double sum_after = 0;
+    for (const Ray &r : rays)
+        sum_after += r.origin.x + r.origin.y + r.origin.z + r.dir.x;
+    EXPECT_NEAR(sum_before, sum_after, 1e-3);
+}
+
+TEST(Sorting, ImprovesNeighborCoherence)
+{
+    Aabb bounds{{0, 0, 0}, {10, 10, 10}};
+    auto rays = randomRays(2000, 3, bounds);
+    auto avg_neighbor_dist = [](const std::vector<Ray> &rs) {
+        double acc = 0;
+        for (std::size_t i = 1; i < rs.size(); ++i)
+            acc += length(rs[i].origin - rs[i - 1].origin);
+        return acc / (rs.size() - 1);
+    };
+    double before = avg_neighbor_dist(rays);
+    sortRaysMorton(rays, bounds);
+    double after = avg_neighbor_dist(rays);
+    EXPECT_LT(after, before * 0.6);
+}
+
+TEST(Sorting, KeyRespectsQuantisation)
+{
+    Aabb bounds{{0, 0, 0}, {32, 32, 32}};
+    Ray a, b;
+    a.origin = {1.0f, 1.0f, 1.0f};
+    b.origin = {1.4f, 1.2f, 1.3f}; // same 1-unit cell (32 levels)
+    a.dir = b.dir = {0, 0, 1};
+    EXPECT_EQ(rayMortonKey(a, bounds), rayMortonKey(b, bounds));
+    b.origin = {30.0f, 30.0f, 30.0f};
+    EXPECT_NE(rayMortonKey(a, bounds), rayMortonKey(b, bounds));
+}
+
+TEST(Sorting, EmptyAndSingle)
+{
+    Aabb bounds{{0, 0, 0}, {1, 1, 1}};
+    std::vector<Ray> empty;
+    sortRaysMorton(empty, bounds); // must not crash
+    std::vector<Ray> one = randomRays(1, 4, bounds);
+    sortRaysMorton(one, bounds);
+    EXPECT_EQ(one.size(), 1u);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,130 @@
+/** @file Restart-trail (stackless) traversal tests. */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "bvh/traversal.hpp"
+#include "scene/registry.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+std::vector<Triangle>
+randomTriangles(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Triangle> tris;
+    for (int i = 0; i < n; ++i) {
+        Vec3 c{rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+               rng.nextRange(-10, 10)};
+        tris.emplace_back(c, c + Vec3{rng.nextRange(0.1f, 2), 0, 0},
+                          c + Vec3{0, rng.nextRange(0.1f, 2), 0});
+    }
+    return tris;
+}
+
+Ray
+randomRay(Rng &rng, float tmax)
+{
+    Ray r;
+    r.origin = {rng.nextRange(-12, 12), rng.nextRange(-12, 12),
+                rng.nextRange(-12, 12)};
+    r.dir = normalize(Vec3{rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                           rng.nextRange(-1, 1)} +
+                      Vec3(1e-4f));
+    r.tMax = tmax;
+    r.kind = RayKind::Occlusion;
+    return r;
+}
+
+TEST(RestartTrail, MatchesStackTraversalProperty)
+{
+    auto tris = randomTriangles(800, 200);
+    Bvh bvh = BvhBuilder().build(tris);
+    Rng rng(201);
+    int hits = 0;
+    for (int i = 0; i < 600; ++i) {
+        Ray ray = randomRay(rng, rng.nextRange(1.0f, 40.0f));
+        bool stack = traverseAnyHit(bvh, tris, ray).hit;
+        bool trail = traverseAnyHitRestartTrail(bvh, tris, ray).hit;
+        ASSERT_EQ(stack, trail) << "ray " << i;
+        if (stack)
+            hits++;
+    }
+    EXPECT_GT(hits, 30);
+}
+
+TEST(RestartTrail, MatchesOnSceneWorkload)
+{
+    Scene s = makeScene(SceneId::FireplaceRoom, 0.05f);
+    Bvh bvh = BvhBuilder().build(s.mesh.triangles());
+    Rng rng(202);
+    Aabb b = bvh.sceneBounds();
+    for (int i = 0; i < 200; ++i) {
+        Ray ray;
+        ray.origin = {rng.nextRange(b.lo.x, b.hi.x),
+                      rng.nextRange(b.lo.y, b.hi.y),
+                      rng.nextRange(b.lo.z, b.hi.z)};
+        ray.dir = normalize(Vec3{rng.nextRange(-1, 1),
+                                 rng.nextRange(-1, 1),
+                                 rng.nextRange(-1, 1)} +
+                            Vec3(1e-4f));
+        ray.tMax = b.diagonal() * 0.3f;
+        EXPECT_EQ(traverseAnyHit(bvh, s.mesh.triangles(), ray).hit,
+                  traverseAnyHitRestartTrail(bvh, s.mesh.triangles(),
+                                             ray)
+                      .hit)
+            << "ray " << i;
+    }
+}
+
+TEST(RestartTrail, ReportsValidHitPrim)
+{
+    auto tris = randomTriangles(300, 203);
+    Bvh bvh = BvhBuilder().build(tris);
+    Rng rng(204);
+    for (int i = 0; i < 200; ++i) {
+        Ray ray = randomRay(rng, 30.0f);
+        HitRecord rec = traverseAnyHitRestartTrail(bvh, tris, ray);
+        if (rec.hit) {
+            ASSERT_LT(rec.prim, tris.size());
+            HitRecord direct;
+            EXPECT_TRUE(
+                intersectRayTriangle(ray, tris[rec.prim], direct));
+        }
+    }
+}
+
+TEST(RestartTrail, RefetchesMoreNodesThanStack)
+{
+    // The stack-memory vs refetch trade-off: restarts revisit interior
+    // nodes, so fetch counts must be >= the stack traversal's on
+    // misses (which explore everything).
+    auto tris = randomTriangles(500, 205);
+    Bvh bvh = BvhBuilder().build(tris);
+    Rng rng(206);
+    std::uint64_t stack_fetches = 0, trail_fetches = 0;
+    for (int i = 0; i < 200; ++i) {
+        Ray ray = randomRay(rng, 15.0f);
+        TraversalStats ss, ts;
+        traverseAnyHit(bvh, tris, ray, &ss);
+        traverseAnyHitRestartTrail(bvh, tris, ray, &ts);
+        stack_fetches += ss.nodesFetched;
+        trail_fetches += ts.nodesFetched;
+    }
+    EXPECT_GE(trail_fetches, stack_fetches);
+}
+
+TEST(RestartTrail, MissOutsideScene)
+{
+    auto tris = randomTriangles(100, 207);
+    Bvh bvh = BvhBuilder().build(tris);
+    Ray ray;
+    ray.origin = {100, 100, 100};
+    ray.dir = {1, 0, 0};
+    EXPECT_FALSE(traverseAnyHitRestartTrail(bvh, tris, ray).hit);
+}
+
+} // namespace
+} // namespace rtp

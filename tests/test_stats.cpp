@@ -1,0 +1,74 @@
+/** @file StatGroup tests. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/stats.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(Stats, DefaultsToZero)
+{
+    StatGroup g;
+    EXPECT_EQ(g.get("missing"), 0u);
+    EXPECT_EQ(g.getScalar("missing"), 0.0);
+}
+
+TEST(Stats, IncAccumulates)
+{
+    StatGroup g;
+    g.inc("a");
+    g.inc("a", 4);
+    EXPECT_EQ(g.get("a"), 5u);
+}
+
+TEST(Stats, SetOverwrites)
+{
+    StatGroup g;
+    g.set("x", 1.5);
+    g.set("x", 2.5);
+    EXPECT_EQ(g.getScalar("x"), 2.5);
+}
+
+TEST(Stats, MergeAddsCountersOverwritesScalars)
+{
+    StatGroup a, b;
+    a.inc("n", 3);
+    a.set("s", 1.0);
+    b.inc("n", 4);
+    b.inc("m", 1);
+    b.set("s", 9.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("n"), 7u);
+    EXPECT_EQ(a.get("m"), 1u);
+    EXPECT_EQ(a.getScalar("s"), 9.0);
+}
+
+TEST(Stats, ClearRemovesEverything)
+{
+    StatGroup g;
+    g.inc("a", 10);
+    g.set("b", 1.0);
+    g.clear();
+    EXPECT_EQ(g.get("a"), 0u);
+    EXPECT_TRUE(g.counters().empty());
+    EXPECT_TRUE(g.scalars().empty());
+}
+
+TEST(Stats, DumpIsPrefixedAndSorted)
+{
+    StatGroup g;
+    g.inc("zeta", 1);
+    g.inc("alpha", 2);
+    std::ostringstream os;
+    g.dump(os, "p.");
+    std::string out = os.str();
+    EXPECT_NE(out.find("p.alpha = 2"), std::string::npos);
+    EXPECT_NE(out.find("p.zeta = 1"), std::string::npos);
+    EXPECT_LT(out.find("alpha"), out.find("zeta"));
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,87 @@
+/** @file Traversal stack (with spill window) tests. */
+
+#include <gtest/gtest.h>
+
+#include "rtunit/traversal_stack.hpp"
+
+namespace rtp {
+namespace {
+
+TEST(TraversalStack, LifoOrder)
+{
+    TraversalStack s(8);
+    s.push(1);
+    s.push(2);
+    s.push(3);
+    EXPECT_EQ(s.pop(), 3u);
+    EXPECT_EQ(s.pop(), 2u);
+    EXPECT_EQ(s.pop(), 1u);
+    EXPECT_FALSE(s.pop().has_value());
+}
+
+TEST(TraversalStack, EmptyAndSize)
+{
+    TraversalStack s(8);
+    EXPECT_TRUE(s.empty());
+    s.push(7);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.size(), 1u);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TraversalStack, NoSpillWithinWindow)
+{
+    TraversalStack s(8);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        s.push(i);
+    EXPECT_EQ(s.takeSpillEvents(), 0u);
+    EXPECT_EQ(s.spilledDepth(), 0u);
+}
+
+TEST(TraversalStack, SpillsBeyondWindow)
+{
+    TraversalStack s(8, 4);
+    for (std::uint32_t i = 0; i < 9; ++i)
+        s.push(i);
+    EXPECT_EQ(s.takeSpillEvents(), 1u);
+    EXPECT_EQ(s.spilledDepth(), 4u);
+    EXPECT_EQ(s.totalSpills(), 1u);
+}
+
+TEST(TraversalStack, RefillOnDeepPop)
+{
+    TraversalStack s(8, 4);
+    for (std::uint32_t i = 0; i < 9; ++i)
+        s.push(i);
+    s.takeSpillEvents();
+    // Pop down through the hardware window (5 entries: 9 - 4 spilled).
+    for (int i = 0; i < 5; ++i)
+        s.pop();
+    EXPECT_EQ(s.takeRefillEvents(), 0u);
+    // Next pop must refill.
+    EXPECT_EQ(s.pop(), 3u);
+    EXPECT_EQ(s.takeRefillEvents(), 1u);
+}
+
+TEST(TraversalStack, ValuesSurviveSpillRoundTrip)
+{
+    TraversalStack s(4, 2);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        s.push(i);
+    for (int i = 19; i >= 0; --i)
+        EXPECT_EQ(s.pop(), static_cast<std::uint32_t>(i));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TraversalStack, DeepTraversalSpillCount)
+{
+    TraversalStack s(8, 4);
+    for (std::uint32_t i = 0; i < 32; ++i)
+        s.push(i);
+    // Every 4 pushes past the window spills once: (32-8)/4 = 6.
+    EXPECT_EQ(s.totalSpills(), 6u);
+}
+
+} // namespace
+} // namespace rtp

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Plot Figure 12 from bench output, like the artifact's plot script.
+
+The paper's artifact ships `plot_results_bar.py`, which turns the
+performance sweep into the Figure 12 bar chart. This script does the
+same for this repo: it parses `bench_fig12_speedup` output (either a
+saved bench_output.txt or by running the binary) and renders a bar
+chart — matplotlib PNG when available, ASCII otherwise.
+
+Usage:
+    tools/plot_fig12.py [bench_output.txt] [-o results.png]
+    ./build/bench/bench_fig12_speedup | tools/plot_fig12.py -
+"""
+
+import re
+import subprocess
+import sys
+
+ROW = re.compile(
+    r"^(SB|SP|LE|LR|FR|BI|CK|GEO)\s+([+-]?\d+\.\d)%\s+([+-]?\d+\.\d)%")
+
+
+def parse(lines):
+    rows = []
+    for line in lines:
+        m = ROW.match(line.strip())
+        if m:
+            rows.append((m.group(1), float(m.group(2)),
+                         float(m.group(3))))
+    return rows
+
+
+def ascii_chart(rows):
+    print("Figure 12: speedup over baseline RT unit")
+    print("          (#### unsorted, ==== sorted)")
+    scale = 40.0 / max(1.0, max(abs(v) for _, u, s in rows
+                                for v in (u, s)))
+    for name, unsorted, sorted_ in rows:
+        for label, val, ch in ((name, unsorted, "#"),
+                               ("", sorted_, "=")):
+            bar = ch * int(abs(val) * scale)
+            sign = "-" if val < 0 else ""
+            print(f"{label:>4} {sign}{bar} {val:+.1f}%")
+    print()
+
+
+def png_chart(rows, path):
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    names = [r[0] for r in rows]
+    unsorted = [r[1] for r in rows]
+    sorted_ = [r[2] for r in rows]
+    x = range(len(names))
+    width = 0.38
+    fig, ax = plt.subplots(figsize=(8, 4))
+    ax.bar([i - width / 2 for i in x], unsorted, width,
+           label="Unsorted")
+    ax.bar([i + width / 2 for i in x], sorted_, width, label="Sorted")
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(names)
+    ax.set_ylabel("Speedup over baseline (%)")
+    ax.set_title("Figure 12: ray intersection predictor speedup")
+    ax.axhline(0, color="black", linewidth=0.8)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def main():
+    args = sys.argv[1:]
+    out_png = None
+    if "-o" in args:
+        i = args.index("-o")
+        out_png = args[i + 1]
+        del args[i:i + 2]
+
+    if args and args[0] == "-":
+        lines = sys.stdin.read().splitlines()
+    elif args:
+        with open(args[0]) as f:
+            lines = f.read().splitlines()
+    else:
+        proc = subprocess.run(["./build/bench/bench_fig12_speedup"],
+                              capture_output=True, text=True,
+                              check=True)
+        lines = proc.stdout.splitlines()
+
+    rows = parse(lines)
+    if not rows:
+        sys.exit("no Figure 12 rows found in input")
+
+    if out_png:
+        try:
+            png_chart(rows, out_png)
+            return
+        except ImportError:
+            print("matplotlib unavailable; ASCII fallback\n")
+    ascii_chart(rows)
+
+
+if __name__ == "__main__":
+    main()
