@@ -63,76 +63,99 @@ main()
                 "Liu et al., MICRO 2021, Section 4.2 (future work)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads =
+        cache.getAll({SceneId::Sibenik, SceneId::CrytekSponza});
+
+    // The heavy part (ground-truth traversal + scoring) is independent
+    // per scene: one job per scene, results printed serially.
+    struct SceneScores
+    {
+        Score grid, two, comb, adaptive;
+        HashConfig committed{};
+    };
+    std::vector<SceneScores> scores = runSweep(
+        workloads,
+        [](const Workload *wp) {
+            const Workload &w = *wp;
+            const std::uint32_t goup_level = 3;
+
+            // Precompute each ray's go-up node (ground truth training).
+            std::vector<std::uint32_t> tri_to_slot(
+                w.bvh.primIndices().size());
+            for (std::uint32_t s = 0; s < w.bvh.primIndices().size();
+                 ++s)
+                tri_to_slot[w.bvh.primIndices()[s]] = s;
+            std::vector<std::uint32_t> goup(w.ao.rays.size(), ~0u);
+            for (std::size_t i = 0; i < w.ao.rays.size(); ++i) {
+                HitRecord rec = traverseAnyHit(
+                    w.bvh, w.scene.mesh.triangles(), w.ao.rays[i]);
+                if (rec.hit) {
+                    goup[i] = w.bvh.ancestorOf(
+                        w.bvh.leafOfPrimSlot(tri_to_slot[rec.prim]),
+                        goup_level);
+                }
+            }
+
+            Aabb bounds = w.bvh.sceneBounds();
+            HashConfig gs{HashFunction::GridSpherical, 5, 3, 0.15f};
+            HashConfig tp{HashFunction::TwoPoint, 5, 3, 0.15f};
+            RayHasher grid(gs, bounds);
+            RayHasher two(tp, bounds);
+            CombinedRayHasher comb(gs, tp, bounds);
+            AdaptiveRayHasher adaptive(
+                {
+                    {HashFunction::GridSpherical, 4, 3, 0.15f},
+                    {HashFunction::GridSpherical, 5, 3, 0.15f},
+                    {HashFunction::GridSpherical, 5, 4, 0.15f},
+                    {HashFunction::TwoPoint, 5, 3, 0.15f},
+                },
+                bounds, 4096);
+            for (std::size_t i = 0;
+                 i < w.ao.rays.size() && !adaptive.committed(); ++i) {
+                if (goup[i] != ~0u)
+                    adaptive.observe(w.ao.rays[i], goup[i]);
+            }
+
+            SceneScores out;
+            out.grid = scoreHash(w, goup, [&](const Ray &r) {
+                return grid.hash(r);
+            });
+            out.two = scoreHash(w, goup, [&](const Ray &r) {
+                return two.hash(r);
+            });
+            out.comb = scoreHash(w, goup, [&](const Ray &r) {
+                return comb.hash(r);
+            });
+            out.adaptive = scoreHash(w, goup, [&](const Ray &r) {
+                return adaptive.hash(r);
+            });
+            out.committed = adaptive.bestConfig();
+            return out;
+        },
+        "ext-hash");
 
     std::printf("%-14s %12s %12s %10s\n", "Hash", "Collisions",
                 "Agreements", "AgreeRate");
-    for (SceneId id : {SceneId::Sibenik, SceneId::CrytekSponza}) {
-        const Workload &w = cache.get(id);
-        const std::uint32_t goup_level = 3;
-
-        // Precompute each ray's go-up node (ground truth training).
-        std::vector<std::uint32_t> tri_to_slot(w.bvh.primIndices().size());
-        for (std::uint32_t s = 0; s < w.bvh.primIndices().size(); ++s)
-            tri_to_slot[w.bvh.primIndices()[s]] = s;
-        std::vector<std::uint32_t> goup(w.ao.rays.size(), ~0u);
-        for (std::size_t i = 0; i < w.ao.rays.size(); ++i) {
-            HitRecord rec = traverseAnyHit(
-                w.bvh, w.scene.mesh.triangles(), w.ao.rays[i]);
-            if (rec.hit) {
-                goup[i] = w.bvh.ancestorOf(
-                    w.bvh.leafOfPrimSlot(tri_to_slot[rec.prim]),
-                    goup_level);
-            }
-        }
-
-        std::printf("--- %s ---\n", w.scene.shortName.c_str());
-        Aabb bounds = w.bvh.sceneBounds();
-        HashConfig gs{HashFunction::GridSpherical, 5, 3, 0.15f};
-        HashConfig tp{HashFunction::TwoPoint, 5, 3, 0.15f};
-        RayHasher grid(gs, bounds);
-        RayHasher two(tp, bounds);
-        CombinedRayHasher comb(gs, tp, bounds);
-        AdaptiveRayHasher adaptive(
-            {
-                {HashFunction::GridSpherical, 4, 3, 0.15f},
-                {HashFunction::GridSpherical, 5, 3, 0.15f},
-                {HashFunction::GridSpherical, 5, 4, 0.15f},
-                {HashFunction::TwoPoint, 5, 3, 0.15f},
-            },
-            bounds, 4096);
-        for (std::size_t i = 0;
-             i < w.ao.rays.size() && !adaptive.committed(); ++i) {
-            if (goup[i] != ~0u)
-                adaptive.observe(w.ao.rays[i], goup[i]);
-        }
-
-        auto report = [&](const char *name, const Score &s) {
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const SceneScores &s = scores[i];
+        std::printf("--- %s ---\n",
+                    workloads[i]->scene.shortName.c_str());
+        auto report = [&](const char *name, const Score &sc) {
             std::printf("%-14s %12llu %12llu %9.1f%%\n", name,
-                        static_cast<unsigned long long>(s.collisions),
-                        static_cast<unsigned long long>(s.agreements),
-                        s.collisions == 0
+                        static_cast<unsigned long long>(sc.collisions),
+                        static_cast<unsigned long long>(sc.agreements),
+                        sc.collisions == 0
                             ? 0.0
-                            : 100.0 * s.agreements / s.collisions);
+                            : 100.0 * sc.agreements / sc.collisions);
         };
-        report("GridSph 5/3", scoreHash(w, goup, [&](const Ray &r) {
-                   return grid.hash(r);
-               }));
-        report("TwoPoint", scoreHash(w, goup, [&](const Ray &r) {
-                   return two.hash(r);
-               }));
-        report("Combined", scoreHash(w, goup, [&](const Ray &r) {
-                   return comb.hash(r);
-               }));
-        Score as = scoreHash(w, goup, [&](const Ray &r) {
-            return adaptive.hash(r);
-        });
-        report("Adaptive", as);
+        report("GridSph 5/3", s.grid);
+        report("TwoPoint", s.two);
+        report("Combined", s.comb);
+        report("Adaptive", s.adaptive);
         std::printf("  adaptive committed to originBits=%d "
                     "directionBits=%d %s\n",
-                    adaptive.bestConfig().originBits,
-                    adaptive.bestConfig().directionBits,
-                    adaptive.bestConfig().function ==
-                            HashFunction::GridSpherical
+                    s.committed.originBits, s.committed.directionBits,
+                    s.committed.function == HashFunction::GridSpherical
                         ? "(GridSpherical)"
                         : "(TwoPoint)");
     }

@@ -89,31 +89,59 @@ main()
                 "hardware series substituted by an analytical proxy",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
+
+    // One job per (scene, ray type): generate the batch, simulate it,
+    // and evaluate the analytical proxy — all private to the job.
+    struct Cell
+    {
+        const Workload *w;
+        int kind; //!< 0 = primary, 1 = reflection
+    };
+    std::vector<Cell> cells;
+    for (const Workload *w : workloads)
+        for (int kind = 0; kind < 2; ++kind)
+            cells.push_back({w, kind});
+    struct Sample
+    {
+        double sim_tput = 0;
+        double hw = 0;
+        bool empty = true;
+    };
+    std::vector<Sample> samples = runSweep(
+        cells,
+        [&](const Cell &c) {
+            const Workload &w = *c.w;
+            RayGenConfig rg = wc.raygen;
+            RayBatch batch =
+                c.kind == 0
+                    ? generatePrimaryRays(w.scene, rg)
+                    : generateReflectionRays(w.scene, w.bvh, rg);
+            Sample s;
+            if (batch.rays.empty())
+                return s;
+            SimResult r = simulate(w.bvh, w.scene.mesh.triangles(),
+                                   batch.rays, SimConfig::baseline());
+            s.sim_tput = static_cast<double>(batch.rays.size()) /
+                         std::max<Cycle>(1, r.cycles);
+            s.hw = analyticalRaysPerSecond(w, batch.rays);
+            s.empty = false;
+            return s;
+        },
+        "fig11");
 
     std::vector<double> sim_series, hw_series;
     std::printf("%-6s %-10s %14s %14s\n", "Scene", "RayType",
                 "Sim rays/cyc", "Proxy rays/s");
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RayGenConfig rg = wc.raygen;
-        for (int kind = 0; kind < 2; ++kind) {
-            RayBatch batch =
-                kind == 0 ? generatePrimaryRays(w.scene, rg)
-                          : generateReflectionRays(w.scene, w.bvh, rg);
-            if (batch.rays.empty())
-                continue;
-            SimResult r = simulate(w.bvh, w.scene.mesh.triangles(),
-                                   batch.rays, SimConfig::baseline());
-            double sim_tput = static_cast<double>(batch.rays.size()) /
-                              std::max<Cycle>(1, r.cycles);
-            double hw = analyticalRaysPerSecond(w, batch.rays);
-            sim_series.push_back(sim_tput);
-            hw_series.push_back(hw);
-            std::printf("%-6s %-10s %14.4f %14.0f\n",
-                        w.scene.shortName.c_str(),
-                        kind == 0 ? "primary" : "reflection", sim_tput,
-                        hw);
-        }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (samples[i].empty)
+            continue;
+        sim_series.push_back(samples[i].sim_tput);
+        hw_series.push_back(samples[i].hw);
+        std::printf("%-6s %-10s %14.4f %14.0f\n",
+                    cells[i].w->scene.shortName.c_str(),
+                    cells[i].kind == 0 ? "primary" : "reflection",
+                    samples[i].sim_tput, samples[i].hw);
     }
 
     // Pearson correlation.

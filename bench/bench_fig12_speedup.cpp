@@ -22,18 +22,32 @@ main()
                 "unsorted)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
+    // Four runs per scene: {baseline, proposed} x {unsorted, sorted}.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads) {
+        points.push_back(makePoint(*w, SimConfig::baseline(), false));
+        points.push_back(makePoint(*w, SimConfig::proposed(), false));
+        points.push_back(makePoint(*w, SimConfig::baseline(), true));
+        points.push_back(makePoint(*w, SimConfig::proposed(), true));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "fig12");
+
+    JsonResultSink sink("bench_fig12_speedup");
     std::printf("%-6s %12s %12s %10s %10s %8s\n", "Scene", "Unsorted",
                 "Sorted", "Predicted", "Verified", "Hit");
     std::vector<double> unsorted, sorted;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RunOutcome u =
-            runPair(w, SimConfig::baseline(), SimConfig::proposed(),
-                    false);
-        RunOutcome s =
-            runPair(w, SimConfig::baseline(), SimConfig::proposed(),
-                    true);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = *workloads[i];
+        RunOutcome u{w.scene.shortName, results[4 * i],
+                     results[4 * i + 1]};
+        RunOutcome s{w.scene.shortName, results[4 * i + 2],
+                     results[4 * i + 3]};
+        sink.add(w.scene.shortName + "/baseline", u.baseline);
+        sink.add(w.scene.shortName + "/proposed", u.treatment);
+        sink.add(w.scene.shortName + "/baseline_sorted", s.baseline);
+        sink.add(w.scene.shortName + "/proposed_sorted", s.treatment);
         unsorted.push_back(u.speedup());
         sorted.push_back(s.speedup());
         std::printf("%-6s %11.1f%% %11.1f%% %9.1f%% %9.1f%% %7.1f%%\n",

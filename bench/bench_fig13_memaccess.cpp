@@ -19,15 +19,19 @@ main()
     printHeader("Figure 13: Memory accesses and predictor overheads",
                 "Liu et al., MICRO 2021, Figure 13 (net -13%)", wc);
     WorkloadCache cache(wc);
+    std::vector<RunOutcome> outcomes =
+        runPairsParallel(cache.getAll(allSceneIds()),
+                         SimConfig::baseline(), SimConfig::proposed(),
+                         false, "fig13");
 
+    JsonResultSink sink("bench_fig13_memaccess");
     std::printf("%-6s %9s %9s %9s %9s %9s\n", "Scene", "Net", "Node",
                 "Tri", "PredOvh", "Wasted");
     double net_acc = 0, node_acc = 0, tri_acc = 0, ovh_acc = 0,
            waste_acc = 0;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RunOutcome out =
-            runPair(w, SimConfig::baseline(), SimConfig::proposed());
+    for (const RunOutcome &out : outcomes) {
+        sink.add(out.scene + "/baseline", out.baseline);
+        sink.add(out.scene + "/proposed", out.treatment);
         auto bnode = out.baseline.stats.get("ray_node_fetches");
         auto btri = out.baseline.stats.get("ray_tri_fetches");
         auto tnode = out.treatment.stats.get("ray_node_fetches");
@@ -50,10 +54,10 @@ main()
         ovh_acc += ovh_d;
         waste_acc += waste_d;
         std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
-                    w.scene.shortName.c_str(), net * 100, node_d * 100,
+                    out.scene.c_str(), net * 100, node_d * 100,
                     tri_d * 100, ovh_d * 100, waste_d * 100);
     }
-    double n = static_cast<double>(allSceneIds().size());
+    double n = static_cast<double>(outcomes.size());
     std::printf("%-6s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", "AVG",
                 net_acc / n * 100, node_acc / n * 100,
                 tri_acc / n * 100, ovh_acc / n * 100,

@@ -18,27 +18,53 @@ main()
     printHeader("Figure 14: Go Up Level sweep",
                 "Liu et al., MICRO 2021, Figure 14 (level 3 best)", wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
+    const std::uint32_t max_level = 5;
+
+    // Per-scene baselines once, then every (level, scene) treatment.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (std::uint32_t level = 0; level <= max_level; ++level) {
+        SimConfig cfg = SimConfig::proposed();
+        cfg.predictor.goUpLevel = level;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, cfg));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "fig14");
+
+    JsonResultSink sink("bench_fig14_goup");
     std::printf("%-6s %10s %10s %10s %10s\n", "GoUp", "Verified",
                 "MemSave", "km", "Speedup");
-    for (std::uint32_t level = 0; level <= 5; ++level) {
+    std::size_t cursor = workloads.size();
+    for (std::uint32_t level = 0; level <= max_level; ++level) {
         double ver = 0, save = 0, km = 0, speed = 0;
-        for (SceneId id : allSceneIds()) {
-            const Workload &w = cache.get(id);
-            SimConfig cfg = SimConfig::proposed();
-            cfg.predictor.goUpLevel = level;
-            RunOutcome out = runPair(w, SimConfig::baseline(), cfg);
-            ver += out.treatment.verifiedRate();
-            save -= out.memAccessDelta();
-            double pred = static_cast<double>(
-                out.treatment.stats.get("rays_predicted"));
-            km += pred == 0 ? 0
-                            : static_cast<double>(out.treatment.stats.get(
-                                  "ray_pred_phase_fetches")) /
-                                  pred;
-            speed += out.speedup();
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &base = results[i];
+            const SimResult &t = results[cursor];
+            ver += t.verifiedRate();
+            double b_acc = static_cast<double>(base.totalMemAccesses());
+            save += b_acc == 0
+                        ? 0
+                        : (b_acc - static_cast<double>(
+                                       t.totalMemAccesses())) /
+                              b_acc;
+            double pred =
+                static_cast<double>(t.stats.get("rays_predicted"));
+            km += pred == 0
+                      ? 0
+                      : static_cast<double>(
+                            t.stats.get("ray_pred_phase_fetches")) /
+                            pred;
+            speed += static_cast<double>(base.cycles) / t.cycles;
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/goup%u",
+                          workloads[i]->scene.shortName.c_str(), level);
+            sink.add(label, t);
+            cursor++;
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         std::printf("%-6u %9.1f%% %9.1f%% %10.2f %9.1f%%\n", level,
                     ver / n * 100, save / n * 100, km / n,
                     (speed / n - 1) * 100);

@@ -21,6 +21,7 @@ main()
                 "+7% more from 4 extra warps)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
     SimConfig def = SimConfig::proposed();
     def.rt.repackEnabled = false;
@@ -28,15 +29,30 @@ main()
     SimConfig repack4 = SimConfig::proposed();
     repack4.rt.additionalWarps = 4;
 
+    // Four runs per scene, all submitted in one sweep.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads) {
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+        points.push_back(makePoint(*w, def));
+        points.push_back(makePoint(*w, repack));
+        points.push_back(makePoint(*w, repack4));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "fig15");
+
+    JsonResultSink sink("bench_fig15_repack");
     std::printf("%-6s %10s %10s %10s %14s\n", "Scene", "Default",
                 "Repack", "Repack4", "BankPar(R/D)");
     std::vector<double> gd, gr, g4;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        SimResult base = runOne(w, SimConfig::baseline());
-        SimResult d = runOne(w, def);
-        SimResult r = runOne(w, repack);
-        SimResult r4 = runOne(w, repack4);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const Workload &w = *workloads[i];
+        const SimResult &base = results[4 * i];
+        const SimResult &d = results[4 * i + 1];
+        const SimResult &r = results[4 * i + 2];
+        const SimResult &r4 = results[4 * i + 3];
+        sink.add(w.scene.shortName + "/baseline", base);
+        sink.add(w.scene.shortName + "/default", d);
+        sink.add(w.scene.shortName + "/repack", r);
+        sink.add(w.scene.shortName + "/repack4", r4);
         double sd = static_cast<double>(base.cycles) / d.cycles;
         double sr = static_cast<double>(base.cycles) / r.cycles;
         double s4 = static_cast<double>(base.cycles) / r4.cycles;

@@ -22,10 +22,7 @@ main()
                 "past 64KB)",
                 wc);
     WorkloadCache cache(wc);
-
-    std::vector<SimResult> bases; // 64KB baseline, no predictor
-    for (SceneId id : allSceneIds())
-        bases.push_back(runOne(cache.get(id), SimConfig::baseline()));
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
     struct C
     {
@@ -33,7 +30,7 @@ main()
         std::uint32_t l1_kb;
         bool l2;
     };
-    const C configs[] = {
+    const std::vector<C> configs = {
         {"RT$ 16KB (no L2)", 16, false},
         {"L1 16KB", 16, true},
         {"L1 32KB", 32, true},
@@ -42,17 +39,28 @@ main()
         {"L1 256KB", 256, true},
     };
 
+    // One sweep: 64KB no-predictor baselines, then every cache config.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (const C &c : configs) {
+        SimConfig cfg = SimConfig::proposed();
+        cfg.memory.l1.sizeBytes = c.l1_kb * 1024;
+        cfg.memory.l2Enabled = c.l2;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, cfg));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "fig16");
+
+    JsonResultSink sink("bench_fig16_cache");
     std::printf("%-18s %10s %10s %10s\n", "Config", "L1 hit",
                 "L2 hit", "Speedup");
+    std::size_t cursor = workloads.size();
     for (const C &c : configs) {
         double l1h = 0, l2h = 0;
         std::vector<double> speedups;
-        std::size_t i = 0;
-        for (SceneId id : allSceneIds()) {
-            SimConfig cfg = SimConfig::proposed();
-            cfg.memory.l1.sizeBytes = c.l1_kb * 1024;
-            cfg.memory.l2Enabled = c.l2;
-            SimResult r = runOne(cache.get(id), cfg);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &r = results[cursor];
             double hits = static_cast<double>(r.memStats.get("l1.hits"));
             double total = hits +
                            static_cast<double>(
@@ -66,11 +74,16 @@ main()
                 l2hits +
                 static_cast<double>(r.memStats.get("l2.misses"));
             l2h += l2total > 0 ? l2hits / l2total : 0;
-            speedups.push_back(static_cast<double>(bases[i].cycles) /
+            speedups.push_back(static_cast<double>(results[i].cycles) /
                                r.cycles);
-            i++;
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/l1_%ukb%s",
+                          workloads[i]->scene.shortName.c_str(),
+                          c.l1_kb, c.l2 ? "" : "_nol2");
+            sink.add(label, r);
+            cursor++;
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         std::printf("%-18s %9.1f%% %9.1f%% %+9.1f%%\n", c.name,
                     l1h / n * 100, l2h / n * 100,
                     (geomean(speedups) - 1) * 100);

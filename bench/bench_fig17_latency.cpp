@@ -21,50 +21,88 @@ main()
     printHeader("Figure 17: Latency sensitivity",
                 "Liu et al., MICRO 2021, Figure 17", wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
-    auto geomean_speedup = [&](const SimConfig &base,
-                               const SimConfig &treat) {
-        std::vector<double> speedups;
-        for (SceneId id : allSceneIds()) {
-            const Workload &w = cache.get(id);
-            SimResult b = runOne(w, base);
-            SimResult t = runOne(w, treat);
-            speedups.push_back(static_cast<double>(b.cycles) /
-                               t.cycles);
-        }
-        return geomean(speedups);
-    };
+    const std::vector<Cycle> isect_lats = {2, 4, 8, 16};
+    const std::vector<Cycle> pred_lats = {1, 2, 4, 8};
+    const std::vector<std::uint32_t> pred_ports = {1, 2, 4, 8};
 
-    std::printf("Intersection-test latency (cycles) -> speedup:\n");
-    for (Cycle lat : {2u, 4u, 8u, 16u}) {
+    // One sweep covering all three sub-figures. Sub-figure (a) needs a
+    // matching baseline per latency; (b) and (c) share the default
+    // baseline, run once per scene.
+    std::vector<SimPoint> points;
+    for (Cycle lat : isect_lats) {
         SimConfig base = SimConfig::baseline();
         base.rt.isect.boxTestLatency = lat;
         base.rt.isect.triTestLatency = lat;
         SimConfig treat = SimConfig::proposed();
         treat.rt.isect.boxTestLatency = lat;
         treat.rt.isect.triTestLatency = lat;
-        std::printf("  %2llu cycles: %+6.1f%%\n",
-                    static_cast<unsigned long long>(lat),
-                    (geomean_speedup(base, treat) - 1) * 100);
+        for (const Workload *w : workloads) {
+            points.push_back(makePoint(*w, base));
+            points.push_back(makePoint(*w, treat));
+        }
     }
-
-    std::printf("\nPredictor access latency (cycles) -> speedup:\n");
-    for (Cycle lat : {1u, 2u, 4u, 8u}) {
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (Cycle lat : pred_lats) {
         SimConfig treat = SimConfig::proposed();
         treat.predictor.accessLatency = lat;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, treat));
+    }
+    for (std::uint32_t ports : pred_ports) {
+        SimConfig treat = SimConfig::proposed();
+        treat.predictor.accessPorts = ports;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, treat));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "fig17");
+    std::size_t cursor = 0;
+
+    std::printf("Intersection-test latency (cycles) -> speedup:\n");
+    for (Cycle lat : isect_lats) {
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &b = results[cursor];
+            const SimResult &t = results[cursor + 1];
+            speedups.push_back(static_cast<double>(b.cycles) /
+                               t.cycles);
+            cursor += 2;
+        }
         std::printf("  %2llu cycles: %+6.1f%%\n",
                     static_cast<unsigned long long>(lat),
-                    (geomean_speedup(SimConfig::baseline(), treat) - 1) *
-                        100);
+                    (geomean(speedups) - 1) * 100);
+    }
+
+    const std::size_t default_base = cursor;
+    cursor += workloads.size();
+
+    std::printf("\nPredictor access latency (cycles) -> speedup:\n");
+    for (Cycle lat : pred_lats) {
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            speedups.push_back(
+                static_cast<double>(results[default_base + i].cycles) /
+                results[cursor].cycles);
+            cursor++;
+        }
+        std::printf("  %2llu cycles: %+6.1f%%\n",
+                    static_cast<unsigned long long>(lat),
+                    (geomean(speedups) - 1) * 100);
     }
 
     std::printf("\nPredictor bandwidth (accesses/cycle) -> speedup:\n");
-    for (std::uint32_t ports : {1u, 2u, 4u, 8u}) {
-        SimConfig treat = SimConfig::proposed();
-        treat.predictor.accessPorts = ports;
+    for (std::uint32_t ports : pred_ports) {
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            speedups.push_back(
+                static_cast<double>(results[default_base + i].cycles) /
+                results[cursor].cycles);
+            cursor++;
+        }
         std::printf("  %2u/cycle: %+6.1f%%\n", ports,
-                    (geomean_speedup(SimConfig::baseline(), treat) - 1) *
-                        100);
+                    (geomean(speedups) - 1) * 100);
     }
 
     std::printf("\nPaper: raising intersection latency erodes the gain "

@@ -21,25 +21,40 @@ main()
                 "5.5KB predictor)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
-    const std::uint32_t sizes_kb[] = {16, 32, 64, 128, 256, 384};
+    const std::vector<std::uint32_t> sizes_kb = {16, 32, 64, 128, 256,
+                                                 384};
 
-    // 64KB baselines per scene.
-    std::vector<SimResult> bases;
-    for (SceneId id : allSceneIds())
-        bases.push_back(runOne(cache.get(id), SimConfig::baseline()));
+    // One sweep: 64KB baselines, every (L1 size, scene) point, and the
+    // predictor reference at the default L1.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (std::uint32_t kb : sizes_kb) {
+        SimConfig cfg = SimConfig::baseline();
+        cfg.memory.l1.sizeBytes = kb * 1024;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, cfg));
+    }
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::proposed()));
+    std::vector<SimResult> results = runSimPoints(points, "fig1-l1");
 
+    JsonResultSink sink("bench_fig1_l1sweep");
     std::printf("%-8s %10s\n", "L1 size", "Speedup");
+    std::size_t cursor = workloads.size();
     for (std::uint32_t kb : sizes_kb) {
         std::vector<double> speedups;
-        std::size_t i = 0;
-        for (SceneId id : allSceneIds()) {
-            SimConfig cfg = SimConfig::baseline();
-            cfg.memory.l1.sizeBytes = kb * 1024;
-            SimResult r = runOne(cache.get(id), cfg);
-            speedups.push_back(static_cast<double>(bases[i].cycles) /
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &r = results[cursor];
+            speedups.push_back(static_cast<double>(results[i].cycles) /
                                r.cycles);
-            i++;
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/l1_%ukb",
+                          workloads[i]->scene.shortName.c_str(), kb);
+            sink.add(label, r);
+            cursor++;
         }
         std::printf("%5uKB %+9.1f%%\n", kb,
                     (geomean(speedups) - 1) * 100);
@@ -47,12 +62,12 @@ main()
 
     // For comparison, the predictor at the default 64KB L1.
     std::vector<double> pred_speedups;
-    std::size_t i = 0;
-    for (SceneId id : allSceneIds()) {
-        SimResult r = runOne(cache.get(id), SimConfig::proposed());
-        pred_speedups.push_back(static_cast<double>(bases[i].cycles) /
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const SimResult &r = results[cursor];
+        pred_speedups.push_back(static_cast<double>(results[i].cycles) /
                                 r.cycles);
-        i++;
+        sink.add(workloads[i]->scene.shortName + "/predictor", r);
+        cursor++;
     }
     std::printf("\n5.5KB predictor @64KB L1: %+.1f%%\n",
                 (geomean(pred_speedups) - 1) * 100);

@@ -23,47 +23,73 @@ main()
                 "24% / OT 58% savings)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
     LimitStudyConfig lsc;
     lsc.predictor = SimConfig::proposed().predictor;
     lsc.trainingDelay = 512; // ~rays in flight across 2 SMs
+
+    // The oracle scans are expensive; subsample rays for the
+    // whole-table OL mode beyond a cap. Subsampled once per scene,
+    // shared read-only by all four modes.
+    std::vector<std::vector<Ray>> rays_per_scene;
+    for (const Workload *w : workloads) {
+        std::vector<Ray> rays = w->ao.rays;
+        const std::size_t cap = 20000;
+        if (rays.size() > cap) {
+            std::vector<Ray> sub;
+            std::size_t stride = rays.size() / cap;
+            for (std::size_t i = 0; i < rays.size(); i += stride)
+                sub.push_back(rays[i]);
+            rays.swap(sub);
+        }
+        rays_per_scene.push_back(std::move(rays));
+    }
 
     struct M
     {
         const char *name;
         OracleMode mode;
     };
-    const M modes[] = {
+    const std::vector<M> modes = {
         {"Predictor", OracleMode::Realistic},
         {"OracleLookup(OL)", OracleMode::OracleLookup},
         {"OracleTrain(OT)", OracleMode::OracleTraining},
         {"OracleUpdate(OU)", OracleMode::OracleUpdates},
     };
 
+    // One sweep over the (mode, scene) cross product; runLimitStudy
+    // takes everything by const reference and keeps its own state.
+    struct Cell
+    {
+        OracleMode mode;
+        std::size_t scene;
+    };
+    std::vector<Cell> cells;
+    for (const M &m : modes)
+        for (std::size_t i = 0; i < workloads.size(); ++i)
+            cells.push_back({m.mode, i});
+    std::vector<LimitResult> results = runSweep(
+        cells,
+        [&](const Cell &c) {
+            const Workload &w = *workloads[c.scene];
+            return runLimitStudy(w.bvh, w.scene.mesh.triangles(),
+                                 rays_per_scene[c.scene], lsc, c.mode);
+        },
+        "fig2");
+
     std::printf("%-18s %10s %10s %10s\n", "Mode", "MemSave",
                 "Verified", "Predicted");
+    std::size_t cursor = 0;
     for (const M &m : modes) {
         double save = 0, ver = 0, pred = 0;
-        for (SceneId id : allSceneIds()) {
-            const Workload &w = cache.get(id);
-            // The oracle scans are expensive; subsample rays for the
-            // whole-table OL mode beyond a cap.
-            std::vector<Ray> rays = w.ao.rays;
-            const std::size_t cap = 20000;
-            if (rays.size() > cap) {
-                std::vector<Ray> sub;
-                std::size_t stride = rays.size() / cap;
-                for (std::size_t i = 0; i < rays.size(); i += stride)
-                    sub.push_back(rays[i]);
-                rays.swap(sub);
-            }
-            LimitResult r = runLimitStudy(
-                w.bvh, w.scene.mesh.triangles(), rays, lsc, m.mode);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const LimitResult &r = results[cursor++];
             save += r.memorySavings();
             ver += r.verifiedRate();
             pred += r.predictedRate();
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         std::printf("%-18s %9.1f%% %9.1f%% %9.1f%%\n", m.name,
                     save / n * 100, ver / n * 100, pred / n * 100);
     }

@@ -22,28 +22,47 @@ main()
                 "retained up to 6 SMs)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
+    const std::vector<std::uint32_t> sm_counts = {1, 2, 4, 6, 8};
+
+    // Baseline + proposed per (SM count, scene), one sweep.
+    std::vector<SimPoint> points;
+    for (std::uint32_t sms : sm_counts) {
+        SimConfig base = SimConfig::baseline();
+        base.numSms = sms;
+        SimConfig pred = SimConfig::proposed();
+        pred.numSms = sms;
+        for (const Workload *w : workloads) {
+            points.push_back(makePoint(*w, base));
+            points.push_back(makePoint(*w, pred));
+        }
+    }
+    std::vector<SimResult> results = runSimPoints(points, "sec625");
+
+    JsonResultSink sink("bench_sec625_sms");
     std::printf("%-6s %10s %10s %10s\n", "SMs", "MemSave", "Verified",
                 "Speedup");
     double two_sm_save = 0;
-    for (std::uint32_t sms : {1u, 2u, 4u, 6u, 8u}) {
+    std::size_t cursor = 0;
+    for (std::uint32_t sms : sm_counts) {
         double save = 0, ver = 0;
         std::vector<double> speedups;
-        for (SceneId id : allSceneIds()) {
-            const Workload &w = cache.get(id);
-            SimConfig base = SimConfig::baseline();
-            base.numSms = sms;
-            SimConfig pred = SimConfig::proposed();
-            pred.numSms = sms;
-            SimResult b = runOne(w, base);
-            SimResult t = runOne(w, pred);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &b = results[cursor];
+            const SimResult &t = results[cursor + 1];
             save += 1.0 - static_cast<double>(t.totalMemAccesses()) /
                               b.totalMemAccesses();
             ver += t.verifiedRate();
             speedups.push_back(static_cast<double>(b.cycles) /
                                t.cycles);
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/sms%u",
+                          workloads[i]->scene.shortName.c_str(), sms);
+            sink.add(label, t);
+            cursor += 2;
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         if (sms == 2)
             two_sm_save = save / n;
         std::printf("%-6u %9.1f%% %9.1f%% %+9.1f%%\n", sms,

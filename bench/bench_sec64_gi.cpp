@@ -20,20 +20,41 @@ main()
                 "Liu et al., MICRO 2021, Sec 6.4 (~4% average speedup)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
+    // GI ray generation is pure per scene: run it through the pool too.
+    std::vector<RayBatch> batches = runSweep(
+        workloads,
+        [&](const Workload *w) {
+            return generateGiRays(w->scene, w->bvh, wc.raygen);
+        },
+        "sec64-raygen");
+
+    std::vector<SimPoint> points;
+    std::vector<std::size_t> scene_of_pair;
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (batches[i].rays.empty())
+            continue;
+        SimPoint base = makePoint(*workloads[i], SimConfig::baseline());
+        base.rays = &batches[i].rays;
+        SimPoint pred = makePoint(*workloads[i], SimConfig::proposed());
+        pred.rays = &batches[i].rays;
+        points.push_back(base);
+        points.push_back(pred);
+        scene_of_pair.push_back(i);
+    }
+    std::vector<SimResult> results = runSimPoints(points, "sec64");
+
+    JsonResultSink sink("bench_sec64_gi");
     std::printf("%-6s %10s %10s %10s\n", "Scene", "Speedup",
                 "Predicted", "Trimmed");
     std::vector<double> speedups;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RayGenConfig rg = wc.raygen;
-        RayBatch gi = generateGiRays(w.scene, w.bvh, rg);
-        if (gi.rays.empty())
-            continue;
-        SimResult base = simulate(w.bvh, w.scene.mesh.triangles(),
-                                  gi.rays, SimConfig::baseline());
-        SimResult pred = simulate(w.bvh, w.scene.mesh.triangles(),
-                                  gi.rays, SimConfig::proposed());
+    for (std::size_t p = 0; p < scene_of_pair.size(); ++p) {
+        const Workload &w = *workloads[scene_of_pair[p]];
+        const SimResult &base = results[2 * p];
+        const SimResult &pred = results[2 * p + 1];
+        sink.add(w.scene.shortName + "/baseline", base);
+        sink.add(w.scene.shortName + "/proposed", pred);
         double s = static_cast<double>(base.cycles) / pred.cycles;
         speedups.push_back(s);
         std::printf("%-6s %+9.1f%% %9.1f%% %9.1f%%\n",

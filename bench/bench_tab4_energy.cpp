@@ -22,13 +22,17 @@ main()
                 "-20 nJ/ray with predictor)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<RunOutcome> outcomes =
+        runPairsParallel(cache.getAll(allSceneIds()),
+                         SimConfig::baseline(), SimConfig::proposed(),
+                         false, "tab4");
 
+    JsonResultSink sink("bench_tab4_energy");
     EnergyBreakdown base_acc, pred_acc;
     std::uint32_t sms = SimConfig::baseline().numSms;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RunOutcome out =
-            runPair(w, SimConfig::baseline(), SimConfig::proposed());
+    for (const RunOutcome &out : outcomes) {
+        sink.add(out.scene + "/baseline", out.baseline);
+        sink.add(out.scene + "/proposed", out.treatment);
         EnergyBreakdown b = computeEnergy(out.baseline, sms);
         EnergyBreakdown p = computeEnergy(out.treatment, sms);
         base_acc.baseGpu += b.baseGpu;
@@ -42,7 +46,7 @@ main()
         pred_acc.rayBuffer += p.rayBuffer;
         pred_acc.rayIntersections += p.rayIntersections;
     }
-    double n = static_cast<double>(allSceneIds().size());
+    double n = static_cast<double>(outcomes.size());
 
     auto row = [&](const char *name, double base, double pred) {
         std::printf("%-18s %12.3f %+12.3f\n", name, base / n,

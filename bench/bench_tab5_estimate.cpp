@@ -21,14 +21,18 @@ main()
                 "3.73 nodes/ray)",
                 wc);
     WorkloadCache cache(wc);
+    std::vector<RunOutcome> outcomes =
+        runPairsParallel(cache.getAll(allSceneIds()),
+                         SimConfig::baseline(), SimConfig::proposed(),
+                         false, "tab5");
 
+    JsonResultSink sink("bench_tab5_estimate");
     double v = 0, n_nodes = 0, p = 0, km = 0, actual = 0;
     double k =
         SimConfig::proposed().predictor.table.nodesPerEntry * 1.0;
-    for (SceneId id : allSceneIds()) {
-        const Workload &w = cache.get(id);
-        RunOutcome out =
-            runPair(w, SimConfig::baseline(), SimConfig::proposed());
+    for (const RunOutcome &out : outcomes) {
+        sink.add(out.scene + "/baseline", out.baseline);
+        sink.add(out.scene + "/proposed", out.treatment);
         double rays = static_cast<double>(
             out.treatment.stats.get("rays_completed"));
         double base_n =
@@ -48,7 +52,7 @@ main()
                       out.treatment.totalMemAccesses()) /
                       rays;
     }
-    double scenes = static_cast<double>(allSceneIds().size());
+    double scenes = static_cast<double>(outcomes.size());
     v /= scenes;
     n_nodes /= scenes;
     p /= scenes;

@@ -18,31 +18,49 @@ main()
     printHeader("Table 6: Speedups for different table sizes",
                 "Liu et al., MICRO 2021, Table 6 (1024 x 1 best)", wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
     const std::uint32_t entry_counts[] = {512, 1024, 2048};
     const std::uint32_t node_counts[] = {1, 2, 4};
 
-    // Baselines once per scene.
-    std::vector<SimResult> baselines;
-    for (SceneId id : allSceneIds())
-        baselines.push_back(
-            runOne(cache.get(id), SimConfig::baseline()));
+    // One sweep: per-scene baselines followed by every (entries, nodes,
+    // scene) treatment.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (std::uint32_t entries : entry_counts) {
+        for (std::uint32_t nodes : node_counts) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.predictor.table.numEntries = entries;
+            cfg.predictor.table.nodesPerEntry = nodes;
+            for (const Workload *w : workloads)
+                points.push_back(makePoint(*w, cfg));
+        }
+    }
+    std::vector<SimResult> results = runSimPoints(points, "tab6");
+
+    JsonResultSink sink("bench_tab6_tablesize");
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        sink.add(workloads[i]->scene.shortName + "/baseline",
+                 results[i]);
 
     std::printf("%-10s %12s %12s %12s\n", "Entries", "1 node",
                 "2 nodes", "4 nodes");
+    std::size_t cursor = workloads.size();
     for (std::uint32_t entries : entry_counts) {
         std::printf("%-10u", entries);
         for (std::uint32_t nodes : node_counts) {
             std::vector<double> speedups;
-            std::size_t i = 0;
-            for (SceneId id : allSceneIds()) {
-                SimConfig cfg = SimConfig::proposed();
-                cfg.predictor.table.numEntries = entries;
-                cfg.predictor.table.nodesPerEntry = nodes;
-                SimResult r = runOne(cache.get(id), cfg);
+            for (std::size_t i = 0; i < workloads.size(); ++i) {
+                const SimResult &r = results[cursor];
                 speedups.push_back(
-                    static_cast<double>(baselines[i].cycles) / r.cycles);
-                i++;
+                    static_cast<double>(results[i].cycles) / r.cycles);
+                char label[64];
+                std::snprintf(label, sizeof(label), "%s/e%u_n%u",
+                              workloads[i]->scene.shortName.c_str(),
+                              entries, nodes);
+                sink.add(label, r);
+                cursor++;
             }
             std::printf(" %11.1f%%", (geomean(speedups) - 1) * 100);
         }

@@ -20,35 +20,65 @@ main()
                 "replacement",
                 "Liu et al., MICRO 2021, Table 7 (4-way best)", wc);
     WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads = cache.getAll(allSceneIds());
 
-    std::vector<SimResult> baselines;
-    for (SceneId id : allSceneIds())
-        baselines.push_back(
-            runOne(cache.get(id), SimConfig::baseline()));
-
-    std::printf("%-14s %10s %11s %10s\n", "Policy", "Speedup",
-                "Predicted", "Verified");
     struct P
     {
         const char *name;
         std::uint32_t ways;
     };
-    for (P p : {P{"Direct-mapped", 1}, P{"2-way", 2}, P{"4-way", 4},
-                P{"8-way", 8}}) {
+    const std::vector<P> placements = {
+        {"Direct-mapped", 1}, {"2-way", 2}, {"4-way", 4}, {"8-way", 8}};
+    struct R
+    {
+        const char *name;
+        NodeReplacement repl;
+    };
+    const std::vector<R> replacements = {
+        {"LRU", NodeReplacement::LRU},
+        {"LFU", NodeReplacement::LFU},
+        {"LRU-K", NodeReplacement::LRUK}};
+
+    // One sweep: baselines, placement-policy points, replacement points.
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (const P &p : placements) {
+        SimConfig cfg = SimConfig::proposed();
+        cfg.predictor.table.ways = p.ways;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, cfg));
+    }
+    for (const R &r : replacements) {
+        SimConfig cfg = SimConfig::proposed();
+        cfg.predictor.table.nodesPerEntry = 4;
+        cfg.predictor.table.nodeReplacement = r.repl;
+        for (const Workload *w : workloads)
+            points.push_back(makePoint(*w, cfg));
+    }
+    std::vector<SimResult> results = runSimPoints(points, "tab7");
+
+    JsonResultSink sink("bench_tab7_placement");
+    std::printf("%-14s %10s %11s %10s\n", "Policy", "Speedup",
+                "Predicted", "Verified");
+    std::size_t cursor = workloads.size();
+    for (const P &p : placements) {
         std::vector<double> speedups;
         double pred = 0, ver = 0;
-        std::size_t i = 0;
-        for (SceneId id : allSceneIds()) {
-            SimConfig cfg = SimConfig::proposed();
-            cfg.predictor.table.ways = p.ways;
-            SimResult r = runOne(cache.get(id), cfg);
-            speedups.push_back(
-                static_cast<double>(baselines[i].cycles) / r.cycles);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &r = results[cursor];
+            speedups.push_back(static_cast<double>(results[i].cycles) /
+                               r.cycles);
             pred += r.predictedRate();
             ver += r.verifiedRate();
-            i++;
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/ways%u",
+                          workloads[i]->scene.shortName.c_str(),
+                          p.ways);
+            sink.add(label, r);
+            cursor++;
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         std::printf("%-14s %9.1f%% %10.1f%% %9.1f%%\n", p.name,
                     (geomean(speedups) - 1) * 100, pred / n * 100,
                     ver / n * 100);
@@ -60,28 +90,22 @@ main()
     // the policy actually matters).
     std::printf("\nNode replacement (4 nodes/entry, Sec 6.1.3):\n");
     std::printf("%-8s %10s %10s\n", "Policy", "Speedup", "Verified");
-    struct R
-    {
-        const char *name;
-        NodeReplacement repl;
-    };
-    for (R r : {R{"LRU", NodeReplacement::LRU},
-                R{"LFU", NodeReplacement::LFU},
-                R{"LRU-K", NodeReplacement::LRUK}}) {
+    for (const R &r : replacements) {
         std::vector<double> speedups;
         double ver = 0;
-        std::size_t i = 0;
-        for (SceneId id : allSceneIds()) {
-            SimConfig cfg = SimConfig::proposed();
-            cfg.predictor.table.nodesPerEntry = 4;
-            cfg.predictor.table.nodeReplacement = r.repl;
-            SimResult res = runOne(cache.get(id), cfg);
-            speedups.push_back(
-                static_cast<double>(baselines[i].cycles) / res.cycles);
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            const SimResult &res = results[cursor];
+            speedups.push_back(static_cast<double>(results[i].cycles) /
+                               res.cycles);
             ver += res.verifiedRate();
-            i++;
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/repl_%s",
+                          workloads[i]->scene.shortName.c_str(),
+                          r.name);
+            sink.add(label, res);
+            cursor++;
         }
-        double n = static_cast<double>(allSceneIds().size());
+        double n = static_cast<double>(workloads.size());
         std::printf("%-8s %9.1f%% %9.1f%%\n", r.name,
                     (geomean(speedups) - 1) * 100, ver / n * 100);
     }

@@ -12,24 +12,6 @@
 
 using namespace rtp;
 
-namespace {
-
-/** Geomean speedup of a predictor config across a scene subset. */
-double
-sweepSpeedup(WorkloadCache &cache, const std::vector<SimResult> &bases,
-             const std::vector<SceneId> &scenes, const SimConfig &cfg)
-{
-    std::vector<double> speedups;
-    for (std::size_t i = 0; i < scenes.size(); ++i) {
-        SimResult r = runOne(cache.get(scenes[i]), cfg);
-        speedups.push_back(static_cast<double>(bases[i].cycles) /
-                           r.cycles);
-    }
-    return geomean(speedups);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -46,9 +28,46 @@ main()
     std::vector<SceneId> scenes = {SceneId::Sibenik,
                                    SceneId::CrytekSponza,
                                    SceneId::FireplaceRoom};
-    std::vector<SimResult> bases;
-    for (SceneId id : scenes)
-        bases.push_back(runOne(cache.get(id), SimConfig::baseline()));
+    std::vector<const Workload *> workloads = cache.getAll(scenes);
+
+    // One sweep: baselines, the Grid Spherical grid, the Two Point
+    // grid — all cells run concurrently.
+    const std::vector<float> ratios = {0.05f, 0.15f, 0.25f, 0.35f};
+    std::vector<SimPoint> points;
+    for (const Workload *w : workloads)
+        points.push_back(makePoint(*w, SimConfig::baseline()));
+    for (int o = 3; o <= 5; ++o) {
+        for (int d = 1; d <= 5; ++d) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.predictor.hash.function = HashFunction::GridSpherical;
+            cfg.predictor.hash.originBits = o;
+            cfg.predictor.hash.directionBits = d;
+            for (const Workload *w : workloads)
+                points.push_back(makePoint(*w, cfg));
+        }
+    }
+    for (int o = 3; o <= 5; ++o) {
+        for (float ratio : ratios) {
+            SimConfig cfg = SimConfig::proposed();
+            cfg.predictor.hash.function = HashFunction::TwoPoint;
+            cfg.predictor.hash.originBits = o;
+            cfg.predictor.hash.lengthRatio = ratio;
+            for (const Workload *w : workloads)
+                points.push_back(makePoint(*w, cfg));
+        }
+    }
+    std::vector<SimResult> results = runSimPoints(points, "tab8");
+    std::size_t cursor = workloads.size();
+
+    auto cell_speedup = [&]() {
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < workloads.size(); ++i) {
+            speedups.push_back(static_cast<double>(results[i].cycles) /
+                               results[cursor].cycles);
+            cursor++;
+        }
+        return geomean(speedups);
+    };
 
     std::printf("(a) Grid Spherical: rows = origin bits, cols = "
                 "direction bits\n");
@@ -58,14 +77,8 @@ main()
     std::printf("\n");
     for (int o = 3; o <= 5; ++o) {
         std::printf("%-8d", o);
-        for (int d = 1; d <= 5; ++d) {
-            SimConfig cfg = SimConfig::proposed();
-            cfg.predictor.hash.function = HashFunction::GridSpherical;
-            cfg.predictor.hash.originBits = o;
-            cfg.predictor.hash.directionBits = d;
-            double s = sweepSpeedup(cache, bases, scenes, cfg);
-            std::printf(" %8.1f%%", (s - 1) * 100);
-        }
+        for (int d = 1; d <= 5; ++d)
+            std::printf(" %8.1f%%", (cell_speedup() - 1) * 100);
         std::printf("\n");
     }
     std::printf("Paper 8a optimum: 25.8%% at 5 origin / 3 direction "
@@ -73,21 +86,14 @@ main()
 
     std::printf("(b) Two Point: rows = origin bits, cols = estimated "
                 "length ratio\n");
-    const float ratios[] = {0.05f, 0.15f, 0.25f, 0.35f};
     std::printf("%-8s", "");
     for (float r : ratios)
         std::printf(" %9.2f", r);
     std::printf("\n");
     for (int o = 3; o <= 5; ++o) {
         std::printf("%-8d", o);
-        for (float ratio : ratios) {
-            SimConfig cfg = SimConfig::proposed();
-            cfg.predictor.hash.function = HashFunction::TwoPoint;
-            cfg.predictor.hash.originBits = o;
-            cfg.predictor.hash.lengthRatio = ratio;
-            double s = sweepSpeedup(cache, bases, scenes, cfg);
-            std::printf(" %8.1f%%", (s - 1) * 100);
-        }
+        for (std::size_t ri = 0; ri < ratios.size(); ++ri)
+            std::printf(" %8.1f%%", (cell_speedup() - 1) * 100);
         std::printf("\n");
     }
     std::printf("Paper 8b: Two Point comparable but slightly behind "

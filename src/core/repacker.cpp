@@ -8,30 +8,33 @@ std::vector<std::vector<std::uint32_t>>
 PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
                           Cycle cycle)
 {
-    if (pending_.empty() && !ray_ids.empty())
-        oldestAdd_ = cycle;
     for (std::uint32_t id : ray_ids) {
         // The collector capacity (64) exceeds what a single warp can add
         // past a full batch, so overflow beyond capacity cannot occur;
         // guard anyway to keep the invariant explicit.
         if (pending_.size() <
             static_cast<std::size_t>(config_.capacity)) {
-            pending_.push_back(id);
+            pending_.push_back(Pending{id, cycle});
         } else {
             stats_.inc("overflow_drops");
         }
     }
     stats_.inc("rays_collected", ray_ids.size());
 
+    // Forming a full warp consumes the oldest IDs only; the timeout of
+    // every leftover ray stays anchored to its own insertion cycle
+    // (stored per entry), so warp formation can never restart the
+    // flush timer for rays still waiting.
     std::vector<std::vector<std::uint32_t>> warps;
     while (pending_.size() >= config_.warpSize) {
-        std::vector<std::uint32_t> warp(
-            pending_.begin(), pending_.begin() + config_.warpSize);
+        std::vector<std::uint32_t> warp;
+        warp.reserve(config_.warpSize);
+        for (std::uint32_t i = 0; i < config_.warpSize; ++i)
+            warp.push_back(pending_[i].id);
         pending_.erase(pending_.begin(),
                        pending_.begin() + config_.warpSize);
         warps.push_back(std::move(warp));
         stats_.inc("full_warps_formed");
-        oldestAdd_ = cycle; // remaining overflow restarts the timer
     }
     return warps;
 }
@@ -39,9 +42,12 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
 std::vector<std::uint32_t>
 PartialWarpCollector::flushIfExpired(Cycle cycle)
 {
-    if (pending_.empty() || cycle < oldestAdd_ + config_.timeout)
+    if (pending_.empty() || cycle < deadline())
         return {};
-    std::vector<std::uint32_t> warp(pending_.begin(), pending_.end());
+    std::vector<std::uint32_t> warp;
+    warp.reserve(pending_.size());
+    for (const Pending &p : pending_)
+        warp.push_back(p.id);
     pending_.clear();
     stats_.inc("timeout_flushes");
     return warp;
@@ -50,7 +56,10 @@ PartialWarpCollector::flushIfExpired(Cycle cycle)
 std::vector<std::uint32_t>
 PartialWarpCollector::flushAll()
 {
-    std::vector<std::uint32_t> warp(pending_.begin(), pending_.end());
+    std::vector<std::uint32_t> warp;
+    warp.reserve(pending_.size());
+    for (const Pending &p : pending_)
+        warp.push_back(p.id);
     pending_.clear();
     if (!warp.empty())
         stats_.inc("drain_flushes");

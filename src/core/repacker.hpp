@@ -57,7 +57,23 @@ class PartialWarpCollector
     Cycle
     deadline() const
     {
-        return pending_.empty() ? 0 : oldestAdd_ + config_.timeout;
+        return pending_.empty()
+                   ? 0
+                   : pending_.front().addedAt + config_.timeout;
+    }
+
+    /**
+     * @return Insertion cycle of the oldest remaining pending ray
+     *         (the cycle anchoring the flush timeout), or 0 if empty.
+     * The timeout must follow each ray's own insertion cycle: anchoring
+     * it to the cycle of the latest warp formation would restart the
+     * timer for leftover rays and let an unlucky ray wait far beyond
+     * config_.timeout.
+     */
+    Cycle
+    oldestPendingCycle() const
+    {
+        return pending_.empty() ? 0 : pending_.front().addedAt;
     }
 
     std::size_t
@@ -73,9 +89,15 @@ class PartialWarpCollector
     }
 
   private:
+    /** One buffered ray ID plus the cycle it entered the collector. */
+    struct Pending
+    {
+        std::uint32_t id;
+        Cycle addedAt;
+    };
+
     RepackerConfig config_;
-    std::deque<std::uint32_t> pending_;
-    Cycle oldestAdd_ = 0;
+    std::deque<Pending> pending_;
     StatGroup stats_;
 };
 

@@ -1,14 +1,89 @@
 #include "exp/harness.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
 
 namespace rtp {
 
-SimResult
-runOne(const Workload &w, const SimConfig &config, bool sorted)
+namespace {
+
+/** Escape a string for embedding in a JSON document. */
+std::string
+jsonEscape(const std::string &s)
 {
-    const RayBatch &batch = sorted ? w.aoSorted : w.ao;
-    return simulate(w.bvh, w.scene.mesh.triangles(), batch.rays, config);
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+SimPoint
+makePoint(const Workload &w, const SimConfig &config, bool sorted)
+{
+    SimPoint p;
+    p.bvh = &w.bvh;
+    p.triangles = &w.scene.mesh.triangles();
+    p.rays = sorted ? &w.aoSorted.rays : &w.ao.rays;
+    p.config = config;
+    return p;
+}
+
+std::vector<SimResult>
+runSimPoints(const std::vector<SimPoint> &points, const char *label)
+{
+    return runSweep(
+        points,
+        [](const SimPoint &p) {
+            return simulate(*p.bvh, *p.triangles, *p.rays, p.config);
+        },
+        label);
+}
+
+std::vector<RunOutcome>
+runPairsParallel(const std::vector<const Workload *> &workloads,
+                 const SimConfig &baseline, const SimConfig &treatment,
+                 bool sorted, const char *label)
+{
+    // Submit baseline and treatment as separate jobs (2N total) so
+    // slow scenes don't serialise their two runs on one worker.
+    std::vector<SimPoint> points;
+    points.reserve(workloads.size() * 2);
+    for (const Workload *w : workloads) {
+        points.push_back(makePoint(*w, baseline, sorted));
+        points.push_back(makePoint(*w, treatment, sorted));
+    }
+    std::vector<SimResult> results = runSimPoints(points, label);
+
+    std::vector<RunOutcome> outcomes;
+    outcomes.reserve(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        RunOutcome out;
+        out.scene = workloads[i]->scene.shortName;
+        out.baseline = std::move(results[2 * i]);
+        out.treatment = std::move(results[2 * i + 1]);
+        outcomes.push_back(std::move(out));
+    }
+    return outcomes;
 }
 
 RunOutcome
@@ -20,6 +95,77 @@ runPair(const Workload &w, const SimConfig &baseline,
     out.baseline = runOne(w, baseline, sorted);
     out.treatment = runOne(w, treatment, sorted);
     return out;
+}
+
+SimResult
+runOne(const Workload &w, const SimConfig &config, bool sorted)
+{
+    const RayBatch &batch = sorted ? w.aoSorted : w.ao;
+    return simulate(w.bvh, w.scene.mesh.triangles(), batch.rays, config);
+}
+
+JsonResultSink::JsonResultSink(std::string name) : name_(std::move(name))
+{
+    const char *dir = std::getenv("RTP_JSON_DIR");
+    path_ = dir && *dir ? std::string(dir) + "/" + name_ + ".json"
+                        : name_ + ".json";
+}
+
+JsonResultSink::~JsonResultSink()
+{
+    close();
+}
+
+void
+JsonResultSink::add(const std::string &label, const SimResult &result)
+{
+    entries_.push_back("\"" + jsonEscape(label) +
+                       "\":" + result.toJson());
+}
+
+void
+JsonResultSink::setTiming(const SweepTiming &timing)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"runs\":%zu,\"threads\":%u,\"wall_seconds\":%.6f,"
+                  "\"serial_seconds\":%.6f}",
+                  timing.runs, timing.threads, timing.wallSeconds,
+                  timing.serialSeconds);
+    timingJson_ = buf;
+}
+
+bool
+JsonResultSink::close()
+{
+    if (closed_)
+        return true;
+    closed_ = true;
+
+    std::ostringstream os;
+    os << "{\"bench\":\"" << jsonEscape(name_) << "\"";
+    if (!timingJson_.empty())
+        os << ",\"timing\":" << timingJson_;
+    os << ",\"results\":{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (i)
+            os << ",";
+        os << entries_[i];
+    }
+    os << "}}\n";
+
+    std::FILE *f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "[rtp-harness] cannot write %s\n",
+                     path_.c_str());
+        return false;
+    }
+    const std::string body = os.str();
+    bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        std::fprintf(stderr, "[rtp-harness] wrote %s\n", path_.c_str());
+    return ok;
 }
 
 void

@@ -1,6 +1,7 @@
 /**
  * @file
  * Experiment harness: per-scene simulation runs, speedup computation,
+ * the parallel sweep entry points, machine-readable JSON result sinks,
  * and the table/figure row printers shared by the bench binaries.
  */
 
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/parallel.hpp"
 #include "exp/workload.hpp"
 #include "gpu/simulator.hpp"
 
@@ -43,13 +45,92 @@ struct RunOutcome
     }
 };
 
-/** Run baseline + treatment over one scene's AO rays. */
+/**
+ * One independent simulation run of a sweep: everything simulate()
+ * needs, by reference. The referenced BVH / triangles / rays must stay
+ * alive and unmodified for the duration of the sweep (they are shared
+ * read-only across worker threads).
+ */
+struct SimPoint
+{
+    const Bvh *bvh = nullptr;
+    const std::vector<Triangle> *triangles = nullptr;
+    const std::vector<Ray> *rays = nullptr;
+    SimConfig config;
+};
+
+/** Build a SimPoint over one workload's AO rays. */
+SimPoint makePoint(const Workload &w, const SimConfig &config,
+                   bool sorted = false);
+
+/**
+ * Execute every sweep point through the thread pool (RTP_THREADS, see
+ * exp/parallel.hpp) and return results in submission order — output
+ * built from them is byte-identical to a serial run at any thread
+ * count. @p label is used for the stderr timing summary.
+ */
+std::vector<SimResult> runSimPoints(const std::vector<SimPoint> &points,
+                                    const char *label);
+
+/**
+ * Run baseline + treatment over each workload's AO rays, all 2N
+ * simulations concurrently, preserving workload order.
+ */
+std::vector<RunOutcome> runPairsParallel(
+    const std::vector<const Workload *> &workloads,
+    const SimConfig &baseline, const SimConfig &treatment,
+    bool sorted = false, const char *label = "pairs");
+
+/** Run baseline + treatment over one scene's AO rays (serial). */
 RunOutcome runPair(const Workload &w, const SimConfig &baseline,
                    const SimConfig &treatment, bool sorted = false);
 
-/** Run a single configuration over one scene's AO rays. */
+/** Run a single configuration over one scene's AO rays (serial). */
 SimResult runOne(const Workload &w, const SimConfig &config,
                  bool sorted = false);
+
+/**
+ * Machine-readable result sink: collects labelled SimResults and
+ * writes `<name>.json` into RTP_JSON_DIR (default: the working
+ * directory) when closed or destroyed, so bench outputs become
+ * trackable across PRs. Entries appear in add() order; all formatting
+ * is deterministic.
+ */
+class JsonResultSink
+{
+  public:
+    /** @param name Output stem, e.g. "bench_fig12_speedup". */
+    explicit JsonResultSink(std::string name);
+
+    /** Writes the file on destruction unless close() already did. */
+    ~JsonResultSink();
+
+    JsonResultSink(const JsonResultSink &) = delete;
+    JsonResultSink &operator=(const JsonResultSink &) = delete;
+
+    /** Append one labelled run outcome. */
+    void add(const std::string &label, const SimResult &result);
+
+    /** Record the sweep timing block (threads, wall seconds). */
+    void setTiming(const SweepTiming &timing);
+
+    /** Write the JSON file now. @return true on success. */
+    bool close();
+
+    /** @return Path the sink writes to. */
+    const std::string &
+    path() const
+    {
+        return path_;
+    }
+
+  private:
+    std::string name_;
+    std::string path_;
+    std::vector<std::string> entries_; //!< pre-rendered "label":{...}
+    std::string timingJson_;
+    bool closed_ = false;
+};
 
 /** Print a standard header naming the experiment and its scope. */
 void printHeader(const std::string &title, const std::string &paper_ref,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "exp/parallel.hpp"
 #include "rays/sorting.hpp"
 
 namespace rtp {
@@ -38,24 +39,62 @@ WorkloadConfig::fromEnvironment()
     return c;
 }
 
+namespace {
+
+std::unique_ptr<Workload>
+buildWorkload(SceneId id, const WorkloadConfig &config)
+{
+    auto w = std::make_unique<Workload>();
+    w->scene = makeScene(id, config.detail);
+    BvhBuilder builder;
+    w->bvh = builder.build(w->scene.mesh.triangles());
+    w->ao = generateAoRays(w->scene, w->bvh, config.raygen);
+    w->aoSorted = w->ao;
+    sortRaysMorton(w->aoSorted.rays, w->bvh.sceneBounds());
+    return w;
+}
+
+} // namespace
+
 const Workload &
 WorkloadCache::get(SceneId id)
 {
     auto it = cache_.find(id);
     if (it != cache_.end())
         return *it->second;
-
-    auto w = std::make_unique<Workload>();
-    w->scene = makeScene(id, config_.detail);
-    BvhBuilder builder;
-    w->bvh = builder.build(w->scene.mesh.triangles());
-    w->ao = generateAoRays(w->scene, w->bvh, config_.raygen);
-    w->aoSorted = w->ao;
-    sortRaysMorton(w->aoSorted.rays, w->bvh.sceneBounds());
-
-    auto &ref = *w;
-    cache_.emplace(id, std::move(w));
+    auto &ref = *cache_.emplace(id, buildWorkload(id, config_))
+                     .first->second;
     return ref;
+}
+
+void
+WorkloadCache::prebuild(const std::vector<SceneId> &ids)
+{
+    std::vector<SceneId> missing;
+    for (SceneId id : ids)
+        if (cache_.find(id) == cache_.end())
+            missing.push_back(id);
+    if (missing.empty())
+        return;
+    // Each build is independent (pure scene generation + BVH + rays);
+    // insert into the map serially afterwards.
+    std::vector<std::unique_ptr<Workload>> built = runSweep(
+        missing,
+        [this](SceneId id) { return buildWorkload(id, config_); },
+        "workload-build");
+    for (std::size_t i = 0; i < missing.size(); ++i)
+        cache_.emplace(missing[i], std::move(built[i]));
+}
+
+std::vector<const Workload *>
+WorkloadCache::getAll(const std::vector<SceneId> &ids)
+{
+    prebuild(ids);
+    std::vector<const Workload *> out;
+    out.reserve(ids.size());
+    for (SceneId id : ids)
+        out.push_back(&get(id));
+    return out;
 }
 
 double

@@ -40,7 +40,16 @@ struct WorkloadConfig
     static WorkloadConfig fromEnvironment();
 };
 
-/** Builds and caches workloads per scene. */
+/**
+ * Builds and caches workloads per scene.
+ *
+ * The cache itself is NOT thread-safe: call get()/prebuild()/getAll()
+ * from one thread only. prebuild() internally constructs the missing
+ * workloads concurrently (scene generation, BVH build, and ray
+ * generation are pure), then inserts them serially; the returned
+ * Workload references are immutable afterwards and safe to share
+ * read-only across sweep worker threads.
+ */
 class WorkloadCache
 {
   public:
@@ -50,6 +59,12 @@ class WorkloadCache
 
     /** Build (or fetch) the workload for @p id. */
     const Workload &get(SceneId id);
+
+    /** Build every missing workload in @p ids through the thread pool. */
+    void prebuild(const std::vector<SceneId> &ids);
+
+    /** prebuild() + collect pointers, preserving @p ids order. */
+    std::vector<const Workload *> getAll(const std::vector<SceneId> &ids);
 
     const WorkloadConfig &
     config() const

@@ -1,7 +1,11 @@
 #include "gpu/simulator.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
 
 namespace rtp {
 
@@ -43,6 +47,43 @@ SimResult::postMergeAccesses() const
            stats.get("mem_stack_accesses");
 }
 
+void
+SimResult::toJson(std::ostream &os) const
+{
+    auto num = [&os](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        os << buf;
+    };
+    os << "{\"cycles\":" << cycles;
+    os << ",\"rays\":" << rayResults.size();
+    os << ",\"predicted_rate\":";
+    num(predictedRate());
+    os << ",\"verified_rate\":";
+    num(verifiedRate());
+    os << ",\"hit_rate\":";
+    num(hitRate());
+    os << ",\"total_mem_accesses\":" << totalMemAccesses();
+    os << ",\"post_merge_accesses\":" << postMergeAccesses();
+    os << ",\"simt_efficiency\":";
+    num(simtEfficiency);
+    os << ",\"avg_busy_banks\":";
+    num(avgBusyBanks);
+    os << ",\"stats\":";
+    stats.toJson(os);
+    os << ",\"mem_stats\":";
+    memStats.toJson(os);
+    os << "}";
+}
+
+std::string
+SimResult::toJson() const
+{
+    std::ostringstream os;
+    toJson(os);
+    return os.str();
+}
+
 namespace {
 
 /**
@@ -82,29 +123,49 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
     while (true) {
         RtUnit *next = nullptr;
         Cycle best = ~0ull;
+        bool any_unfinished = false;
         for (auto &rt : units) {
             if (rt->finished())
                 continue;
+            any_unfinished = true;
+            // An unfinished unit with no pending events can never make
+            // progress; without this check the loop would either read
+            // an empty priority queue (undefined behaviour in release
+            // builds) or spin forever. Fail loudly instead.
+            if (!rt->hasEvents())
+                throw std::runtime_error(
+                    "runEventLoop: RT unit is stuck — unfinished with "
+                    "an empty event queue");
             Cycle c = rt->nextEventCycle();
             if (c < best) {
                 best = c;
                 next = rt.get();
             }
         }
-        if (!next)
+        if (!next) {
+            if (any_unfinished)
+                throw std::runtime_error(
+                    "runEventLoop: no runnable RT unit but rays "
+                    "remain");
             break;
+        }
         next->step();
     }
 
     SimResult result;
     result.rayResults.resize(rays.size());
     double simt_acc = 0.0;
+    // simulateWithPredictors callers may bind one predictor object to
+    // several SMs; merge each distinct predictor exactly once or its
+    // counters get multiplied by the number of SMs sharing it.
+    std::unordered_set<const RayPredictor *> merged_predictors;
     for (std::uint32_t s = 0; s < num_sms; ++s) {
         const RtUnit &rt = *units[s];
         result.cycles = std::max(result.cycles, rt.completionCycle());
         result.stats.merge(rt.stats());
         result.stats.merge(rt.intersectionUnit().stats());
-        if (predictors[s])
+        if (predictors[s] &&
+            merged_predictors.insert(predictors[s]).second)
             result.stats.merge(predictors[s]->stats());
         simt_acc += rt.simtEfficiency();
         // Each RT unit fills exactly the global ids it was assigned.

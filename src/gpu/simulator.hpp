@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "bvh/bvh.hpp"
@@ -43,9 +45,29 @@ struct SimResult
 
     /** Requests that reached the L1 after intra-warp merging. */
     std::uint64_t postMergeAccesses() const;
+
+    /**
+     * Serialize the run outcome (cycles, rates, stat groups — not the
+     * per-ray results) as one JSON object. Key order and number
+     * formatting are deterministic, so two byte-identical runs produce
+     * byte-identical JSON regardless of harness thread count.
+     */
+    void toJson(std::ostream &os) const;
+
+    /** @return toJson output as a string. */
+    std::string toJson() const;
 };
 
-/** Run one workload through the configured GPU model. */
+/**
+ * Run one workload through the configured GPU model.
+ *
+ * Thread-safety contract: this function is safe to call concurrently
+ * from N threads against one shared @p bvh and @p triangles — both are
+ * only read, and every piece of mutable simulation state (RtUnit,
+ * MemorySystem, CacheModel, RayPredictor, the repacker and ray buffer)
+ * is constructed locally per call. The parallel sweep harness
+ * (src/exp/parallel.hpp) relies on this.
+ */
 SimResult simulate(const Bvh &bvh,
                    const std::vector<Triangle> &triangles,
                    const std::vector<Ray> &rays,
@@ -55,7 +77,14 @@ SimResult simulate(const Bvh &bvh,
  * Run one workload with externally owned per-SM predictors (used by
  * FrameSimulator to preserve predictor state across frames). Pass one
  * pointer per SM, or an empty vector for no predictors. The predictors
- * must already be bound to @p bvh.
+ * must already be bound to @p bvh. Binding one predictor object to
+ * several SMs is allowed; its stats are merged into the result exactly
+ * once.
+ *
+ * Thread-safety contract: unlike simulate(), concurrent calls are NOT
+ * safe when they share RayPredictor objects — predictors are trained
+ * (mutated) during the run. Callers that parallelise across runs must
+ * give each concurrent run its own predictor instances.
  */
 SimResult simulateWithPredictors(
     const Bvh &bvh, const std::vector<Triangle> &triangles,

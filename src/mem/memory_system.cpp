@@ -55,7 +55,10 @@ MemorySystem::aggregateStats() const
         g.inc("l2." + kv.first, kv.second);
     for (const auto &kv : dram_.stats().counters())
         g.inc("dram." + kv.first, kv.second);
-    g.set("dram.avg_busy_banks", dram_.avgBusyBanks());
+    // One shared DRAM: merging several aggregates must not double the
+    // utilisation figure, so the scalar carries a Max policy.
+    g.set("dram.avg_busy_banks", dram_.avgBusyBanks(),
+          ScalarMerge::Max);
     return g;
 }
 

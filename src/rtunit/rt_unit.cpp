@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 
 #include "geometry/intersect.hpp"
@@ -63,14 +65,20 @@ RtUnit::finished() const
 Cycle
 RtUnit::nextEventCycle() const
 {
-    assert(!events_.empty());
+    if (events_.empty())
+        throw std::logic_error(
+            "RtUnit::nextEventCycle: empty event queue (SM " +
+            std::to_string(smId_) + ")");
     return events_.top().cycle;
 }
 
 void
 RtUnit::step()
 {
-    assert(!events_.empty());
+    if (events_.empty())
+        throw std::logic_error(
+            "RtUnit::step: empty event queue (SM " +
+            std::to_string(smId_) + ")");
     Event ev = events_.top();
     events_.pop();
 

@@ -88,7 +88,20 @@ class RtUnit
     /** @return true once every submitted ray has completed. */
     bool finished() const;
 
-    /** @return Cycle of the next pending event (only if !finished()). */
+    /** @return true if the unit has a pending event to process. */
+    bool
+    hasEvents() const
+    {
+        return !events_.empty();
+    }
+
+    /**
+     * @return Cycle of the next pending event.
+     * @throws std::logic_error if the event queue is empty — an
+     *         unfinished unit with no events is a scheduling bug, and
+     *         release builds must fail loudly rather than read
+     *         undefined memory and spin forever.
+     */
     Cycle nextEventCycle() const;
 
     /** Process the next pending event. */

@@ -1,5 +1,9 @@
 #include "util/stats.hpp"
 
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
 namespace rtp {
 
 std::uint64_t
@@ -13,7 +17,7 @@ double
 StatGroup::getScalar(const std::string &name) const
 {
     auto it = scalars_.find(name);
-    return it == scalars_.end() ? 0.0 : it->second;
+    return it == scalars_.end() ? 0.0 : it->second.value;
 }
 
 void
@@ -28,8 +32,22 @@ StatGroup::merge(const StatGroup &other)
 {
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second;
-    for (const auto &kv : other.scalars_)
-        scalars_[kv.first] = kv.second;
+    for (const auto &kv : other.scalars_) {
+        auto it = scalars_.find(kv.first);
+        if (it == scalars_.end()) {
+            scalars_[kv.first] = kv.second;
+            continue;
+        }
+        switch (kv.second.merge) {
+        case ScalarMerge::Sum:
+            it->second.value += kv.second.value;
+            break;
+        case ScalarMerge::Max:
+            it->second.value =
+                std::max(it->second.value, kv.second.value);
+            break;
+        }
+    }
 }
 
 void
@@ -38,7 +56,70 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
     for (const auto &kv : counters_)
         os << prefix << kv.first << " = " << kv.second << "\n";
     for (const auto &kv : scalars_)
-        os << prefix << kv.first << " = " << kv.second << "\n";
+        os << prefix << kv.first << " = " << kv.second.value << "\n";
+}
+
+namespace {
+
+/** JSON string escaping for stat names (quotes, backslashes, control). */
+void
+writeJsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            os << '\\' << c;
+        else if (static_cast<unsigned char>(c) < 0x20)
+            os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+               << "0123456789abcdef"[c & 0xF];
+        else
+            os << c;
+    }
+    os << '"';
+}
+
+/** Shortest round-trip double formatting, locale-independent. */
+void
+writeJsonDouble(std::ostream &os, double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+StatGroup::toJson(std::ostream &os) const
+{
+    os << "{\"counters\":{";
+    bool first = true;
+    for (const auto &kv : counters_) {
+        if (!first)
+            os << ',';
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ':' << kv.second;
+    }
+    os << "},\"scalars\":{";
+    first = true;
+    for (const auto &kv : scalars_) {
+        if (!first)
+            os << ',';
+        first = false;
+        writeJsonString(os, kv.first);
+        os << ':';
+        writeJsonDouble(os, kv.second.value);
+    }
+    os << "}}";
+}
+
+std::string
+StatGroup::toJson() const
+{
+    std::ostringstream os;
+    toJson(os);
+    return os.str();
 }
 
 } // namespace rtp

@@ -16,10 +16,28 @@
 
 namespace rtp {
 
+/**
+ * How a scalar combines when two groups merge. Counters always add;
+ * scalars carry an explicit policy because "last writer wins" silently
+ * drops every SM's value but one when per-SM groups are aggregated.
+ */
+enum class ScalarMerge : std::uint8_t
+{
+    Sum, //!< additive quantity (energy, time)
+    Max, //!< shared or peak quantity (e.g. the one DRAM's busy banks)
+};
+
 /** A collection of named 64-bit counters and double-valued scalars. */
 class StatGroup
 {
   public:
+    /** A scalar value plus the policy applied when groups merge. */
+    struct Scalar
+    {
+        double value = 0.0;
+        ScalarMerge merge = ScalarMerge::Sum;
+    };
+
     /** Add @p delta to counter @p name (creating it at zero if absent). */
     void
     inc(const std::string &name, std::uint64_t delta = 1)
@@ -27,11 +45,12 @@ class StatGroup
         counters_[name] += delta;
     }
 
-    /** Set scalar @p name to @p value. */
+    /** Set scalar @p name to @p value with merge policy @p merge. */
     void
-    set(const std::string &name, double value)
+    set(const std::string &name, double value,
+        ScalarMerge merge = ScalarMerge::Sum)
     {
-        scalars_[name] = value;
+        scalars_[name] = Scalar{value, merge};
     }
 
     /** @return Counter value, or 0 if never touched. */
@@ -43,11 +62,24 @@ class StatGroup
     /** Reset all counters and scalars to zero / remove them. */
     void clear();
 
-    /** Merge another group into this one (counters add, scalars overwrite). */
+    /**
+     * Merge another group into this one. Counters add; scalars combine
+     * under their recorded policy (sum, or max for shared/peak values).
+     */
     void merge(const StatGroup &other);
 
     /** Pretty-print all stats, one per line, prefixed by @p prefix. */
     void dump(std::ostream &os, const std::string &prefix = "") const;
+
+    /**
+     * Serialize as a JSON object {"counters":{...},"scalars":{...}}.
+     * Keys are emitted in sorted order so output is byte-stable across
+     * runs and thread counts.
+     */
+    void toJson(std::ostream &os) const;
+
+    /** @return toJson output as a string. */
+    std::string toJson() const;
 
     /** @return All counters (for tests and table generation). */
     const std::map<std::string, std::uint64_t> &
@@ -56,8 +88,8 @@ class StatGroup
         return counters_;
     }
 
-    /** @return All scalars. */
-    const std::map<std::string, double> &
+    /** @return All scalars with their merge policies. */
+    const std::map<std::string, Scalar> &
     scalars() const
     {
         return scalars_;
@@ -65,7 +97,7 @@ class StatGroup
 
   private:
     std::map<std::string, std::uint64_t> counters_;
-    std::map<std::string, double> scalars_;
+    std::map<std::string, Scalar> scalars_;
 };
 
 } // namespace rtp

@@ -1,0 +1,305 @@
+/** @file Thread-pool / parallel sweep engine tests (exp/parallel.hpp). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bvh/builder.hpp"
+#include "exp/harness.hpp"
+#include "exp/parallel.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
+
+namespace rtp {
+namespace {
+
+/** Scoped RTP_THREADS override. */
+class ThreadsEnv
+{
+  public:
+    explicit ThreadsEnv(const char *value)
+    {
+        const char *old = std::getenv("RTP_THREADS");
+        had_ = old != nullptr;
+        if (had_)
+            old_ = old;
+        if (value)
+            setenv("RTP_THREADS", value, 1);
+        else
+            unsetenv("RTP_THREADS");
+    }
+
+    ~ThreadsEnv()
+    {
+        if (had_)
+            setenv("RTP_THREADS", old_.c_str(), 1);
+        else
+            unsetenv("RTP_THREADS");
+    }
+
+  private:
+    bool had_ = false;
+    std::string old_;
+};
+
+TEST(ThreadPool, DefaultThreadCountHonoursEnv)
+{
+    {
+        ThreadsEnv env("3");
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
+    }
+    {
+        ThreadsEnv env("0"); // nonsense values clamp to 1
+        EXPECT_EQ(ThreadPool::defaultThreadCount(), 1u);
+    }
+    {
+        ThreadsEnv env(nullptr);
+        EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    }
+}
+
+TEST(ThreadPool, ExecutesEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 10; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), (batch + 1) * 10);
+    }
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingJobs)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] {
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+                count.fetch_add(1);
+            });
+        // No wait(): the destructor must still run every job.
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(RunSweep, PreservesSubmissionOrder)
+{
+    ThreadsEnv env("4");
+    std::vector<int> items;
+    for (int i = 0; i < 64; ++i)
+        items.push_back(i);
+    std::vector<int> results = runSweep(items, [](int v) {
+        // Stagger completion so out-of-order finishes would show up.
+        std::this_thread::sleep_for(
+            std::chrono::microseconds((64 - v) * 10));
+        return v * v;
+    });
+    ASSERT_EQ(results.size(), items.size());
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(results[i], i * i);
+}
+
+TEST(RunSweep, EmptyInput)
+{
+    std::vector<int> empty;
+    std::vector<int> results = runSweep(empty, [](int v) { return v; });
+    EXPECT_TRUE(results.empty());
+}
+
+TEST(RunSweep, RethrowsFirstErrorInItemOrder)
+{
+    ThreadsEnv env("4");
+    std::vector<int> items = {0, 1, 2, 3, 4, 5, 6, 7};
+    try {
+        runSweep(items, [](int v) {
+            if (v == 2 || v == 5)
+                throw std::runtime_error("boom " + std::to_string(v));
+            return v;
+        });
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "boom 2");
+    }
+}
+
+TEST(RunSweep, ReportsTiming)
+{
+    ThreadsEnv env("2");
+    std::vector<int> items = {1, 2, 3, 4};
+    SweepTiming timing;
+    runSweep(
+        items,
+        [](int v) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            return v;
+        },
+        nullptr, &timing);
+    EXPECT_EQ(timing.runs, 4u);
+    EXPECT_EQ(timing.threads, 2u);
+    EXPECT_GT(timing.wallSeconds, 0.0);
+    EXPECT_GE(timing.serialSeconds, timing.wallSeconds * 0.5);
+}
+
+/** Shared scene rig for the simulation determinism tests. */
+struct Rig
+{
+    Scene scene;
+    Bvh bvh;
+    RayBatch ao;
+
+    Rig() : scene(makeScene(SceneId::Sibenik, 0.05f))
+    {
+        bvh = BvhBuilder().build(scene.mesh.triangles());
+        RayGenConfig cfg;
+        cfg.width = 24;
+        cfg.height = 24;
+        cfg.samplesPerPixel = 2;
+        cfg.viewportFraction = 0.3f;
+        ao = generateAoRays(scene, bvh, cfg);
+    }
+};
+
+Rig &
+rig()
+{
+    static Rig r;
+    return r;
+}
+
+std::vector<SimPoint>
+sweepPoints()
+{
+    // A mixed sweep: baseline, proposed, and two config variants.
+    std::vector<SimPoint> points;
+    SimConfig variant = SimConfig::proposed();
+    variant.predictor.goUpLevel = 2;
+    SimConfig two_sms = SimConfig::baseline();
+    two_sms.numSms = 2;
+    for (const SimConfig &cfg : {SimConfig::baseline(),
+                                 SimConfig::proposed(), variant,
+                                 two_sms}) {
+        SimPoint p;
+        p.bvh = &rig().bvh;
+        p.triangles = &rig().scene.mesh.triangles();
+        p.rays = &rig().ao.rays;
+        p.config = cfg;
+        points.push_back(p);
+    }
+    return points;
+}
+
+TEST(RunSweep, SimulationResultsIdenticalAcrossThreadCounts)
+{
+    // The tentpole contract: the same sweep at 1 thread and N threads
+    // must produce bitwise-identical results in the same order.
+    std::vector<SimResult> serial, parallel;
+    {
+        ThreadsEnv env("1");
+        serial = runSimPoints(sweepPoints(), nullptr);
+    }
+    {
+        ThreadsEnv env("8");
+        parallel = runSimPoints(sweepPoints(), nullptr);
+    }
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << "point " << i;
+        EXPECT_EQ(serial[i].totalMemAccesses(),
+                  parallel[i].totalMemAccesses())
+            << "point " << i;
+        // Full bitwise equality including every stat and double field.
+        EXPECT_EQ(serial[i].toJson(), parallel[i].toJson())
+            << "point " << i;
+    }
+}
+
+TEST(SimResultJson, DeterministicAndWellFormed)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::proposed());
+    std::string a = r.toJson();
+    EXPECT_EQ(a, r.toJson());
+    EXPECT_EQ(a.front(), '{');
+    EXPECT_EQ(a.back(), '}');
+    EXPECT_NE(a.find("\"cycles\":"), std::string::npos);
+    EXPECT_NE(a.find("\"stats\":"), std::string::npos);
+    EXPECT_NE(a.find("\"mem_stats\":"), std::string::npos);
+}
+
+TEST(JsonResultSink, WritesDeterministicFile)
+{
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, SimConfig::baseline());
+    std::string written[2];
+    for (int round = 0; round < 2; ++round) {
+        std::string dir = ::testing::TempDir();
+        setenv("RTP_JSON_DIR", dir.c_str(), 1);
+        JsonResultSink sink("test_sink");
+        sink.add("scene/\"quoted\"", r);
+        sink.add("scene/second", r);
+        ASSERT_TRUE(sink.close());
+        unsetenv("RTP_JSON_DIR");
+        std::ifstream in(sink.path());
+        ASSERT_TRUE(in.good());
+        std::ostringstream body;
+        body << in.rdbuf();
+        written[round] = body.str();
+    }
+    EXPECT_EQ(written[0], written[1]);
+    EXPECT_NE(written[0].find("\"bench\":\"test_sink\""),
+              std::string::npos);
+    EXPECT_NE(written[0].find("\"scene/\\\"quoted\\\"\":"),
+              std::string::npos);
+    EXPECT_NE(written[0].find("\"results\":{"), std::string::npos);
+}
+
+TEST(RunPairsParallel, MatchesSerialRunPair)
+{
+    WorkloadConfig wc;
+    wc.detail = 0.05f;
+    wc.raygen.width = 24;
+    wc.raygen.height = 24;
+    wc.raygen.samplesPerPixel = 2;
+    wc.raygen.viewportFraction = 0.3f;
+    WorkloadCache cache(wc);
+    std::vector<const Workload *> ws =
+        cache.getAll({SceneId::Sibenik, SceneId::FireplaceRoom});
+
+    ThreadsEnv env("4");
+    std::vector<RunOutcome> par = runPairsParallel(
+        ws, SimConfig::baseline(), SimConfig::proposed(), false,
+        nullptr);
+    ASSERT_EQ(par.size(), ws.size());
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+        RunOutcome ser = runPair(*ws[i], SimConfig::baseline(),
+                                 SimConfig::proposed());
+        EXPECT_EQ(par[i].scene, ser.scene);
+        EXPECT_EQ(par[i].baseline.toJson(), ser.baseline.toJson());
+        EXPECT_EQ(par[i].treatment.toJson(), ser.treatment.toJson());
+    }
+}
+
+} // namespace
+} // namespace rtp

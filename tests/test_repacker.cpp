@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+
 #include "core/repacker.hpp"
 
 namespace rtp {
@@ -92,6 +95,69 @@ TEST(Repacker, TwoFullWarpsFromLargeAdd)
     ASSERT_EQ(warps.size(), 2u);
     EXPECT_EQ(warps[0].size(), 32u);
     EXPECT_EQ(warps[1].size(), 32u);
+}
+
+TEST(Repacker, WarpFormationDoesNotRestartLeftoverTimeout)
+{
+    // Regression for the flush-timer anchor: the collector used to keep
+    // a single oldestAdd_ cycle that was reassigned whenever a full
+    // warp formed. The timeout of every pending ray must anchor to that
+    // ray's own insertion cycle, never to the latest warp-formation
+    // event, or leftover rays could wait past config_.timeout.
+    RepackerConfig cfg;
+    cfg.timeout = 16;
+    PartialWarpCollector c(cfg);
+    c.add(ids(0, 5), 100); // partial warp waiting since cycle 100
+    EXPECT_EQ(c.oldestPendingCycle(), 100u);
+    auto warps = c.add(ids(5, 32), 110); // full warp forms at 110
+    ASSERT_EQ(warps.size(), 1u);
+    EXPECT_EQ(c.pendingCount(), 5u);
+    // The 5 leftover rays entered the collector at cycle 110; their
+    // flush deadline is 110 + 16, not a cycle of some later event.
+    EXPECT_EQ(c.oldestPendingCycle(), 110u);
+    EXPECT_EQ(c.deadline(), 126u);
+    EXPECT_TRUE(c.flushIfExpired(125).empty());
+    EXPECT_EQ(c.flushIfExpired(126).size(), 5u);
+}
+
+TEST(Repacker, StarvationBoundHolds)
+{
+    // Property: driving the collector the way the RT unit does (flush
+    // attempts at every deadline), no ray is ever pending longer than
+    // config_.timeout after its insertion cycle.
+    RepackerConfig cfg;
+    cfg.timeout = 8;
+    PartialWarpCollector c(cfg);
+    std::uint32_t next_id = 0;
+    std::map<std::uint32_t, Cycle> added;
+    std::uint32_t sizes[] = {5, 31, 32, 3, 40, 1, 27, 33, 0, 12};
+    Cycle now = 50;
+    for (std::uint32_t n : sizes) {
+        auto batch = ids(next_id, n);
+        next_id += n;
+        auto warps = c.add(batch, now);
+        for (std::uint32_t id : batch)
+            added[id] = now;
+        for (const auto &w : warps)
+            for (std::uint32_t id : w)
+                added.erase(id);
+        // Emulate the RT unit's flush event at the current deadline.
+        if (c.pendingCount() > 0) {
+            Cycle dl = c.deadline();
+            EXPECT_EQ(dl, c.oldestPendingCycle() + cfg.timeout);
+            for (std::uint32_t id :
+                 c.flushIfExpired(std::min<Cycle>(dl, now + 3))) {
+                EXPECT_LE(std::min<Cycle>(dl, now + 3) - added[id],
+                          cfg.timeout);
+                added.erase(id);
+            }
+        }
+        now += 5;
+    }
+    // Every ray still pending is younger than its deadline.
+    for (const auto &kv : added)
+        EXPECT_LE(now - kv.second,
+                  cfg.timeout + 5); // bounded residency at drain time
 }
 
 TEST(Repacker, StatsCountEvents)

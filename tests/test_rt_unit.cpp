@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "bvh/builder.hpp"
 #include "bvh/traversal.hpp"
 #include "gpu/config.hpp"
@@ -62,6 +64,39 @@ iota(std::size_t n)
     for (std::size_t i = 0; i < n; ++i)
         v[i] = static_cast<std::uint32_t>(i);
     return v;
+}
+
+TEST(RtUnit, EmptyEventQueueFailsLoudly)
+{
+    // Regression: nextEventCycle()/step() were guarded only by assert,
+    // which compiles out in release builds — reading the empty event
+    // queue was undefined behaviour and an infinite loop in the global
+    // event loop. They must throw instead.
+    Rig rig;
+    RtUnitConfig cfg;
+    RtUnit rt(cfg, rig.bvh, rig.scene.mesh.triangles(), rig.mem, 0,
+              nullptr);
+    EXPECT_FALSE(rt.hasEvents());
+    EXPECT_THROW(rt.nextEventCycle(), std::logic_error);
+    EXPECT_THROW(rt.step(), std::logic_error);
+}
+
+TEST(RtUnit, HasEventsTracksLifecycle)
+{
+    Rig rig;
+    auto rays = aoLikeRays(rig, 64, 7);
+    RtUnitConfig cfg;
+    RtUnit rt(cfg, rig.bvh, rig.scene.mesh.triangles(), rig.mem, 0,
+              nullptr);
+    EXPECT_FALSE(rt.hasEvents());
+    rt.submit(rays, iota(rays.size()));
+    EXPECT_TRUE(rt.hasEvents());
+    while (!rt.finished()) {
+        // The event loop contract: an unfinished unit always has a
+        // pending event; nextEventCycle is safe exactly then.
+        ASSERT_TRUE(rt.hasEvents());
+        rt.step();
+    }
 }
 
 TEST(RtUnit, BaselineMatchesReferenceHits)

@@ -122,6 +122,37 @@ TEST(Simulator, MemStatsPopulated)
     EXPECT_LE(r.postMergeAccesses(), r.totalMemAccesses() * 3);
 }
 
+TEST(Simulator, SharedPredictorStatsMergedOnce)
+{
+    // Regression: runEventLoop merged predictors[s]->stats() once per
+    // SM, so a predictor object shared between SMs had its counters
+    // double-counted in the result.
+    SimConfig cfg = SimConfig::proposed();
+    cfg.numSms = 2;
+    RayPredictor shared(cfg.predictor, rig().bvh);
+    SimResult r = simulateWithPredictors(
+        rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays, cfg,
+        {&shared, &shared});
+    ASSERT_GT(shared.stats().get("lookups"), 0u);
+    // The merged result must carry the predictor's counters exactly
+    // once, not once per SM that points at it.
+    EXPECT_EQ(r.stats.get("lookups"), shared.stats().get("lookups"));
+    EXPECT_EQ(r.stats.get("trained"), shared.stats().get("trained"));
+}
+
+TEST(Simulator, DistinctPredictorStatsStillSum)
+{
+    SimConfig cfg = SimConfig::proposed();
+    cfg.numSms = 2;
+    RayPredictor a(cfg.predictor, rig().bvh);
+    RayPredictor b(cfg.predictor, rig().bvh);
+    SimResult r = simulateWithPredictors(
+        rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays, cfg,
+        {&a, &b});
+    EXPECT_EQ(r.stats.get("lookups"),
+              a.stats().get("lookups") + b.stats().get("lookups"));
+}
+
 TEST(Simulator, EmptyWorkload)
 {
     SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(), {},

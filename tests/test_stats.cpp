@@ -32,8 +32,10 @@ TEST(Stats, SetOverwrites)
     EXPECT_EQ(g.getScalar("x"), 2.5);
 }
 
-TEST(Stats, MergeAddsCountersOverwritesScalars)
+TEST(Stats, MergeAddsCountersAndSumsScalars)
 {
+    // Regression: merge() used to overwrite scalar entries, so merging
+    // per-SM groups silently kept only the last SM's scalar values.
     StatGroup a, b;
     a.inc("n", 3);
     a.set("s", 1.0);
@@ -43,7 +45,50 @@ TEST(Stats, MergeAddsCountersOverwritesScalars)
     a.merge(b);
     EXPECT_EQ(a.get("n"), 7u);
     EXPECT_EQ(a.get("m"), 1u);
-    EXPECT_EQ(a.getScalar("s"), 9.0);
+    EXPECT_EQ(a.getScalar("s"), 10.0);
+}
+
+TEST(Stats, MergeRespectsMaxPolicy)
+{
+    // Shared/peak quantities (the one DRAM's busy-bank average) merge
+    // by max so aggregating per-SM views does not double them.
+    StatGroup a, b;
+    a.set("dram.avg_busy_banks", 3.5, ScalarMerge::Max);
+    b.set("dram.avg_busy_banks", 2.0, ScalarMerge::Max);
+    a.merge(b);
+    EXPECT_EQ(a.getScalar("dram.avg_busy_banks"), 3.5);
+
+    // Merging into an empty group adopts the value and its policy.
+    StatGroup c;
+    c.merge(a);
+    c.merge(b);
+    EXPECT_EQ(c.getScalar("dram.avg_busy_banks"), 3.5);
+}
+
+TEST(Stats, MergeIsOrderIndependentForScalars)
+{
+    StatGroup x, y, ab, ba;
+    x.set("e", 2.0);
+    y.set("e", 5.0);
+    ab.merge(x);
+    ab.merge(y);
+    ba.merge(y);
+    ba.merge(x);
+    EXPECT_EQ(ab.getScalar("e"), ba.getScalar("e"));
+    EXPECT_EQ(ab.getScalar("e"), 7.0);
+}
+
+TEST(Stats, ToJsonIsSortedAndStable)
+{
+    StatGroup g;
+    g.inc("zeta", 2);
+    g.inc("alpha", 1);
+    g.set("rate", 0.5);
+    EXPECT_EQ(g.toJson(),
+              "{\"counters\":{\"alpha\":1,\"zeta\":2},"
+              "\"scalars\":{\"rate\":0.5}}");
+    StatGroup empty;
+    EXPECT_EQ(empty.toJson(), "{\"counters\":{},\"scalars\":{}}");
 }
 
 TEST(Stats, ClearRemovesEverything)
