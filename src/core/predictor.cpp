@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace rtp {
 
 RayPredictor::RayPredictor(const PredictorConfig &config, const Bvh &bvh)
@@ -52,6 +54,11 @@ RayPredictor::lookup(const Ray &ray, Cycle cycle, Cycle &ready_cycle)
 
     std::uint32_t h = hasher_.hash(ray);
     auto nodes = table_.lookup(h);
+    if (trace_)
+        trace_->emit({cycle, 0, TraceEventKind::PredictorLookup,
+                      traceUnit_,
+                      static_cast<std::uint16_t>(nodes ? 1 : 0), h,
+                      nodes ? nodes->size() : 0});
     if (!nodes)
         return std::nullopt;
     stats_.inc("predicted");
@@ -69,7 +76,11 @@ RayPredictor::update(const Ray &ray, std::uint32_t hit_leaf, Cycle cycle)
     schedulePort(updatePorts_, cycle);
     stats_.inc("trained");
     std::uint32_t node = bvh_->ancestorOf(hit_leaf, config_.goUpLevel);
-    table_.update(hasher_.hash(ray), node);
+    std::uint32_t h = hasher_.hash(ray);
+    table_.update(h, node);
+    if (trace_)
+        trace_->emit({cycle, 0, TraceEventKind::PredictorTrain,
+                      traceUnit_, 0, h, node});
 }
 
 } // namespace rtp

@@ -72,6 +72,14 @@ class RayPredictor
         return hasher_.hash(ray);
     }
 
+    /** Attach a trace sink (nullptr detaches); @p unit = owning SM. */
+    void
+    setTraceSink(TraceSink *sink, std::uint16_t unit)
+    {
+        trace_ = sink;
+        traceUnit_ = unit;
+    }
+
     /**
      * Rebind to a new frame's BVH while keeping the trained table
      * (dynamic scenes, Section 8 future work). Valid when the BVH was
@@ -120,6 +128,8 @@ class RayPredictor
     std::vector<Cycle> lookupPorts_;
     std::vector<Cycle> updatePorts_;
     StatGroup stats_;
+    TraceSink *trace_ = nullptr;
+    std::uint16_t traceUnit_ = 0;
 };
 
 } // namespace rtp

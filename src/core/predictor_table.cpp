@@ -42,6 +42,16 @@ PredictorTable::findEntry(std::uint32_t set, std::uint32_t tag)
     return nullptr;
 }
 
+void
+PredictorTable::touchSlot(NodeSlot &slot)
+{
+    slot.lastUse = tick_;
+    slot.useCount++;
+    slot.history.push_back(tick_);
+    if (slot.history.size() > config_.lruK)
+        slot.history.erase(slot.history.begin());
+}
+
 std::optional<std::vector<std::uint32_t>>
 PredictorTable::lookup(std::uint32_t hash)
 {
@@ -54,18 +64,36 @@ PredictorTable::lookup(std::uint32_t hash)
         return std::nullopt;
     }
     stats_.inc("lookup_hits");
+    // Only the entry's recency moves here (it was referenced as a
+    // whole). Per-slot recency/frequency/LRU-K history is deliberately
+    // NOT touched: a lookup returns every slot, so bumping them all
+    // would give the slots identical histories and reduce the
+    // intra-entry LRU/LFU/LRU-K victim choice to "whichever slot
+    // happens to be first". Slots are credited in confirm(), when a
+    // specific predicted node is actually used.
     e->lastUse = tick_;
     std::vector<std::uint32_t> nodes;
     nodes.reserve(e->nodes.size());
-    for (auto &slot : e->nodes) {
+    for (const auto &slot : e->nodes)
         nodes.push_back(slot.node);
-        slot.lastUse = tick_;
-        slot.useCount++;
-        slot.history.push_back(tick_);
-        if (slot.history.size() > config_.lruK)
-            slot.history.erase(slot.history.begin());
-    }
     return nodes;
+}
+
+void
+PredictorTable::confirm(std::uint32_t hash, std::uint32_t node)
+{
+    tick_++;
+    std::uint32_t set = foldHash(hash, tagBits_, indexBits_);
+    Entry *e = findEntry(set, hash);
+    if (!e)
+        return;
+    for (auto &slot : e->nodes) {
+        if (slot.node == node) {
+            stats_.inc("confirms");
+            touchSlot(slot);
+            return;
+        }
+    }
 }
 
 void
@@ -101,14 +129,11 @@ PredictorTable::update(std::uint32_t hash, std::uint32_t node)
     }
     e->lastUse = tick_;
 
-    // If the node is already present just refresh its recency.
+    // If the node is already present, training re-confirmed it: refresh
+    // that slot's recency/frequency (same accounting as confirm()).
     for (auto &slot : e->nodes) {
         if (slot.node == node) {
-            slot.lastUse = tick_;
-            slot.useCount++;
-            slot.history.push_back(tick_);
-            if (slot.history.size() > config_.lruK)
-                slot.history.erase(slot.history.begin());
+            touchSlot(slot);
             return;
         }
     }

@@ -51,10 +51,25 @@ class PredictorTable
 
     /**
      * Look up a ray hash.
+     *
+     * Bumps only the entry's recency (for LRU placement across ways).
+     * Per-slot recency/frequency/LRU-K history is credited by
+     * confirm(), not here: a lookup returns every slot of the entry,
+     * so charging them all would leave the slots with identical
+     * histories and make intra-entry replacement degenerate.
+     *
      * @param hash Full hash pattern (indexed by fold, compared by tag).
      * @return Predicted node indices, or nullopt on a table miss.
      */
     std::optional<std::vector<std::uint32_t>> lookup(std::uint32_t hash);
+
+    /**
+     * Credit the slot holding @p node in the entry for @p hash — called
+     * when a specific predicted node is confirmed used (the ray's
+     * verification traversal succeeded from it, or training re-stored
+     * it). No-op if the entry or slot is gone. Counts as "confirms".
+     */
+    void confirm(std::uint32_t hash, std::uint32_t node);
 
     /**
      * Train the table: associate @p node with @p hash, allocating or
@@ -116,6 +131,9 @@ class PredictorTable
     };
 
     Entry *findEntry(std::uint32_t set, std::uint32_t tag);
+
+    /** Per-slot use accounting (recency, frequency, LRU-K history). */
+    void touchSlot(NodeSlot &slot);
 
     PredictorTableConfig config_;
     int tagBits_;

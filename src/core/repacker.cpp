@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace rtp {
 
 std::vector<std::vector<std::uint32_t>>
@@ -20,6 +22,9 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
         }
     }
     stats_.inc("rays_collected", ray_ids.size());
+    if (trace_ && !ray_ids.empty())
+        trace_->emit({cycle, 0, TraceEventKind::RepackCollect,
+                      traceUnit_, 0, 0, ray_ids.size()});
 
     // Forming a full warp consumes the oldest IDs only; the timeout of
     // every leftover ray stays anchored to its own insertion cycle
@@ -35,6 +40,9 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
                        pending_.begin() + config_.warpSize);
         warps.push_back(std::move(warp));
         stats_.inc("full_warps_formed");
+        if (trace_)
+            trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
+                          traceUnit_, 0, 0, config_.warpSize});
     }
     return warps;
 }
@@ -50,19 +58,29 @@ PartialWarpCollector::flushIfExpired(Cycle cycle)
         warp.push_back(p.id);
     pending_.clear();
     stats_.inc("timeout_flushes");
+    if (trace_)
+        trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
+                      traceUnit_, 1, 0, warp.size()});
     return warp;
 }
 
 std::vector<std::uint32_t>
 PartialWarpCollector::flushAll()
 {
+    // flushAll() drains at end-of-run and has no caller cycle; anchor
+    // the event to the oldest pending ray's insertion cycle.
+    Cycle at = oldestPendingCycle();
     std::vector<std::uint32_t> warp;
     warp.reserve(pending_.size());
     for (const Pending &p : pending_)
         warp.push_back(p.id);
     pending_.clear();
-    if (!warp.empty())
+    if (!warp.empty()) {
         stats_.inc("drain_flushes");
+        if (trace_)
+            trace_->emit({at, 0, TraceEventKind::RepackFlush,
+                          traceUnit_, 2, 0, warp.size()});
+    }
     return warp;
 }
 

@@ -82,6 +82,14 @@ class PartialWarpCollector
         return pending_.size();
     }
 
+    /** Attach a trace sink (nullptr detaches); @p unit = owning SM. */
+    void
+    setTraceSink(TraceSink *sink, std::uint16_t unit)
+    {
+        trace_ = sink;
+        traceUnit_ = unit;
+    }
+
     const StatGroup &
     stats() const
     {
@@ -99,6 +107,8 @@ class PartialWarpCollector
     RepackerConfig config_;
     std::deque<Pending> pending_;
     StatGroup stats_;
+    TraceSink *trace_ = nullptr;
+    std::uint16_t traceUnit_ = 0;
 };
 
 } // namespace rtp

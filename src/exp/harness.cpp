@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "util/trace.hpp"
+
 namespace rtp {
 
 namespace {
@@ -51,12 +53,49 @@ makePoint(const Workload &w, const SimConfig &config, bool sorted)
 std::vector<SimResult>
 runSimPoints(const std::vector<SimPoint> &points, const char *label)
 {
-    return runSweep(
-        points,
-        [](const SimPoint &p) {
-            return simulate(*p.bvh, *p.triangles, *p.rays, p.config);
-        },
-        label);
+    auto run = [](const SimPoint &p) {
+        return simulate(*p.bvh, *p.triangles, *p.rays, p.config);
+    };
+
+    // RTP_TRACE=<path>: attach a cycle-level trace sink to one sweep
+    // point (index RTP_TRACE_POINT, default 0, clamped) and write a
+    // Chrome-trace JSON file after the sweep. Only the first non-empty
+    // sweep of the process traces, so multi-sweep benches produce one
+    // file. The sink rides on exactly one point, which executes on
+    // exactly one worker thread, so no locking is needed. Tracing
+    // writes nothing to stdout and never changes simulated cycles, so
+    // bench output is byte-identical with or without RTP_TRACE.
+    static bool traceConsumed = false;
+    const char *trace_path = std::getenv("RTP_TRACE");
+    if (trace_path && *trace_path && !traceConsumed &&
+        !points.empty()) {
+        traceConsumed = true;
+        std::size_t idx = 0;
+        if (const char *p = std::getenv("RTP_TRACE_POINT"))
+            idx = static_cast<std::size_t>(
+                std::strtoull(p, nullptr, 10));
+        if (idx >= points.size())
+            idx = points.size() - 1;
+        std::vector<SimPoint> traced = points;
+        TraceSink sink;
+        traced[idx].config.trace = &sink;
+        std::vector<SimResult> results = runSweep(traced, run, label);
+        if (sink.writeChromeTrace(trace_path))
+            std::fprintf(stderr,
+                         "[rtp-harness] wrote trace %s "
+                         "(%zu events, %llu dropped, point %zu)\n",
+                         trace_path, sink.size(),
+                         static_cast<unsigned long long>(
+                             sink.dropped()),
+                         idx);
+        else
+            std::fprintf(stderr,
+                         "[rtp-harness] cannot write trace %s\n",
+                         trace_path);
+        return results;
+    }
+
+    return runSweep(points, run, label);
 }
 
 std::vector<RunOutcome>

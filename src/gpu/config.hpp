@@ -15,6 +15,8 @@
 
 namespace rtp {
 
+class TraceSink;
+
 /** Full simulation configuration. */
 struct SimConfig
 {
@@ -22,6 +24,15 @@ struct SimConfig
     RtUnitConfig rt;
     PredictorConfig predictor;
     MemoryConfig memory;
+
+    /**
+     * Optional cycle-level trace sink (not owned; nullptr = tracing
+     * off). Attached to every component before the event loop runs.
+     * Tracing is a pure observer: simulated cycles and statistics are
+     * identical with and without a sink. The sink is single-threaded —
+     * trace at most one simulate() call per sink at a time.
+     */
+    TraceSink *trace = nullptr;
 
     /** The baseline (Table 2/3) configuration with the predictor on. */
     static SimConfig proposed();

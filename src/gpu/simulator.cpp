@@ -113,6 +113,16 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
             per_sm_ids[sm].push_back(static_cast<std::uint32_t>(j));
         }
     }
+    if (config.trace) {
+        mem.setTraceSink(config.trace);
+        for (std::uint32_t s = 0; s < num_sms; ++s) {
+            units[s]->setTraceSink(config.trace);
+            if (predictors[s])
+                predictors[s]->setTraceSink(
+                    config.trace, static_cast<std::uint16_t>(s));
+        }
+    }
+
     for (std::uint32_t s = 0; s < num_sms; ++s) {
         if (!per_sm_rays[s].empty())
             units[s]->submit(per_sm_rays[s], per_sm_ids[s]);

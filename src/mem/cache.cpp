@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace rtp {
 
 CacheModel::CacheModel(CacheConfig config) : config_(std::move(config))
@@ -39,26 +41,75 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, const FillFn &fill)
                 res.merged = true;
                 res.readyCycle = l.readyAt + config_.hitLatency;
                 stats_.inc("mshr_merges");
+                if (trace_)
+                    trace_->emit({cycle, 0,
+                                  TraceEventKind::CacheMshrMerge,
+                                  traceUnit_, traceLevel_, addr,
+                                  l.readyAt - cycle});
             } else {
                 res.hit = true;
                 res.readyCycle = cycle + config_.hitLatency;
                 stats_.inc("hits");
+                if (trace_)
+                    trace_->emit({cycle, 0, TraceEventKind::CacheHit,
+                                  traceUnit_, traceLevel_, addr,
+                                  config_.hitLatency});
             }
             return res;
         }
     }
 
-    // Miss: allocate the LRU way and start a fill.
+    // Miss: allocate the least recently used way whose line is NOT an
+    // in-flight fill. Overwriting an in-flight line would orphan the
+    // MSHR accesses merged into it — their tag disappears mid-fill, so
+    // a later access to that line starts a duplicate fetch for data
+    // already on its way, and the line's ready time gets silently
+    // replaced by the new fill's.
     stats_.inc("misses");
-    std::uint32_t victim = set.lru.back();
-    set.lru.pop_back();
-    set.lru.push_front(victim);
-    Line &l = set.lines[victim];
+    auto victim = set.lru.end();
+    bool skipped_inflight = false;
+    for (auto rit = set.lru.rbegin(); rit != set.lru.rend(); ++rit) {
+        const Line &cand = set.lines[*rit];
+        if (cand.valid && cand.readyAt > cycle) {
+            skipped_inflight = true;
+            continue;
+        }
+        victim = std::next(rit).base();
+        break;
+    }
+    if (skipped_inflight)
+        stats_.inc("inflight_victim_skips");
+
+    if (victim == set.lru.end()) {
+        // Every way holds an in-flight fill: serve this request from
+        // downstream without allocating (bypass), leaving the fills
+        // and their merged waiters intact.
+        stats_.inc("inflight_bypasses");
+        Cycle fill_ready = fill(line * config_.lineBytes, cycle);
+        stats_.addSample("miss_latency", fill_ready - cycle);
+        if (trace_)
+            trace_->emit({cycle, 0,
+                          TraceEventKind::CacheInflightBypass,
+                          traceUnit_, traceLevel_, addr,
+                          fill_ready - cycle});
+        CacheAccess res;
+        res.readyCycle = fill_ready + config_.hitLatency;
+        return res;
+    }
+
+    std::uint32_t way = *victim;
+    set.lru.erase(victim);
+    set.lru.push_front(way);
+    Line &l = set.lines[way];
     if (l.valid)
         stats_.inc("evictions");
     l.valid = true;
     l.tag = tag;
     l.readyAt = fill(line * config_.lineBytes, cycle);
+    stats_.addSample("miss_latency", l.readyAt - cycle);
+    if (trace_)
+        trace_->emit({cycle, 0, TraceEventKind::CacheMiss, traceUnit_,
+                      traceLevel_, addr, l.readyAt - cycle});
 
     CacheAccess res;
     res.readyCycle = l.readyAt + config_.hitLatency;

@@ -21,6 +21,8 @@
 
 namespace rtp {
 
+class TraceSink;
+
 /** Cycle count type used by all timing models. */
 using Cycle = std::uint64_t;
 
@@ -67,7 +69,27 @@ class CacheModel
     /** @return true if the line holding @p addr is resident (untimed). */
     bool contains(std::uint64_t addr) const;
 
-    /** Statistics: hits, misses, mshr_merges, evictions. */
+    /**
+     * Attach a trace sink (nullptr detaches; emission then costs one
+     * branch). @p unit identifies this cache instance in events (the
+     * owning SM for an L1), @p level the hierarchy level (1 or 2).
+     */
+    void
+    setTraceSink(TraceSink *sink, std::uint16_t unit,
+                 std::uint16_t level)
+    {
+        trace_ = sink;
+        traceUnit_ = unit;
+        traceLevel_ = level;
+    }
+
+    /**
+     * Statistics: hits, misses, mshr_merges, evictions,
+     * inflight_victim_skips (victim selection passed over >= 1 line
+     * whose fill was still in flight), inflight_bypasses (every way in
+     * flight; the access was served downstream without allocating).
+     * Histogram: miss_latency (fill cycles per true miss).
+     */
     const StatGroup &
     stats() const
     {
@@ -115,6 +137,9 @@ class CacheModel
     std::uint32_t waysPerSet_ = 1;
     std::vector<Set> sets_;
     StatGroup stats_;
+    TraceSink *trace_ = nullptr;
+    std::uint16_t traceUnit_ = 0;
+    std::uint16_t traceLevel_ = 0;
 };
 
 } // namespace rtp

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/trace.hpp"
+
 namespace rtp {
 
 DramModel::DramModel(DramConfig config) : config_(config)
@@ -42,7 +44,14 @@ DramModel::access(std::uint64_t addr, Cycle cycle)
 
     bank.openRow = row;
     bank.busyUntil = start + config_.burstOccupancy;
-    return start + latency;
+    Cycle done = start + latency;
+    stats_.addSample("latency", done - cycle);
+    if (trace_)
+        trace_->emit({cycle, done - cycle, TraceEventKind::DramAccess,
+                      static_cast<std::uint16_t>(bank_idx),
+                      static_cast<std::uint16_t>(row_hit ? 1 : 0),
+                      addr, busy});
+    return done;
 }
 
 double

@@ -50,6 +50,14 @@ class DramModel
      */
     double avgBusyBanks() const;
 
+    /** Attach a trace sink (nullptr detaches). Events carry the bank
+     *  index as their unit and the arrival-time busy-bank count. */
+    void
+    setTraceSink(TraceSink *sink)
+    {
+        trace_ = sink;
+    }
+
     const StatGroup &
     stats() const
     {
@@ -74,6 +82,7 @@ class DramModel
     DramConfig config_;
     std::vector<Bank> banks_;
     StatGroup stats_;
+    TraceSink *trace_ = nullptr;
     std::uint64_t busySamples_ = 0;
     std::uint64_t busyAccum_ = 0;
 };

@@ -43,6 +43,15 @@ MemorySystem::access(std::uint32_t sm, std::uint64_t addr, Cycle cycle)
     return result;
 }
 
+void
+MemorySystem::setTraceSink(TraceSink *sink)
+{
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        l1s_[i]->setTraceSink(sink, static_cast<std::uint16_t>(i), 1);
+    l2_->setTraceSink(sink, 0, 2);
+    dram_.setTraceSink(sink);
+}
+
 StatGroup
 MemorySystem::aggregateStats() const
 {
@@ -50,11 +59,17 @@ MemorySystem::aggregateStats() const
     for (std::size_t i = 0; i < l1s_.size(); ++i) {
         for (const auto &kv : l1s_[i]->stats().counters())
             g.inc("l1." + kv.first, kv.second);
+        for (const auto &kv : l1s_[i]->stats().histograms())
+            g.mergeHistogram("l1." + kv.first, kv.second);
     }
     for (const auto &kv : l2_->stats().counters())
         g.inc("l2." + kv.first, kv.second);
+    for (const auto &kv : l2_->stats().histograms())
+        g.mergeHistogram("l2." + kv.first, kv.second);
     for (const auto &kv : dram_.stats().counters())
         g.inc("dram." + kv.first, kv.second);
+    for (const auto &kv : dram_.stats().histograms())
+        g.mergeHistogram("dram." + kv.first, kv.second);
     // One shared DRAM: merging several aggregates must not double the
     // utilisation figure, so the scalar carries a Max policy.
     g.set("dram.avg_busy_banks", dram_.avgBusyBanks(),

@@ -86,7 +86,15 @@ class MemorySystem
         return config_;
     }
 
-    /** Aggregate counters across all levels into one group. */
+    /**
+     * Attach a trace sink to every level (nullptr detaches): each L1
+     * reports its SM index as the event unit with level 1, the L2 unit
+     * 0 with level 2, DRAM its bank index.
+     */
+    void setTraceSink(TraceSink *sink);
+
+    /** Aggregate counters and histograms across all levels into one
+     *  group under "l1." / "l2." / "dram." prefixes. */
     StatGroup aggregateStats() const;
 
     void clearStats();

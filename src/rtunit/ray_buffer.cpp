@@ -1,5 +1,8 @@
 #include "rtunit/ray_buffer.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace rtp {
 
 RayBuffer::RayBuffer(std::uint32_t capacity)
@@ -14,6 +17,16 @@ std::uint32_t
 RayBuffer::allocate(const Ray &ray, std::uint32_t global_id,
                     std::uint32_t stack_entries)
 {
+    // A caller that skipped the hasFree() guard would otherwise read
+    // freeList_.back() on an empty vector — undefined behaviour that
+    // hands out a garbage slot index and corrupts resident rays. Fail
+    // loudly instead (same convention as RtUnit::step on an empty
+    // event queue).
+    if (freeList_.empty())
+        throw std::logic_error(
+            "RayBuffer::allocate: buffer exhausted (capacity " +
+            std::to_string(slots_.size()) + ", global ray " +
+            std::to_string(global_id) + ")");
     std::uint32_t idx = freeList_.back();
     freeList_.pop_back();
     RayEntry &e = slots_[idx];

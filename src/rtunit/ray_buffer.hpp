@@ -37,6 +37,8 @@ struct RayEntry
     RayPhase phase = RayPhase::Lookup;
     TraversalStack stack;
     Cycle readyAt = 0;          //!< next cycle this ray can issue
+    Cycle dispatchedAt = 0;     //!< cycle the ray entered the unit
+    Cycle predEvalStart = 0;    //!< cycle the verification traversal began
 
     // Prediction bookkeeping (Section 3 terminology).
     bool predicted = false;
@@ -80,7 +82,13 @@ class RayBuffer
         return static_cast<std::uint32_t>(slots_.size());
     }
 
-    /** Allocate a slot for @p ray; undefined if none free. */
+    /**
+     * Allocate a slot for @p ray.
+     * @throws std::logic_error when no slot is free — callers must
+     *         check hasFree() first; allocating past capacity is a
+     *         scheduling bug and must fail loudly rather than corrupt
+     *         resident rays.
+     */
     std::uint32_t allocate(const Ray &ray, std::uint32_t global_id,
                            std::uint32_t stack_entries);
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "geometry/intersect.hpp"
+#include "util/trace.hpp"
 
 namespace rtp {
 
@@ -110,6 +111,7 @@ RtUnit::dispatchPending(Cycle now)
         Warp &w = warps_[warp_idx];
         w = Warp{};
         w.order = dispatchCounter_++;
+        w.dispatchedAt = now + config_.queueLatency;
         std::size_t count =
             std::min<std::size_t>(config_.warpSize,
                                   pendingRays_.size() - pendingNext_);
@@ -119,13 +121,20 @@ RtUnit::dispatchPending(Cycle now)
                 pendingIds_[pendingNext_ + i], config_.stackEntries);
             RayEntry &e = buffer_.slot(slot);
             e.readyAt = now + config_.queueLatency;
+            e.dispatchedAt = now + config_.queueLatency;
             e.phase = RayPhase::Lookup;
             w.slots.push_back(slot);
         }
+        w.raysAtDispatch = static_cast<std::uint32_t>(count);
         pendingNext_ += count;
         activeExternalWarps_++;
         activeWarps_++;
         stats_.inc("warps_dispatched");
+        if (trace_)
+            trace_->emit({w.dispatchedAt, 0,
+                          TraceEventKind::WarpDispatch,
+                          static_cast<std::uint16_t>(smId_), 0,
+                          w.order, count});
         scheduleWarp(warp_idx, now + config_.queueLatency);
     }
 }
@@ -142,8 +151,14 @@ RtUnit::dispatchRepacked(const std::vector<std::uint32_t> &slots,
     w.order = dispatchCounter_++;
     w.repacked = true;
     w.slots = slots;
+    w.dispatchedAt = now;
+    w.raysAtDispatch = static_cast<std::uint32_t>(slots.size());
     activeWarps_++;
     stats_.inc("repacked_warps");
+    if (trace_)
+        trace_->emit({now, 0, TraceEventKind::WarpDispatch,
+                      static_cast<std::uint16_t>(smId_), 1, w.order,
+                      slots.size()});
     scheduleWarp(warp_idx, now);
 }
 
@@ -197,6 +212,17 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
     if (warp.slots.empty()) {
         // Warp complete: free the slot and admit pending work.
         bool external = !warp.repacked;
+        if (trace_)
+            trace_->emit({warp.dispatchedAt,
+                          now > warp.dispatchedAt
+                              ? now - warp.dispatchedAt
+                              : 0,
+                          TraceEventKind::WarpComplete,
+                          static_cast<std::uint16_t>(smId_),
+                          static_cast<std::uint16_t>(warp.repacked
+                                                         ? 1
+                                                         : 0),
+                          warp.order, warp.raysAtDispatch});
         warp = Warp{};
         freeWarpSlots_.push_back(warp_idx);
         activeWarps_--;
@@ -245,6 +271,7 @@ RtUnit::doLookups(Warp &warp, Cycle now)
         if (pred) {
             e.predicted = true;
             e.phase = RayPhase::PredEval;
+            e.predEvalStart = ready;
             // Push predicted nodes; top of stack is evaluated first.
             for (auto it = pred->nodes.rbegin();
                  it != pred->nodes.rend(); ++it)
@@ -366,11 +393,24 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                     // handles GI rays whose prediction trimmed tMax.
                     e.verified = true;
                     stats_.inc("rays_verified");
+                    if (trace_)
+                        trace_->emit(
+                            {now, 0, TraceEventKind::PredictorVerify,
+                             static_cast<std::uint16_t>(smId_), 0,
+                             e.globalId, 0});
                     e.phase = RayPhase::Normal;
                     e.stack.push(kBvhRoot);
                 } else {
                     e.mispredicted = true;
                     stats_.inc("rays_mispredicted");
+                    stats_.addSample("mispredict_restart_cycles",
+                                     now - e.predEvalStart);
+                    if (trace_)
+                        trace_->emit(
+                            {e.predEvalStart, now - e.predEvalStart,
+                             TraceEventKind::PredictorMispredict,
+                             static_cast<std::uint16_t>(smId_), 0,
+                             e.globalId, e.predPhaseFetches});
                     e.phase = RayPhase::Normal;
                     e.stack.push(kBvhRoot);
                 }
@@ -419,6 +459,13 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
             // Intra-warp duplicate: merged into the earlier request.
             data_ready = it->second;
             stats_.inc("warp_merged_requests");
+            if (trace_)
+                trace_->emit({now, 0, TraceEventKind::NodeFetchIssue,
+                              static_cast<std::uint16_t>(smId_),
+                              static_cast<std::uint16_t>(is.isLeaf
+                                                             ? 1
+                                                             : 0),
+                              is.node, 0});
         } else {
             auto port = std::min_element(l1Ports_.begin(),
                                          l1Ports_.end());
@@ -438,6 +485,17 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                                  : "mem_node_accesses");
             if (e.phase == RayPhase::PredEval)
                 stats_.inc("mem_pred_phase_accesses");
+            stats_.addSample("node_fetch_cycles", data_ready - start);
+            if (trace_)
+                trace_->emit({start,
+                              data_ready > start ? data_ready - start
+                                                 : 0,
+                              TraceEventKind::NodeFetchReady,
+                              static_cast<std::uint16_t>(smId_),
+                              static_cast<std::uint16_t>(is.isLeaf
+                                                             ? 1
+                                                             : 0),
+                              is.node, data_ready - start});
         }
 
         // Local-memory traffic from stack spills/refills.
@@ -465,6 +523,11 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
             if (e.phase == RayPhase::PredEval) {
                 e.verified = true;
                 stats_.inc("rays_verified");
+                if (trace_)
+                    trace_->emit(
+                        {now, 0, TraceEventKind::PredictorVerify,
+                         static_cast<std::uint16_t>(smId_), 0,
+                         e.globalId, 0});
             }
             e.phase = RayPhase::Done;
         }
@@ -485,6 +548,7 @@ RtUnit::completeRay(std::uint32_t slot, Cycle now)
     results_[e.globalId] = res;
 
     stats_.inc("rays_completed");
+    stats_.addSample("ray_latency_cycles", now - e.dispatchedAt);
     if (e.hit)
         stats_.inc("rays_hit");
     stats_.inc("ray_node_fetches", e.nodeFetches);

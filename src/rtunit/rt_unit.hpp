@@ -142,11 +142,26 @@ class RtUnit
     /** Average fraction of active threads per warp issue (SIMT eff.). */
     double simtEfficiency() const;
 
+    /**
+     * Attach a trace sink (nullptr detaches). Shared with the partial
+     * warp collector. Emission is a pure observer: enabling a sink
+     * never changes simulated cycles or statistics.
+     */
+    void
+    setTraceSink(TraceSink *sink)
+    {
+        trace_ = sink;
+        collector_.setTraceSink(sink,
+                                static_cast<std::uint16_t>(smId_));
+    }
+
   private:
     struct Warp
     {
         std::vector<std::uint32_t> slots; //!< ray buffer slot indices
         std::uint64_t order = 0;          //!< dispatch order (GTO age)
+        Cycle dispatchedAt = 0;           //!< cycle the warp was formed
+        std::uint32_t raysAtDispatch = 0; //!< member count at dispatch
         bool repacked = false;
         bool notPredictedResidue = false; //!< residue after repacking
     };
@@ -234,6 +249,7 @@ class RtUnit
 
     std::vector<RayResult> results_;
     StatGroup stats_;
+    TraceSink *trace_ = nullptr;
     std::uint64_t issueActiveThreads_ = 0;
     std::uint64_t issueSlots_ = 0;
 };

@@ -6,6 +6,98 @@
 
 namespace rtp {
 
+namespace {
+
+/** Bucket index: 0 for zero, else the sample's bit width (1..64). */
+std::size_t
+bucketOf(std::uint64_t v)
+{
+    std::size_t b = 0;
+    while (v) {
+        v >>= 1;
+        b++;
+    }
+    return b;
+}
+
+/** Inclusive value range covered by bucket @p i. */
+void
+bucketRange(std::size_t i, std::uint64_t &lo, std::uint64_t &hi)
+{
+    if (i == 0) {
+        lo = hi = 0;
+        return;
+    }
+    lo = 1ull << (i - 1);
+    hi = i >= 64 ? ~0ull : (1ull << i) - 1;
+}
+
+} // namespace
+
+void
+Histogram::add(std::uint64_t value)
+{
+    buckets_[bucketOf(value)]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (std::size_t i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) /
+                     static_cast<double>(count_);
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    // Rank of the percentile sample, 1-based (nearest-rank base point).
+    double rank = p / 100.0 * static_cast<double>(count_);
+    if (rank < 1.0)
+        rank = 1.0;
+    std::uint64_t before = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        double cum = static_cast<double>(before + buckets_[i]);
+        if (cum >= rank) {
+            std::uint64_t lo, hi;
+            bucketRange(i, lo, hi);
+            // Interpolate within the bucket, clamped to the recorded
+            // extremes so single-bucket distributions report exactly.
+            double frac =
+                (rank - static_cast<double>(before)) /
+                static_cast<double>(buckets_[i]);
+            double v = static_cast<double>(lo) +
+                       frac * static_cast<double>(hi - lo);
+            v = std::max(v, static_cast<double>(min()));
+            v = std::min(v, static_cast<double>(max_));
+            return v;
+        }
+        before += buckets_[i];
+    }
+    return static_cast<double>(max_);
+}
+
 std::uint64_t
 StatGroup::get(const std::string &name) const
 {
@@ -20,11 +112,25 @@ StatGroup::getScalar(const std::string &name) const
     return it == scalars_.end() ? 0.0 : it->second.value;
 }
 
+const Histogram *
+StatGroup::histogram(const std::string &name) const
+{
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+StatGroup::mergeHistogram(const std::string &name, const Histogram &h)
+{
+    histograms_[name].merge(h);
+}
+
 void
 StatGroup::clear()
 {
     counters_.clear();
     scalars_.clear();
+    histograms_.clear();
 }
 
 void
@@ -48,6 +154,8 @@ StatGroup::merge(const StatGroup &other)
             break;
         }
     }
+    for (const auto &kv : other.histograms_)
+        histograms_[kv.first].merge(kv.second);
 }
 
 void
@@ -57,6 +165,18 @@ StatGroup::dump(std::ostream &os, const std::string &prefix) const
         os << prefix << kv.first << " = " << kv.second << "\n";
     for (const auto &kv : scalars_)
         os << prefix << kv.first << " = " << kv.second.value << "\n";
+    for (const auto &kv : histograms_) {
+        const Histogram &h = kv.second;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "count=%llu mean=%.1f p50=%.0f p90=%.0f "
+                      "p99=%.0f max=%llu",
+                      static_cast<unsigned long long>(h.count()),
+                      h.mean(), h.percentile(50), h.percentile(90),
+                      h.percentile(99),
+                      static_cast<unsigned long long>(h.max()));
+        os << prefix << kv.first << " = " << buf << "\n";
+    }
 }
 
 namespace {
@@ -90,6 +210,31 @@ writeJsonDouble(std::ostream &os, double v)
 } // namespace
 
 void
+Histogram::toJson(std::ostream &os) const
+{
+    os << "{\"count\":" << count_ << ",\"sum\":" << sum_
+       << ",\"min\":" << min() << ",\"max\":" << max_ << ",\"mean\":";
+    writeJsonDouble(os, mean());
+    os << ",\"p50\":";
+    writeJsonDouble(os, percentile(50));
+    os << ",\"p90\":";
+    writeJsonDouble(os, percentile(90));
+    os << ",\"p99\":";
+    writeJsonDouble(os, percentile(99));
+    os << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '[' << i << ',' << buckets_[i] << ']';
+    }
+    os << "]}";
+}
+
+void
 StatGroup::toJson(std::ostream &os) const
 {
     os << "{\"counters\":{";
@@ -111,7 +256,23 @@ StatGroup::toJson(std::ostream &os) const
         os << ':';
         writeJsonDouble(os, kv.second.value);
     }
-    os << "}}";
+    os << "}";
+    // Only groups that actually sampled a distribution grow the key, so
+    // histogram-free outputs stay byte-identical to earlier releases.
+    if (!histograms_.empty()) {
+        os << ",\"histograms\":{";
+        first = true;
+        for (const auto &kv : histograms_) {
+            if (!first)
+                os << ',';
+            first = false;
+            writeJsonString(os, kv.first);
+            os << ':';
+            kv.second.toJson(os);
+        }
+        os << "}";
+    }
+    os << "}";
 }
 
 std::string

@@ -9,12 +9,87 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
 
 namespace rtp {
+
+/**
+ * Log2-bucketed histogram for latency/size distributions.
+ *
+ * StatGroup scalars can say a run's *average* miss latency; figures like
+ * the paper's mispredict-restart and cache analyses need the shape of
+ * the distribution. Samples land in power-of-two buckets (bucket i
+ * holds values in [2^(i-1), 2^i - 1]; bucket 0 holds zeros), so adding
+ * a sample is one increment and percentiles are estimated by linear
+ * interpolation within a bucket — bounded error, constant memory,
+ * mergeable across SMs.
+ */
+class Histogram
+{
+  public:
+    /** Number of buckets: zeros + one per possible bit width. */
+    static constexpr std::size_t kBuckets = 65;
+
+    /** Record one sample. */
+    void add(std::uint64_t value);
+
+    /** Combine another histogram into this one (bucket-wise add). */
+    void merge(const Histogram &other);
+
+    std::uint64_t
+    count() const
+    {
+        return count_;
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_;
+    }
+
+    /** @return Smallest recorded sample (0 when empty). */
+    std::uint64_t
+    min() const
+    {
+        return count_ == 0 ? 0 : min_;
+    }
+
+    /** @return Largest recorded sample (0 when empty). */
+    std::uint64_t
+    max() const
+    {
+        return max_;
+    }
+
+    double mean() const;
+
+    /**
+     * Estimate the @p p-th percentile (p in [0,100]) by interpolating
+     * within the containing log2 bucket; exact at recorded min/max.
+     */
+    double percentile(double p) const;
+
+    const std::array<std::uint64_t, kBuckets> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Serialize as {"count":..,"sum":..,...,"buckets":[[i,n],..]}. */
+    void toJson(std::ostream &os) const;
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = ~0ull;
+    std::uint64_t max_ = 0;
+};
 
 /**
  * How a scalar combines when two groups merge. Counters always add;
@@ -53,18 +128,32 @@ class StatGroup
         scalars_[name] = Scalar{value, merge};
     }
 
+    /** Record @p value into histogram @p name (created when absent). */
+    void
+    addSample(const std::string &name, std::uint64_t value)
+    {
+        histograms_[name].add(value);
+    }
+
     /** @return Counter value, or 0 if never touched. */
     std::uint64_t get(const std::string &name) const;
 
     /** @return Scalar value, or 0.0 if never set. */
     double getScalar(const std::string &name) const;
 
-    /** Reset all counters and scalars to zero / remove them. */
+    /** @return Histogram @p name, or nullptr if never sampled. */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Merge @p h into histogram @p name (used for prefixed renames). */
+    void mergeHistogram(const std::string &name, const Histogram &h);
+
+    /** Remove all counters, scalars, and histograms. */
     void clear();
 
     /**
      * Merge another group into this one. Counters add; scalars combine
-     * under their recorded policy (sum, or max for shared/peak values).
+     * under their recorded policy (sum, or max for shared/peak values);
+     * histograms add bucket-wise.
      */
     void merge(const StatGroup &other);
 
@@ -72,9 +161,10 @@ class StatGroup
     void dump(std::ostream &os, const std::string &prefix = "") const;
 
     /**
-     * Serialize as a JSON object {"counters":{...},"scalars":{...}}.
-     * Keys are emitted in sorted order so output is byte-stable across
-     * runs and thread counts.
+     * Serialize as a JSON object {"counters":{...},"scalars":{...}}
+     * plus a "histograms" member when any histogram was sampled. Keys
+     * are emitted in sorted order so output is byte-stable across runs
+     * and thread counts.
      */
     void toJson(std::ostream &os) const;
 
@@ -95,9 +185,17 @@ class StatGroup
         return scalars_;
     }
 
+    /** @return All histograms. */
+    const std::map<std::string, Histogram> &
+    histograms() const
+    {
+        return histograms_;
+    }
+
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, Scalar> scalars_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 } // namespace rtp

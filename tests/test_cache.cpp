@@ -121,6 +121,71 @@ TEST(Cache, StatsCount)
     EXPECT_EQ(cache.stats().get("misses"), 2u);
 }
 
+TEST(Cache, MissNeverEvictsInflightLine)
+{
+    // Regression: the miss path used to take the raw LRU way even when
+    // that way's fill was still in flight, orphaning the MSHR accesses
+    // merged into it and re-fetching data already on its way. With
+    // every way in flight the access must bypass (serve downstream
+    // without allocating) and leave both fills intact.
+    CacheModel cache({256, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0 * 128, 0, f); // in flight until 100
+    cache.access(1 * 128, 0, f); // second way, in flight until 100
+    CacheAccess c = cache.access(2 * 128, 50, f);
+    EXPECT_FALSE(c.hit);
+    EXPECT_FALSE(c.merged);
+    EXPECT_EQ(c.readyCycle, 151u); // its own fill (50+100) + hit lat 1
+    EXPECT_EQ(cache.stats().get("inflight_bypasses"), 1u);
+    EXPECT_EQ(cache.stats().get("evictions"), 0u);
+    // The bypass allocated nothing and both fills survived.
+    EXPECT_FALSE(cache.contains(2 * 128));
+    EXPECT_TRUE(cache.contains(0 * 128));
+    EXPECT_TRUE(cache.contains(1 * 128));
+    EXPECT_TRUE(cache.access(0 * 128, 200, f).hit);
+    EXPECT_TRUE(cache.access(1 * 128, 200, f).hit);
+    EXPECT_EQ(fill.calls, 3);
+}
+
+TEST(Cache, VictimSelectionSkipsInflightWays)
+{
+    // One way idle, one way mid-fill: the miss must evict the idle way
+    // even when the in-flight way is least recently used, and count the
+    // skip. A later access to the preserved line still merges into its
+    // fill.
+    CacheModel cache({256, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0 * 128, 0, f);   // fill done at 100
+    cache.access(1 * 128, 200, f); // fill in flight until 300
+    cache.access(0 * 128, 250, f); // hit: line 1 becomes the LRU
+    cache.access(2 * 128, 260, f); // LRU (line 1) in flight: skip it
+    EXPECT_EQ(cache.stats().get("inflight_victim_skips"), 1u);
+    EXPECT_FALSE(cache.contains(0 * 128)); // idle MRU evicted instead
+    EXPECT_TRUE(cache.contains(1 * 128));  // in-flight fill preserved
+    EXPECT_TRUE(cache.contains(2 * 128));
+    CacheAccess d = cache.access(1 * 128, 270, f);
+    EXPECT_TRUE(d.merged);
+    EXPECT_EQ(d.readyCycle, 301u);
+    EXPECT_EQ(fill.calls, 3);
+}
+
+TEST(Cache, MissLatencyHistogramRecorded)
+{
+    CacheModel cache({1024, 128, 0, 1, "t"});
+    CountingFill fill;
+    auto f = fill.fn();
+    cache.access(0, 0, f);
+    cache.access(128, 10, f);
+    cache.access(0, 500, f); // hit: no sample
+    const Histogram *h = cache.stats().histogram("miss_latency");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_EQ(h->min(), 100u);
+    EXPECT_EQ(h->max(), 100u);
+}
+
 TEST(Cache, ResetEmptiesContents)
 {
     CacheModel cache({1024, 128, 0, 1, "t"});

@@ -154,6 +154,70 @@ TEST(PredictorTable, NodeReplacementLruK)
     EXPECT_FALSE(has2);
 }
 
+TEST(PredictorTable, ConfirmCreditsOnlyTheUsedSlot)
+{
+    // Regression: lookup() used to bump recency/frequency/history for
+    // every slot of the entry on every lookup, so all slots aged in
+    // lockstep and intra-entry replacement degenerated to insertion
+    // order. Slot credit now flows through confirm() for the specific
+    // node a ray actually used.
+    auto cfg = smallConfig(8, 2, 2);
+    cfg.nodeReplacement = NodeReplacement::LRU;
+    PredictorTable t(cfg, 15);
+    t.update(0x5, 1);
+    t.update(0x5, 2);  // node 2 stored most recently
+    t.lookup(0x5);     // returns both; must not equalise slot recency
+    t.confirm(0x5, 1); // the ray verified from node 1
+    t.update(0x5, 3);  // must evict node 2, the least recently used
+    auto nodes = t.lookup(0x5);
+    ASSERT_TRUE(nodes.has_value());
+    bool has1 = false, has2 = false, has3 = false;
+    for (auto n : *nodes) {
+        has1 |= n == 1;
+        has2 |= n == 2;
+        has3 |= n == 3;
+    }
+    EXPECT_TRUE(has1);
+    EXPECT_FALSE(has2);
+    EXPECT_TRUE(has3);
+    EXPECT_EQ(t.stats().get("confirms"), 1u);
+}
+
+TEST(PredictorTable, LookupDoesNotFabricateLruKHistory)
+{
+    // Under the old per-lookup slot bumping, every lookup appended a
+    // reference time to every slot's LRU-K history, so a slot stored
+    // once gained a fabricated K-th reference and the "no K-th
+    // reference -> evict first" rule (Section 6.1.3) stopped firing.
+    auto cfg = smallConfig(8, 2, 2);
+    cfg.nodeReplacement = NodeReplacement::LRUK;
+    cfg.lruK = 2;
+    PredictorTable t(cfg, 15);
+    t.update(0x5, 1);
+    t.update(0x5, 1); // node 1: full K=2 reference history
+    t.update(0x5, 2); // node 2: one reference, no K-th
+    t.lookup(0x5);
+    t.lookup(0x5);
+    t.lookup(0x5);
+    t.update(0x5, 3); // must still evict node 2
+    auto nodes = t.lookup(0x5);
+    ASSERT_TRUE(nodes.has_value());
+    bool has2 = false;
+    for (auto n : *nodes)
+        has2 |= n == 2;
+    EXPECT_FALSE(has2);
+}
+
+TEST(PredictorTable, ConfirmOnMissingEntryOrNodeIsNoop)
+{
+    PredictorTable t(smallConfig(8, 2, 2), 15);
+    t.confirm(0x123, 7); // nothing stored: must not crash or allocate
+    EXPECT_FALSE(t.lookup(0x123).has_value());
+    t.update(0x9, 4);
+    t.confirm(0x9, 5); // entry exists but node 5 was never stored
+    EXPECT_EQ(t.stats().get("confirms"), 0u);
+}
+
 TEST(PredictorTable, SizeBytesMatchesPaper)
 {
     // Table 3 / Section 6.1.1: 1024 entries x (1 valid + 15 tag + 27

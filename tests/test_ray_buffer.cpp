@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "rtunit/ray_buffer.hpp"
 
 namespace rtp {
@@ -62,6 +64,20 @@ TEST(RayBuffer, AllocationResetsState)
     EXPECT_FALSE(buf.slot(t).hit);
     EXPECT_FALSE(buf.slot(t).predicted);
     EXPECT_TRUE(buf.slot(t).stack.empty());
+}
+
+TEST(RayBuffer, ExhaustedAllocateThrows)
+{
+    // Regression: allocating past capacity used to read back() of an
+    // empty free list (undefined behaviour) and hand out a garbage
+    // slot. It must fail loudly and leave resident rays untouched.
+    RayBuffer buf(1);
+    std::uint32_t s = buf.allocate(dummyRay(1), 0, 8);
+    EXPECT_THROW(buf.allocate(dummyRay(2), 1, 8), std::logic_error);
+    EXPECT_EQ(buf.slot(s).ray.origin.x, 1.0f); // resident ray intact
+    EXPECT_EQ(buf.freeSlots(), 0u);
+    buf.release(s);
+    EXPECT_NO_THROW(buf.allocate(dummyRay(3), 2, 8));
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "gpu/simulator.hpp"
 #include "rays/raygen.hpp"
 #include "scene/registry.hpp"
+#include "util/trace.hpp"
 
 namespace rtp {
 namespace {
@@ -72,6 +73,58 @@ TEST(Simulator, DeterministicRepeatRuns)
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.stats.get("rays_verified"), b.stats.get("rays_verified"));
     EXPECT_EQ(a.totalMemAccesses(), b.totalMemAccesses());
+}
+
+TEST(Simulator, TracingDoesNotPerturbSimulation)
+{
+    // Acceptance contract of the observability layer: enabling a trace
+    // sink must not change simulated cycles, statistics, or per-ray
+    // results — emission is a pure observer.
+    for (const SimConfig &base :
+         {SimConfig::baseline(), SimConfig::proposed()}) {
+        SimResult plain = simulate(
+            rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+            base);
+        SimConfig traced_cfg = base;
+        TraceSink sink;
+        traced_cfg.trace = &sink;
+        SimResult traced = simulate(
+            rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+            traced_cfg);
+        EXPECT_GT(sink.size(), 0u);
+        EXPECT_EQ(plain.cycles, traced.cycles);
+        EXPECT_EQ(plain.toJson(), traced.toJson());
+        for (std::size_t i = 0; i < rig().ao.rays.size(); ++i) {
+            ASSERT_EQ(plain.rayResults[i].hit, traced.rayResults[i].hit)
+                << "ray " << i;
+        }
+    }
+}
+
+TEST(Simulator, TraceCoversComponentTaxonomy)
+{
+    SimConfig cfg = SimConfig::proposed();
+    TraceSink sink;
+    cfg.trace = &sink;
+    simulate(rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+             cfg);
+    std::uint64_t warps = 0, fetches = 0, cache = 0, lookups = 0;
+    for (const TraceEvent &ev : sink.snapshot()) {
+        switch (ev.kind) {
+        case TraceEventKind::WarpDispatch:
+        case TraceEventKind::WarpComplete: warps++; break;
+        case TraceEventKind::NodeFetchIssue:
+        case TraceEventKind::NodeFetchReady: fetches++; break;
+        case TraceEventKind::CacheHit:
+        case TraceEventKind::CacheMiss: cache++; break;
+        case TraceEventKind::PredictorLookup: lookups++; break;
+        default: break;
+        }
+    }
+    EXPECT_GT(warps, 0u);
+    EXPECT_GT(fetches, 0u);
+    EXPECT_GT(cache, 0u);
+    EXPECT_GT(lookups, 0u);
 }
 
 TEST(Simulator, MultiSmDistributesWork)

@@ -115,5 +115,108 @@ TEST(Stats, DumpIsPrefixedAndSorted)
     EXPECT_LT(out.find("alpha"), out.find("zeta"));
 }
 
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(50.0), 0.0);
+}
+
+TEST(Histogram, TracksMinMaxMeanExactly)
+{
+    Histogram h;
+    h.add(0);
+    h.add(7);
+    h.add(100);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 107u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 100u);
+    EXPECT_NEAR(h.mean(), 107.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, PercentilesAreOrderedAndClamped)
+{
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.add(v);
+    double p50 = h.percentile(50.0);
+    double p90 = h.percentile(90.0);
+    double p99 = h.percentile(99.0);
+    // Log2 buckets give bounded (factor-of-two) error, and percentiles
+    // must be monotone and clamped to the recorded range.
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, 250.0);
+    EXPECT_LE(p50, 1000.0);
+    EXPECT_LE(p99, 1000.0);
+    EXPECT_EQ(h.percentile(0.0), 1.0);    // clamps to min
+    EXPECT_EQ(h.percentile(100.0), 1000.0); // clamps to max
+}
+
+TEST(Histogram, SingleValuePercentilesAreExact)
+{
+    Histogram h;
+    for (int i = 0; i < 10; ++i)
+        h.add(64);
+    EXPECT_EQ(h.percentile(1.0), 64.0);
+    EXPECT_EQ(h.percentile(50.0), 64.0);
+    EXPECT_EQ(h.percentile(99.0), 64.0);
+}
+
+TEST(Histogram, MergeAddsBucketwise)
+{
+    Histogram a, b;
+    a.add(1);
+    a.add(2);
+    b.add(1000);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 1003u);
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Stats, AddSampleCreatesHistogram)
+{
+    StatGroup g;
+    EXPECT_EQ(g.histogram("lat"), nullptr);
+    g.addSample("lat", 5);
+    g.addSample("lat", 9);
+    const Histogram *h = g.histogram("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->count(), 2u);
+    EXPECT_EQ(h->sum(), 14u);
+}
+
+TEST(Stats, MergeCombinesHistograms)
+{
+    StatGroup a, b;
+    a.addSample("lat", 1);
+    b.addSample("lat", 3);
+    b.addSample("other", 7);
+    a.merge(b);
+    ASSERT_NE(a.histogram("lat"), nullptr);
+    EXPECT_EQ(a.histogram("lat")->count(), 2u);
+    ASSERT_NE(a.histogram("other"), nullptr);
+    EXPECT_EQ(a.histogram("other")->count(), 1u);
+}
+
+TEST(Stats, ToJsonOmitsHistogramsWhenEmpty)
+{
+    // Histogram-free groups must serialise exactly as before this
+    // field existed, keeping bench JSON byte-identical.
+    StatGroup g;
+    g.inc("a");
+    EXPECT_EQ(g.toJson(), "{\"counters\":{\"a\":1},\"scalars\":{}}");
+    g.addSample("lat", 2);
+    EXPECT_NE(g.toJson().find("\"histograms\":{\"lat\":{"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace rtp

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Summarise a Chrome-trace JSON file emitted by the simulator's
+ * TraceSink (RTP_TRACE=out.json, see docs/observability.md).
+ *
+ * Usage: trace_report <trace.json>
+ *
+ * Validates the file (well-formed JSON, traceEvents array, required
+ * per-event fields) and prints:
+ *   - per-warp critical path: warp lifetime spans, the longest warps
+ *   - predictor outcome summary: mispredict restart cost and the
+ *     node fetches wasted in abandoned verification traversals
+ *   - cache miss latency percentiles per level (exact, from args.lat)
+ *   - DRAM row-hit rate and bank pressure
+ *   - repacker activity (full / timeout / drain flushes)
+ *
+ * Exits 0 on a valid trace, 1 on malformed input or I/O failure, 2 on
+ * usage errors — CI uses the exit code to smoke-test traced runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using rtp::JsonValue;
+
+/** Exact nearest-rank percentile of a sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t idx = rank <= 1.0
+                          ? 0
+                          : static_cast<std::size_t>(rank + 0.5) - 1;
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+struct WarpSpan
+{
+    double ts = 0.0;
+    double dur = 0.0;
+    double tid = 0.0;
+    double warp = 0.0;
+    double rays = 0.0;
+    bool repacked = false;
+};
+
+void
+printLatencyLine(const char *label, std::vector<double> &lat)
+{
+    std::sort(lat.begin(), lat.end());
+    std::printf("  %-12s n=%-8zu p50=%-7.0f p90=%-7.0f p99=%-7.0f "
+                "max=%.0f\n",
+                label, lat.size(), percentile(lat, 50.0),
+                percentile(lat, 90.0), percentile(lat, 99.0),
+                lat.empty() ? 0.0 : lat.back());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <trace.json>\n", argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "trace_report: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+
+    std::string error;
+    auto root = rtp::parseJson(text, &error);
+    if (!root) {
+        std::fprintf(stderr, "trace_report: %s: invalid JSON: %s\n",
+                     argv[1], error.c_str());
+        return 1;
+    }
+    if (!root->isObject()) {
+        std::fprintf(stderr, "trace_report: %s: root is not an object\n",
+                     argv[1]);
+        return 1;
+    }
+    const JsonValue *events = root->find("traceEvents");
+    if (!events || !events->isArray()) {
+        std::fprintf(stderr,
+                     "trace_report: %s: missing traceEvents array\n",
+                     argv[1]);
+        return 1;
+    }
+
+    // Per-event validation + bucketing by display name.
+    std::vector<WarpSpan> warps;
+    std::vector<double> mispredictDur;
+    std::vector<double> mispredictWaste;
+    std::uint64_t verifies = 0, lookups = 0, lookupHits = 0;
+    std::uint64_t trains = 0;
+    std::vector<double> l1MissLat, l2MissLat, nodeFetchLat;
+    std::uint64_t l1Hits = 0, l2Hits = 0, mshrMerges = 0;
+    std::uint64_t inflightBypasses = 0;
+    std::uint64_t dramAccesses = 0, dramRowHits = 0;
+    double dramBusyAcc = 0.0;
+    std::uint64_t collects = 0, collectedRays = 0;
+    std::uint64_t flushFull = 0, flushTimeout = 0, flushDrain = 0;
+    std::uint64_t warpDispatches = 0, nodeFetchIssues = 0;
+
+    std::size_t i = 0;
+    for (const JsonValue &ev : events->array) {
+        if (!ev.isObject()) {
+            std::fprintf(stderr,
+                         "trace_report: event %zu is not an object\n",
+                         i);
+            return 1;
+        }
+        const JsonValue *name = ev.find("name");
+        const JsonValue *ph = ev.find("ph");
+        if (!name || !name->isString() || !ph || !ph->isString()) {
+            std::fprintf(
+                stderr,
+                "trace_report: event %zu lacks name/ph strings\n", i);
+            return 1;
+        }
+        if (ph->str != "M") {
+            const JsonValue *ts = ev.find("ts");
+            if (!ts || !ts->isNumber()) {
+                std::fprintf(stderr,
+                             "trace_report: event %zu (%s) lacks a "
+                             "numeric ts\n",
+                             i, name->str.c_str());
+                return 1;
+            }
+        }
+        ++i;
+
+        const JsonValue *args = ev.find("args");
+        const std::string &n = name->str;
+        if (n == "warp") {
+            WarpSpan w;
+            w.ts = ev.numberAt("ts");
+            w.dur = ev.numberAt("dur");
+            w.tid = ev.numberAt("tid");
+            if (args) {
+                w.warp = args->numberAt("warp");
+                w.rays = args->numberAt("rays");
+            }
+            warps.push_back(w);
+        } else if (n == "warp_dispatch") {
+            warpDispatches++;
+        } else if (n == "mispredict") {
+            mispredictDur.push_back(ev.numberAt("dur"));
+            if (args)
+                mispredictWaste.push_back(
+                    args->numberAt("wasted_fetches"));
+        } else if (n == "pred_verify") {
+            verifies++;
+        } else if (n == "pred_lookup") {
+            lookups++;
+            if (args && args->numberAt("hit") != 0.0)
+                lookupHits++;
+        } else if (n == "pred_train") {
+            trains++;
+        } else if (n == "l1_miss") {
+            if (args)
+                l1MissLat.push_back(args->numberAt("lat"));
+        } else if (n == "l2_miss") {
+            if (args)
+                l2MissLat.push_back(args->numberAt("lat"));
+        } else if (n == "l1_hit") {
+            l1Hits++;
+        } else if (n == "l2_hit") {
+            l2Hits++;
+        } else if (n == "l1_mshr_merge" || n == "l2_mshr_merge") {
+            mshrMerges++;
+        } else if (n == "l1_inflight_bypass" ||
+                   n == "l2_inflight_bypass") {
+            inflightBypasses++;
+        } else if (n == "dram_access") {
+            dramAccesses++;
+            if (args) {
+                if (args->numberAt("row_hit") != 0.0)
+                    dramRowHits++;
+                dramBusyAcc += args->numberAt("busy_banks");
+            }
+        } else if (n == "node_fetch") {
+            if (args)
+                nodeFetchLat.push_back(args->numberAt("lat"));
+        } else if (n == "node_fetch_issue") {
+            nodeFetchIssues++;
+        } else if (n == "repack_collect") {
+            collects++;
+            if (args)
+                collectedRays +=
+                    static_cast<std::uint64_t>(args->numberAt("count"));
+        } else if (n == "repack_flush") {
+            double kind = args ? args->numberAt("timeout") : 0.0;
+            if (kind == 1.0)
+                flushTimeout++;
+            else if (kind == 2.0)
+                flushDrain++;
+            else
+                flushFull++;
+        }
+    }
+
+    const JsonValue *other = root->find("otherData");
+    std::printf("trace_report: %s\n", argv[1]);
+    std::printf("events: %zu", events->array.size());
+    if (other)
+        std::printf("  (buffered=%.0f dropped=%.0f)",
+                    other->numberAt("buffered_events"),
+                    other->numberAt("dropped_events"));
+    std::printf("\n");
+
+    std::printf("\n== warp critical path ==\n");
+    std::printf("  dispatches=%llu completed=%zu\n",
+                static_cast<unsigned long long>(warpDispatches),
+                warps.size());
+    if (!warps.empty()) {
+        double total = 0.0, maxd = 0.0;
+        for (const WarpSpan &w : warps) {
+            total += w.dur;
+            maxd = std::max(maxd, w.dur);
+        }
+        std::printf("  mean_lifetime=%.1f max_lifetime=%.0f cycles\n",
+                    total / static_cast<double>(warps.size()), maxd);
+        std::sort(warps.begin(), warps.end(),
+                  [](const WarpSpan &a, const WarpSpan &b) {
+                      return a.dur > b.dur;
+                  });
+        std::size_t top = std::min<std::size_t>(5, warps.size());
+        std::printf("  longest warps (the critical path tail):\n");
+        for (std::size_t k = 0; k < top; ++k)
+            std::printf("    sm=%.0f warp=%.0f rays=%.0f "
+                        "[%.0f..%.0f] dur=%.0f\n",
+                        warps[k].tid, warps[k].warp, warps[k].rays,
+                        warps[k].ts, warps[k].ts + warps[k].dur,
+                        warps[k].dur);
+    }
+
+    std::printf("\n== predictor ==\n");
+    std::printf("  lookups=%llu hits=%llu verifies=%llu "
+                "mispredicts=%zu trains=%llu\n",
+                static_cast<unsigned long long>(lookups),
+                static_cast<unsigned long long>(lookupHits),
+                static_cast<unsigned long long>(verifies),
+                mispredictDur.size(),
+                static_cast<unsigned long long>(trains));
+    if (!mispredictDur.empty()) {
+        double dtot = 0.0, wtot = 0.0;
+        for (double d : mispredictDur)
+            dtot += d;
+        for (double w : mispredictWaste)
+            wtot += w;
+        std::sort(mispredictDur.begin(), mispredictDur.end());
+        std::printf("  restart cost: mean=%.1f p90=%.0f max=%.0f "
+                    "cycles; mean wasted fetches=%.2f\n",
+                    dtot / static_cast<double>(mispredictDur.size()),
+                    percentile(mispredictDur, 90.0),
+                    mispredictDur.back(),
+                    mispredictWaste.empty()
+                        ? 0.0
+                        : wtot / static_cast<double>(
+                                     mispredictWaste.size()));
+    }
+
+    std::printf("\n== memory ==\n");
+    std::printf("  l1: hits=%llu  l2: hits=%llu  mshr_merges=%llu "
+                "inflight_bypasses=%llu\n",
+                static_cast<unsigned long long>(l1Hits),
+                static_cast<unsigned long long>(l2Hits),
+                static_cast<unsigned long long>(mshrMerges),
+                static_cast<unsigned long long>(inflightBypasses));
+    printLatencyLine("l1_miss", l1MissLat);
+    printLatencyLine("l2_miss", l2MissLat);
+    printLatencyLine("node_fetch", nodeFetchLat);
+    std::printf("  node_fetch warp-merged duplicates=%llu\n",
+                static_cast<unsigned long long>(nodeFetchIssues));
+    if (dramAccesses > 0)
+        std::printf("  dram: accesses=%llu row_hit_rate=%.3f "
+                    "mean_busy_banks=%.2f\n",
+                    static_cast<unsigned long long>(dramAccesses),
+                    static_cast<double>(dramRowHits) /
+                        static_cast<double>(dramAccesses),
+                    dramBusyAcc / static_cast<double>(dramAccesses));
+
+    std::printf("\n== repacker ==\n");
+    std::printf("  collects=%llu rays=%llu flushes: full=%llu "
+                "timeout=%llu drain=%llu\n",
+                static_cast<unsigned long long>(collects),
+                static_cast<unsigned long long>(collectedRays),
+                static_cast<unsigned long long>(flushFull),
+                static_cast<unsigned long long>(flushTimeout),
+                static_cast<unsigned long long>(flushDrain));
+    return 0;
+}
