@@ -120,8 +120,10 @@ main()
             Sample s;
             if (batch.rays.empty())
                 return s;
-            SimResult r = simulate(w.bvh, w.scene.mesh.triangles(),
-                                   batch.rays, SimConfig::baseline());
+            SimResult r =
+                Simulation(SimConfig::baseline(), w.bvh,
+                           w.scene.mesh.triangles())
+                    .run(batch.rays);
             s.sim_tput = static_cast<double>(batch.rays.size()) /
                          std::max<Cycle>(1, r.cycles);
             s.hw = analyticalRaysPerSecond(w, batch.rays);

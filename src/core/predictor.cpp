@@ -42,29 +42,39 @@ RayPredictor::schedulePort(std::vector<Cycle> &ports, Cycle cycle)
     return start + config_.accessLatency;
 }
 
-std::optional<Prediction>
-RayPredictor::lookup(const Ray &ray, Cycle cycle, Cycle &ready_cycle)
+bool
+RayPredictor::lookupInto(const Ray &ray, Cycle cycle,
+                         Cycle &ready_cycle,
+                         std::vector<std::uint32_t> &nodes)
 {
+    nodes.clear();
     if (!config_.enabled) {
         ready_cycle = cycle;
-        return std::nullopt;
+        return false;
     }
     ready_cycle = schedulePort(lookupPorts_, cycle);
-    stats_.inc("lookups");
+    stats_.inc(StatId::Lookups);
 
     std::uint32_t h = hasher_.hash(ray);
-    auto nodes = table_.lookup(h);
+    bool hit = table_.lookupInto(h, nodes);
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::PredictorLookup,
                       traceUnit_,
-                      static_cast<std::uint16_t>(nodes ? 1 : 0), h,
-                      nodes ? nodes->size() : 0});
-    if (!nodes)
-        return std::nullopt;
-    stats_.inc("predicted");
+                      static_cast<std::uint16_t>(hit ? 1 : 0), h,
+                      nodes.size()});
+    if (!hit)
+        return false;
+    stats_.inc(StatId::Predicted);
+    return true;
+}
+
+std::optional<Prediction>
+RayPredictor::lookup(const Ray &ray, Cycle cycle, Cycle &ready_cycle)
+{
     Prediction p;
-    p.nodes = std::move(*nodes);
-    p.hash = h;
+    if (!lookupInto(ray, cycle, ready_cycle, p.nodes))
+        return std::nullopt;
+    p.hash = hasher_.hash(ray);
     return p;
 }
 
@@ -74,7 +84,7 @@ RayPredictor::update(const Ray &ray, std::uint32_t hit_leaf, Cycle cycle)
     if (!config_.enabled)
         return;
     schedulePort(updatePorts_, cycle);
-    stats_.inc("trained");
+    stats_.inc(StatId::Trained);
     std::uint32_t node = bvh_->ancestorOf(hit_leaf, config_.goUpLevel);
     std::uint32_t h = hasher_.hash(ray);
     table_.update(h, node);

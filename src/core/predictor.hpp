@@ -59,6 +59,16 @@ class RayPredictor
                                      Cycle &ready_cycle);
 
     /**
+     * Allocation-free timed lookup: identical semantics, timing, and
+     * accounting to lookup(), writing the predicted nodes into
+     * @p nodes (cleared first, left empty on a miss). @return true on a
+     * table hit. The RT unit's hot path uses this with a reused
+     * scratch vector.
+     */
+    bool lookupInto(const Ray &ray, Cycle cycle, Cycle &ready_cycle,
+                    std::vector<std::uint32_t> &nodes);
+
+    /**
      * Timed training update: stores the Go-Up-Level ancestor of
      * @p hit_leaf under the ray's hash. Fire-and-forget for the ray's
      * own latency, but occupies an update port.

@@ -52,18 +52,20 @@ PredictorTable::touchSlot(NodeSlot &slot)
         slot.history.erase(slot.history.begin());
 }
 
-std::optional<std::vector<std::uint32_t>>
-PredictorTable::lookup(std::uint32_t hash)
+bool
+PredictorTable::lookupInto(std::uint32_t hash,
+                           std::vector<std::uint32_t> &out)
 {
+    out.clear();
     tick_++;
-    stats_.inc("lookups");
+    stats_.inc(StatId::Lookups);
     std::uint32_t set = foldHash(hash, tagBits_, indexBits_);
     Entry *e = findEntry(set, hash);
     if (!e || e->nodes.empty()) {
-        stats_.inc("lookup_misses");
-        return std::nullopt;
+        stats_.inc(StatId::LookupMisses);
+        return false;
     }
-    stats_.inc("lookup_hits");
+    stats_.inc(StatId::LookupHits);
     // Only the entry's recency moves here (it was referenced as a
     // whole). Per-slot recency/frequency/LRU-K history is deliberately
     // NOT touched: a lookup returns every slot, so bumping them all
@@ -72,10 +74,18 @@ PredictorTable::lookup(std::uint32_t hash)
     // happens to be first". Slots are credited in confirm(), when a
     // specific predicted node is actually used.
     e->lastUse = tick_;
-    std::vector<std::uint32_t> nodes;
-    nodes.reserve(e->nodes.size());
+    out.reserve(e->nodes.size());
     for (const auto &slot : e->nodes)
-        nodes.push_back(slot.node);
+        out.push_back(slot.node);
+    return true;
+}
+
+std::optional<std::vector<std::uint32_t>>
+PredictorTable::lookup(std::uint32_t hash)
+{
+    std::vector<std::uint32_t> nodes;
+    if (!lookupInto(hash, nodes))
+        return std::nullopt;
     return nodes;
 }
 
@@ -89,7 +99,7 @@ PredictorTable::confirm(std::uint32_t hash, std::uint32_t node)
         return;
     for (auto &slot : e->nodes) {
         if (slot.node == node) {
-            stats_.inc("confirms");
+            stats_.inc(StatId::Confirms);
             touchSlot(slot);
             return;
         }
@@ -100,7 +110,7 @@ void
 PredictorTable::update(std::uint32_t hash, std::uint32_t node)
 {
     tick_++;
-    stats_.inc("updates");
+    stats_.inc(StatId::Updates);
     std::uint32_t set = foldHash(hash, tagBits_, indexBits_);
     Entry *e = findEntry(set, hash);
 
@@ -119,7 +129,7 @@ PredictorTable::update(std::uint32_t hash, std::uint32_t node)
                 if (cand.lastUse < victim->lastUse)
                     victim = &cand;
             }
-            stats_.inc("entry_evictions");
+            stats_.inc(StatId::EntryEvictions);
         }
         victim->valid = true;
         victim->tag = hash;
@@ -150,7 +160,7 @@ PredictorTable::update(std::uint32_t hash, std::uint32_t node)
     }
 
     // Entry full: evict a node slot per the configured policy.
-    stats_.inc("node_evictions");
+    stats_.inc(StatId::NodeEvictions);
     NodeSlot *victim = &e->nodes[0];
     switch (config_.nodeReplacement) {
       case NodeReplacement::LRU:

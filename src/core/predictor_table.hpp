@@ -64,6 +64,14 @@ class PredictorTable
     std::optional<std::vector<std::uint32_t>> lookup(std::uint32_t hash);
 
     /**
+     * Allocation-free lookup: identical semantics and accounting to
+     * lookup(), writing the predicted nodes into @p out (cleared first,
+     * left empty on a miss). @return true on a table hit. The RT unit's
+     * hot path uses this with a reused scratch vector.
+     */
+    bool lookupInto(std::uint32_t hash, std::vector<std::uint32_t> &out);
+
+    /**
      * Credit the slot holding @p node in the entry for @p hash — called
      * when a specific predicted node is confirmed used (the ray's
      * verification traversal succeeded from it, or training re-stored

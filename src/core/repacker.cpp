@@ -18,10 +18,10 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
             static_cast<std::size_t>(config_.capacity)) {
             pending_.push_back(Pending{id, cycle});
         } else {
-            stats_.inc("overflow_drops");
+            stats_.inc(StatId::OverflowDrops);
         }
     }
-    stats_.inc("rays_collected", ray_ids.size());
+    stats_.inc(StatId::RaysCollected, ray_ids.size());
     if (trace_ && !ray_ids.empty())
         trace_->emit({cycle, 0, TraceEventKind::RepackCollect,
                       traceUnit_, 0, 0, ray_ids.size()});
@@ -39,7 +39,7 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
         pending_.erase(pending_.begin(),
                        pending_.begin() + config_.warpSize);
         warps.push_back(std::move(warp));
-        stats_.inc("full_warps_formed");
+        stats_.inc(StatId::FullWarpsFormed);
         if (trace_)
             trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 0, 0, config_.warpSize});
@@ -57,7 +57,7 @@ PartialWarpCollector::flushIfExpired(Cycle cycle)
     for (const Pending &p : pending_)
         warp.push_back(p.id);
     pending_.clear();
-    stats_.inc("timeout_flushes");
+    stats_.inc(StatId::TimeoutFlushes);
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                       traceUnit_, 1, 0, warp.size()});
@@ -76,7 +76,7 @@ PartialWarpCollector::flushAll()
         warp.push_back(p.id);
     pending_.clear();
     if (!warp.empty()) {
-        stats_.inc("drain_flushes");
+        stats_.inc(StatId::DrainFlushes);
         if (trace_)
             trace_->emit({at, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 2, 0, warp.size()});

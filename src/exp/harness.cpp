@@ -54,7 +54,7 @@ std::vector<SimResult>
 runSimPoints(const std::vector<SimPoint> &points, const char *label)
 {
     auto run = [](const SimPoint &p) {
-        return simulate(*p.bvh, *p.triangles, *p.rays, p.config);
+        return Simulation(p.config, *p.bvh, *p.triangles).run(*p.rays);
     };
 
     // RTP_TRACE=<path>: attach a cycle-level trace sink to one sweep
@@ -140,7 +140,8 @@ SimResult
 runOne(const Workload &w, const SimConfig &config, bool sorted)
 {
     const RayBatch &batch = sorted ? w.aoSorted : w.ao;
-    return simulate(w.bvh, w.scene.mesh.triangles(), batch.rays, config);
+    return Simulation(config, w.bvh, w.scene.mesh.triangles())
+        .run(batch.rays);
 }
 
 JsonResultSink::JsonResultSink(std::string name) : name_(std::move(name))

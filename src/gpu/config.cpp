@@ -1,6 +1,9 @@
 #include "gpu/config.hpp"
 
 #include <sstream>
+#include <stdexcept>
+
+#include "bvh/bvh.hpp"
 
 namespace rtp {
 
@@ -29,6 +32,60 @@ SimConfig::baseline()
     c.predictor.enabled = false;
     c.rt.repackEnabled = false;
     return c;
+}
+
+void
+SimConfig::validate() const
+{
+    auto fail = [](const std::string &msg) {
+        throw std::invalid_argument("SimConfig::validate: " + msg);
+    };
+    if (numSms == 0)
+        fail("numSms must be > 0 (no SM would receive rays)");
+    if (rt.warpSize == 0)
+        fail("rt.warpSize must be > 0 (warps would be empty)");
+    if (rt.maxWarps == 0)
+        fail("rt.maxWarps must be > 0 (no warp could ever dispatch)");
+    if (rt.stackEntries == 0)
+        fail("rt.stackEntries must be > 0 (the hardware traversal "
+             "stack needs at least one entry)");
+    if (rt.l1PortsPerCycle == 0)
+        fail("rt.l1PortsPerCycle must be > 0 (no memory request could "
+             "ever issue)");
+    if (memory.l1.lineBytes == 0)
+        fail("memory.l1.lineBytes must be > 0 (address-to-line "
+             "division by zero)");
+    if (memory.l1.sizeBytes < memory.l1.lineBytes)
+        fail("memory.l1.sizeBytes must hold at least one line");
+    if (memory.l2.lineBytes == 0)
+        fail("memory.l2.lineBytes must be > 0 (address-to-line "
+             "division by zero)");
+    if (memory.l2.sizeBytes < memory.l2.lineBytes)
+        fail("memory.l2.sizeBytes must hold at least one line");
+    if (memory.dram.numBanks == 0)
+        fail("memory.dram.numBanks must be > 0 (every access would "
+             "deadlock on a bank)");
+    if (predictor.enabled) {
+        if (predictor.table.numEntries == 0)
+            fail("predictor.table.numEntries must be > 0 when the "
+                 "predictor is enabled");
+        if (predictor.accessPorts == 0)
+            fail("predictor.accessPorts must be > 0 when the "
+                 "predictor is enabled");
+    }
+}
+
+void
+SimConfig::validate(const Bvh &bvh) const
+{
+    validate();
+    if (predictor.enabled && predictor.goUpLevel > bvh.maxDepth())
+        throw std::invalid_argument(
+            "SimConfig::validate: predictor.goUpLevel (" +
+            std::to_string(predictor.goUpLevel) +
+            ") exceeds the BVH depth (" +
+            std::to_string(bvh.maxDepth()) +
+            ") — no leaf has such an ancestor");
 }
 
 std::string

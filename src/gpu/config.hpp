@@ -16,6 +16,7 @@
 namespace rtp {
 
 class TraceSink;
+class Bvh;
 
 /** Full simulation configuration. */
 struct SimConfig
@@ -39,6 +40,21 @@ struct SimConfig
 
     /** Baseline RT unit without a predictor. */
     static SimConfig baseline();
+
+    /**
+     * Reject inconsistent settings with a descriptive
+     * std::invalid_argument (zero SMs, zero-width warps, no L1 ports,
+     * zero-sized cache lines, ...). Simulation's constructor calls this,
+     * so a bad sweep config fails at construction with a named field
+     * instead of dividing by zero or deadlocking mid-run.
+     */
+    void validate() const;
+
+    /**
+     * validate() plus scene-dependent checks: a Go-Up-Level beyond the
+     * BVH's depth can never name an existing ancestor.
+     */
+    void validate(const Bvh &bvh) const;
 };
 
 /** One-line summary of a configuration (for bench/table headers). */

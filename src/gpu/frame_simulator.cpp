@@ -13,33 +13,18 @@ FrameSimulator::runFrame(const Bvh &bvh,
                          const std::vector<Triangle> &triangles,
                          const std::vector<Ray> &rays)
 {
-    if (config_.predictor.enabled) {
-        if (predictors_.empty()) {
-            for (std::uint32_t i = 0; i < config_.numSms; ++i)
-                predictors_.push_back(std::make_unique<RayPredictor>(
-                    config_.predictor, bvh));
-        } else {
-            for (auto &p : predictors_) {
-                p->rebind(bvh);
-                if (!preserveState_)
-                    p->resetTable();
-                p->clearStats();
-            }
-        }
-    }
-
-    std::vector<RayPredictor *> preds;
-    for (auto &p : predictors_)
-        preds.push_back(p.get());
+    if (config_.predictor.enabled)
+        predictors_.bind(config_.predictor, config_.numSms, bvh,
+                         preserveState_);
     framesRun_++;
-    return simulateWithPredictors(bvh, triangles, rays, config_, preds);
+    Simulation sim(config_, bvh, triangles, predictors_);
+    return sim.run(rays);
 }
 
 void
 FrameSimulator::resetPredictors()
 {
-    for (auto &p : predictors_)
-        p->resetTable();
+    predictors_.resetTables();
 }
 
 } // namespace rtp

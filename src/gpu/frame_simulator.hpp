@@ -5,15 +5,14 @@
  * The paper's Section 8 names dynamic scenes as future work: "Predictor
  * states could potentially be preserved between frames and the
  * predictor retrained only for dynamic elements." This driver
- * implements that experiment: the per-SM predictor tables outlive
- * individual frames, the BVH is refit (not rebuilt) so node indices
- * stay meaningful, and each frame's workload runs against either the
- * preserved or a freshly reset table.
+ * implements that experiment: the per-SM predictor tables live in a
+ * PredictorSet that outlives individual frames, the BVH is refit (not
+ * rebuilt) so node indices stay meaningful, and each frame's workload
+ * runs against either the preserved or a freshly reset table.
  */
 
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "bvh/bvh.hpp"
@@ -22,7 +21,7 @@
 
 namespace rtp {
 
-/** Cross-frame simulation driver. */
+/** Cross-frame simulation driver built on Simulation + PredictorSet. */
 class FrameSimulator
 {
   public:
@@ -57,7 +56,7 @@ class FrameSimulator
   private:
     SimConfig config_;
     bool preserveState_;
-    std::vector<std::unique_ptr<RayPredictor>> predictors_;
+    PredictorSet predictors_;
     std::uint32_t framesRun_ = 0;
 };
 

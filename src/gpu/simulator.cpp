@@ -130,11 +130,18 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
 
     // Global event loop: always advance the SM with the earliest event
     // so the shared L2 / DRAM see requests in approximate cycle order.
+    // A unit only ever pushes events into its OWN queue, so once the
+    // leader is chosen it can be stepped repeatedly — without rescanning
+    // — until its next event is no longer globally earliest. Ties break
+    // to the lowest SM index, exactly as a full rescan would.
+    std::size_t n = units.size();
     while (true) {
         RtUnit *next = nullptr;
+        std::size_t next_idx = 0;
         Cycle best = ~0ull;
         bool any_unfinished = false;
-        for (auto &rt : units) {
+        for (std::size_t i = 0; i < n; ++i) {
+            RtUnit *rt = units[i].get();
             if (rt->finished())
                 continue;
             any_unfinished = true;
@@ -149,7 +156,8 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
             Cycle c = rt->nextEventCycle();
             if (c < best) {
                 best = c;
-                next = rt.get();
+                next = rt;
+                next_idx = i;
             }
         }
         if (!next) {
@@ -159,15 +167,35 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
                     "remain");
             break;
         }
-        next->step();
+
+        // Runner-up: the earliest event among the OTHER units. Frozen
+        // during the batch because no other unit's queue can change.
+        Cycle others = ~0ull;
+        std::size_t others_idx = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == next_idx || units[i]->finished())
+                continue;
+            Cycle c = units[i]->nextEventCycle();
+            if (c < others) {
+                others = c;
+                others_idx = i;
+            }
+        }
+
+        do {
+            next->step();
+        } while (!next->finished() && next->hasEvents() &&
+                 (next->nextEventCycle() < others ||
+                  (next->nextEventCycle() == others &&
+                   next_idx < others_idx)));
     }
 
     SimResult result;
     result.rayResults.resize(rays.size());
     double simt_acc = 0.0;
-    // simulateWithPredictors callers may bind one predictor object to
-    // several SMs; merge each distinct predictor exactly once or its
-    // counters get multiplied by the number of SMs sharing it.
+    // Callers may bind one predictor object to several SMs; merge each
+    // distinct predictor exactly once or its counters get multiplied by
+    // the number of SMs sharing it.
     std::unordered_set<const RayPredictor *> merged_predictors;
     for (std::uint32_t s = 0; s < num_sms; ++s) {
         const RtUnit &rt = *units[s];
@@ -192,24 +220,109 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
 
 } // namespace
 
+void
+PredictorSet::bind(const PredictorConfig &config, std::uint32_t num_sms,
+                   const Bvh &bvh, bool preserve_state)
+{
+    if (predictors_.size() != num_sms) {
+        // First bind (or an SM-count change): build fresh predictors.
+        predictors_.clear();
+        for (std::uint32_t i = 0; i < num_sms; ++i)
+            predictors_.push_back(
+                std::make_unique<RayPredictor>(config, bvh));
+        return;
+    }
+    for (auto &p : predictors_) {
+        p->rebind(bvh);
+        if (!preserve_state)
+            p->resetTable();
+        p->clearStats();
+    }
+}
+
+void
+PredictorSet::resetTables()
+{
+    for (auto &p : predictors_)
+        p->resetTable();
+}
+
+std::vector<RayPredictor *>
+PredictorSet::pointers() const
+{
+    std::vector<RayPredictor *> out;
+    out.reserve(predictors_.size());
+    for (const auto &p : predictors_)
+        out.push_back(p.get());
+    return out;
+}
+
+Simulation::Simulation(const SimConfig &config, const Bvh &bvh,
+                       const std::vector<Triangle> &triangles)
+    : config_(config), bvh_(&bvh), triangles_(&triangles)
+{
+    config_.validate(bvh);
+}
+
+Simulation::Simulation(const SimConfig &config, const Bvh &bvh,
+                       const std::vector<Triangle> &triangles,
+                       PredictorSet &predictors)
+    : config_(config), bvh_(&bvh), triangles_(&triangles),
+      externalSet_(&predictors), externalMode_(true)
+{
+    config_.validate(bvh);
+}
+
+Simulation::Simulation(const SimConfig &config, const Bvh &bvh,
+                       const std::vector<Triangle> &triangles,
+                       std::vector<RayPredictor *> predictors)
+    : config_(config), bvh_(&bvh), triangles_(&triangles),
+      externalPreds_(std::move(predictors)), externalMode_(true)
+{
+    config_.validate(bvh);
+}
+
+SimResult
+Simulation::run(const std::vector<Ray> &rays)
+{
+    MemorySystem mem(config_.memory, config_.numSms);
+    std::vector<std::unique_ptr<RayPredictor>> owned;
+    std::vector<RayPredictor *> preds(config_.numSms, nullptr);
+
+    if (externalSet_) {
+        // Cross-frame state lives in the caller's set; pointers are
+        // gathered per run so a bind() between runs takes effect.
+        std::vector<RayPredictor *> ext = externalSet_->pointers();
+        for (std::uint32_t i = 0;
+             i < config_.numSms && i < ext.size(); ++i)
+            preds[i] = ext[i];
+    } else if (externalMode_) {
+        for (std::uint32_t i = 0;
+             i < config_.numSms && i < externalPreds_.size(); ++i)
+            preds[i] = externalPreds_[i];
+    } else if (config_.predictor.enabled) {
+        // Self-contained: cold predictors per run, so repeated runs are
+        // independent and the call is thread-compatible with other
+        // Simulations sharing the scene.
+        for (std::uint32_t i = 0; i < config_.numSms; ++i) {
+            owned.push_back(std::make_unique<RayPredictor>(
+                config_.predictor, *bvh_));
+            preds[i] = owned.back().get();
+        }
+    }
+
+    std::vector<std::unique_ptr<RtUnit>> units;
+    for (std::uint32_t i = 0; i < config_.numSms; ++i)
+        units.push_back(std::make_unique<RtUnit>(
+            config_.rt, *bvh_, *triangles_, mem, i, preds[i]));
+    return runEventLoop(units, preds, mem, rays, config_);
+}
+
 SimResult
 simulate(const Bvh &bvh, const std::vector<Triangle> &triangles,
          const std::vector<Ray> &rays, const SimConfig &config)
 {
-    MemorySystem mem(config.memory, config.numSms);
-    std::vector<std::unique_ptr<RayPredictor>> owned;
-    std::vector<RayPredictor *> predictors(config.numSms, nullptr);
-    std::vector<std::unique_ptr<RtUnit>> units;
-    for (std::uint32_t i = 0; i < config.numSms; ++i) {
-        if (config.predictor.enabled) {
-            owned.push_back(std::make_unique<RayPredictor>(
-                config.predictor, bvh));
-            predictors[i] = owned.back().get();
-        }
-        units.push_back(std::make_unique<RtUnit>(
-            config.rt, bvh, triangles, mem, i, predictors[i]));
-    }
-    return runEventLoop(units, predictors, mem, rays, config);
+    return Simulation(config, bvh, triangles).run(rays);
 }
 
 SimResult
@@ -219,17 +332,7 @@ simulateWithPredictors(const Bvh &bvh,
                        const SimConfig &config,
                        const std::vector<RayPredictor *> &predictors)
 {
-    MemorySystem mem(config.memory, config.numSms);
-    std::vector<RayPredictor *> preds(config.numSms, nullptr);
-    for (std::uint32_t i = 0;
-         i < config.numSms && i < predictors.size(); ++i)
-        preds[i] = predictors[i];
-    std::vector<std::unique_ptr<RtUnit>> units;
-    for (std::uint32_t i = 0; i < config.numSms; ++i) {
-        units.push_back(std::make_unique<RtUnit>(
-            config.rt, bvh, triangles, mem, i, preds[i]));
-    }
-    return runEventLoop(units, preds, mem, rays, config);
+    return Simulation(config, bvh, triangles, predictors).run(rays);
 }
 
 } // namespace rtp

@@ -6,10 +6,16 @@
  * global event loop that advances whichever SM has the earliest pending
  * event so the shared L2 / DRAM timing state is exercised in (approximate)
  * global cycle order.
+ *
+ * The primary entry point is the Simulation facade: construct it from a
+ * SimConfig and a scene (BVH + triangles), then call run(rays) as many
+ * times as needed. The simulate()/simulateWithPredictors() free functions
+ * remain as thin wrappers for older call sites.
  */
 
 #pragma once
 
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -59,7 +65,114 @@ struct SimResult
 };
 
 /**
- * Run one workload through the configured GPU model.
+ * Per-SM predictor state that outlives individual runs (the paper's
+ * Section 8 cross-frame experiment). Bind the set to each frame's BVH
+ * before handing it to a Simulation; trained tables survive rebinds
+ * unless @p preserve_state is false (or resetTables() is called).
+ */
+class PredictorSet
+{
+  public:
+    PredictorSet() = default;
+
+    /**
+     * Create (first call) or rebind (later calls) one predictor per SM.
+     * A rebind refreshes the hasher against the new BVH's bounds,
+     * clears per-run statistics, and — when @p preserve_state is
+     * false — drops the trained tables so every frame starts cold.
+     * Node indices of a refit BVH must still identify the same
+     * subtrees for preserved state to be meaningful.
+     */
+    void bind(const PredictorConfig &config, std::uint32_t num_sms,
+              const Bvh &bvh, bool preserve_state = true);
+
+    /** Invalidate all trained tables (e.g., after a full rebuild). */
+    void resetTables();
+
+    bool
+    empty() const
+    {
+        return predictors_.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return predictors_.size();
+    }
+
+    /** Non-owning per-SM pointers (index = SM id). */
+    std::vector<RayPredictor *> pointers() const;
+
+  private:
+    std::vector<std::unique_ptr<RayPredictor>> predictors_;
+};
+
+/**
+ * One configured GPU bound to one scene. run(rays) executes a complete
+ * simulation: every piece of mutable timing state (RtUnits, caches,
+ * DRAM, ray buffers — and, by default, predictors) is constructed fresh
+ * inside the call, so repeated runs are independent and repeatable.
+ *
+ * Predictor state:
+ * - Default: predictors (if enabled) are owned and start cold each run.
+ * - PredictorSet constructor: predictors live in the caller's set and
+ *   carry trained state across runs/frames (bind() the set first).
+ * - Raw-pointer constructor: caller manages predictor objects directly;
+ *   one object may serve several SMs (stats merge exactly once).
+ *
+ * Thread-safety: concurrent run() calls on DIFFERENT Simulation objects
+ * sharing one scene are safe in the default mode (the scene is only
+ * read). Runs that share predictor state mutate it and must not overlap.
+ *
+ * The constructor validates the configuration against the scene
+ * (SimConfig::validate) and throws std::invalid_argument on
+ * inconsistent settings.
+ */
+class Simulation
+{
+  public:
+    /** Self-contained mode: predictors (if enabled) owned per run. */
+    Simulation(const SimConfig &config, const Bvh &bvh,
+               const std::vector<Triangle> &triangles);
+
+    /** Cross-frame mode: predictor state lives in @p predictors. */
+    Simulation(const SimConfig &config, const Bvh &bvh,
+               const std::vector<Triangle> &triangles,
+               PredictorSet &predictors);
+
+    /**
+     * Expert mode: explicit per-SM predictor pointers (entries may be
+     * null or repeated; missing trailing entries mean no predictor).
+     * The pointees must be bound to this scene's BVH and must outlive
+     * the Simulation.
+     */
+    Simulation(const SimConfig &config, const Bvh &bvh,
+               const std::vector<Triangle> &triangles,
+               std::vector<RayPredictor *> predictors);
+
+    /** Simulate one ray workload; see the class contract above. */
+    SimResult run(const std::vector<Ray> &rays);
+
+    const SimConfig &
+    config() const
+    {
+        return config_;
+    }
+
+  private:
+    SimConfig config_;
+    const Bvh *bvh_;
+    const std::vector<Triangle> *triangles_;
+    PredictorSet *externalSet_ = nullptr; //!< cross-frame mode
+    std::vector<RayPredictor *> externalPreds_; //!< expert mode
+    bool externalMode_ = false; //!< either external flavour
+};
+
+/**
+ * Run one workload through the configured GPU model. Thin wrapper over
+ * Simulation kept for existing call sites; prefer the facade in new
+ * code.
  *
  * Thread-safety contract: this function is safe to call concurrently
  * from N threads against one shared @p bvh and @p triangles — both are
@@ -74,12 +187,13 @@ SimResult simulate(const Bvh &bvh,
                    const SimConfig &config);
 
 /**
- * Run one workload with externally owned per-SM predictors (used by
- * FrameSimulator to preserve predictor state across frames). Pass one
- * pointer per SM, or an empty vector for no predictors. The predictors
- * must already be bound to @p bvh. Binding one predictor object to
- * several SMs is allowed; its stats are merged into the result exactly
- * once.
+ * Run one workload with externally owned per-SM predictors. Thin
+ * wrapper over Simulation's expert mode kept for existing call sites;
+ * prefer constructing a Simulation (with a PredictorSet for cross-frame
+ * state) in new code. Pass one pointer per SM, or an empty vector for
+ * no predictors. The predictors must already be bound to @p bvh.
+ * Binding one predictor object to several SMs is allowed; its stats are
+ * merged into the result exactly once.
  *
  * Thread-safety contract: unlike simulate(), concurrent calls are NOT
  * safe when they share RayPredictor objects — predictors are trained

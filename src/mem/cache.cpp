@@ -16,47 +16,79 @@ CacheModel::CacheModel(CacheConfig config) : config_(std::move(config))
     sets_.resize(numSets_);
     for (auto &set : sets_) {
         set.lines.resize(waysPerSet_);
-        for (std::uint32_t w = 0; w < waysPerSet_; ++w)
-            set.lru.push_back(w);
+        set.prev.resize(waysPerSet_);
+        set.next.resize(waysPerSet_);
+        // Initial LRU order matches the original list model: way 0 at
+        // the MRU end down to way N-1 at the LRU end.
+        for (std::uint32_t w = 0; w < waysPerSet_; ++w) {
+            set.prev[w] = w == 0 ? kNoWay : w - 1;
+            set.next[w] = w + 1 == waysPerSet_ ? kNoWay : w + 1;
+        }
+        set.head = 0;
+        set.tail = waysPerSet_ - 1;
+        set.tagToWay.reserve(waysPerSet_ * 2);
     }
 }
 
+void
+CacheModel::unlink(Set &set, std::uint32_t way)
+{
+    if (set.prev[way] != kNoWay)
+        set.next[set.prev[way]] = set.next[way];
+    else
+        set.head = set.next[way];
+    if (set.next[way] != kNoWay)
+        set.prev[set.next[way]] = set.prev[way];
+    else
+        set.tail = set.prev[way];
+}
+
+void
+CacheModel::moveToFront(Set &set, std::uint32_t way)
+{
+    if (set.head == way)
+        return;
+    unlink(set, way);
+    set.prev[way] = kNoWay;
+    set.next[way] = set.head;
+    set.prev[set.head] = way;
+    set.head = way;
+}
+
 CacheAccess
-CacheModel::access(std::uint64_t addr, Cycle cycle, const FillFn &fill)
+CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
 {
     std::uint64_t line = lineAddr(addr);
     Set &set = sets_[line % numSets_];
     std::uint64_t tag = line / numSets_;
 
-    for (auto it = set.lru.begin(); it != set.lru.end(); ++it) {
-        Line &l = set.lines[*it];
-        if (l.valid && l.tag == tag) {
-            // Promote to MRU.
-            std::uint32_t way = *it;
-            set.lru.erase(it);
-            set.lru.push_front(way);
-            CacheAccess res;
-            if (l.readyAt > cycle) {
-                // Fill still in flight: merge into it (MSHR behaviour).
-                res.merged = true;
-                res.readyCycle = l.readyAt + config_.hitLatency;
-                stats_.inc("mshr_merges");
-                if (trace_)
-                    trace_->emit({cycle, 0,
-                                  TraceEventKind::CacheMshrMerge,
-                                  traceUnit_, traceLevel_, addr,
-                                  l.readyAt - cycle});
-            } else {
-                res.hit = true;
-                res.readyCycle = cycle + config_.hitLatency;
-                stats_.inc("hits");
-                if (trace_)
-                    trace_->emit({cycle, 0, TraceEventKind::CacheHit,
-                                  traceUnit_, traceLevel_, addr,
-                                  config_.hitLatency});
-            }
-            return res;
+    auto found = set.tagToWay.find(tag);
+    if (found != set.tagToWay.end()) {
+        std::uint32_t way = found->second;
+        Line &l = set.lines[way];
+        // Promote to MRU.
+        moveToFront(set, way);
+        CacheAccess res;
+        if (l.readyAt > cycle) {
+            // Fill still in flight: merge into it (MSHR behaviour).
+            res.merged = true;
+            res.readyCycle = l.readyAt + config_.hitLatency;
+            stats_.inc(StatId::MshrMerges);
+            if (trace_)
+                trace_->emit({cycle, 0,
+                              TraceEventKind::CacheMshrMerge,
+                              traceUnit_, traceLevel_, addr,
+                              l.readyAt - cycle});
+        } else {
+            res.hit = true;
+            res.readyCycle = cycle + config_.hitLatency;
+            stats_.inc(StatId::Hits);
+            if (trace_)
+                trace_->emit({cycle, 0, TraceEventKind::CacheHit,
+                              traceUnit_, traceLevel_, addr,
+                              config_.hitLatency});
         }
+        return res;
     }
 
     // Miss: allocate the least recently used way whose line is NOT an
@@ -65,28 +97,28 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, const FillFn &fill)
     // a later access to that line starts a duplicate fetch for data
     // already on its way, and the line's ready time gets silently
     // replaced by the new fill's.
-    stats_.inc("misses");
-    auto victim = set.lru.end();
+    stats_.inc(StatId::Misses);
+    std::uint32_t victim = kNoWay;
     bool skipped_inflight = false;
-    for (auto rit = set.lru.rbegin(); rit != set.lru.rend(); ++rit) {
-        const Line &cand = set.lines[*rit];
+    for (std::uint32_t w = set.tail; w != kNoWay; w = set.prev[w]) {
+        const Line &cand = set.lines[w];
         if (cand.valid && cand.readyAt > cycle) {
             skipped_inflight = true;
             continue;
         }
-        victim = std::next(rit).base();
+        victim = w;
         break;
     }
     if (skipped_inflight)
-        stats_.inc("inflight_victim_skips");
+        stats_.inc(StatId::InflightVictimSkips);
 
-    if (victim == set.lru.end()) {
+    if (victim == kNoWay) {
         // Every way holds an in-flight fill: serve this request from
         // downstream without allocating (bypass), leaving the fills
         // and their merged waiters intact.
-        stats_.inc("inflight_bypasses");
+        stats_.inc(StatId::InflightBypasses);
         Cycle fill_ready = fill(line * config_.lineBytes, cycle);
-        stats_.addSample("miss_latency", fill_ready - cycle);
+        stats_.addSample(HistId::MissLatency, fill_ready - cycle);
         if (trace_)
             trace_->emit({cycle, 0,
                           TraceEventKind::CacheInflightBypass,
@@ -97,16 +129,17 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, const FillFn &fill)
         return res;
     }
 
-    std::uint32_t way = *victim;
-    set.lru.erase(victim);
-    set.lru.push_front(way);
-    Line &l = set.lines[way];
-    if (l.valid)
-        stats_.inc("evictions");
+    moveToFront(set, victim);
+    Line &l = set.lines[victim];
+    if (l.valid) {
+        stats_.inc(StatId::Evictions);
+        set.tagToWay.erase(l.tag);
+    }
     l.valid = true;
     l.tag = tag;
+    set.tagToWay.emplace(tag, victim);
     l.readyAt = fill(line * config_.lineBytes, cycle);
-    stats_.addSample("miss_latency", l.readyAt - cycle);
+    stats_.addSample(HistId::MissLatency, l.readyAt - cycle);
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::CacheMiss, traceUnit_,
                       traceLevel_, addr, l.readyAt - cycle});
@@ -122,19 +155,19 @@ CacheModel::contains(std::uint64_t addr) const
     std::uint64_t line = lineAddr(addr);
     const Set &set = sets_[line % numSets_];
     std::uint64_t tag = line / numSets_;
-    for (const Line &l : set.lines) {
-        if (l.valid && l.tag == tag)
-            return true;
-    }
-    return false;
+    auto it = set.tagToWay.find(tag);
+    return it != set.tagToWay.end() && set.lines[it->second].valid;
 }
 
 void
 CacheModel::reset()
 {
+    // Invalidate contents but keep each set's LRU order, matching the
+    // original model's reset() (which only cleared valid bits).
     for (auto &set : sets_) {
         for (auto &l : set.lines)
             l.valid = false;
+        set.tagToWay.clear();
     }
 }
 

@@ -7,13 +7,20 @@
  * based: an access returns the cycle its data is available; misses that
  * land on an in-flight fill merge into it (MSHR behaviour) instead of
  * issuing a duplicate downstream request.
+ *
+ * Lookup is O(1) regardless of associativity: each set keeps a tag→way
+ * hash map plus an intrusive doubly-linked LRU list over way indices, so
+ * the fully associative L1 (512 ways) costs the same per access as a
+ * small set-associative cache. Victim selection walks the list from the
+ * LRU end exactly as the original list-based model did, preserving
+ * replacement decisions bit-for-bit.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <list>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
@@ -45,13 +52,50 @@ struct CacheAccess
 };
 
 /**
+ * Non-owning reference to a fill callable (context pointer + function
+ * pointer). CacheModel::access runs millions of times per simulated
+ * frame; a std::function parameter pays manager/allocation overhead on
+ * every call, while FillRef binds any callable for free. The referenced
+ * callable must outlive the access() call (always true for the
+ * MemorySystem lambdas and test fixtures that use it).
+ */
+class FillRef
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::remove_cv_t<std::remove_reference_t<F>>,
+                  FillRef>>>
+    FillRef(const F &f)
+        : ctx_(const_cast<void *>(static_cast<const void *>(&f))),
+          fn_([](void *ctx, std::uint64_t line_addr, Cycle cycle) {
+              return (*static_cast<const F *>(ctx))(line_addr, cycle);
+          })
+    {}
+
+    Cycle
+    operator()(std::uint64_t line_addr, Cycle cycle) const
+    {
+        return fn_(ctx_, line_addr, cycle);
+    }
+
+  private:
+    void *ctx_;
+    Cycle (*fn_)(void *, std::uint64_t, Cycle);
+};
+
+/**
  * One cache level. The downstream level is abstracted as a callback that
  * returns the fill-complete cycle for a missing line.
  */
 class CacheModel
 {
   public:
-    /** Computes the cycle at which a downstream fill completes. */
+    /**
+     * Owning fill-callback type; kept for callers that store a fill
+     * function. access() itself takes a FillRef, which any FillFn (or
+     * plain lambda) converts to implicitly.
+     */
     using FillFn = std::function<Cycle(std::uint64_t line_addr,
                                        Cycle cycle)>;
 
@@ -63,8 +107,7 @@ class CacheModel
      * @param cycle Current cycle.
      * @param fill Invoked on a true miss to obtain the fill-ready cycle.
      */
-    CacheAccess access(std::uint64_t addr, Cycle cycle,
-                       const FillFn &fill);
+    CacheAccess access(std::uint64_t addr, Cycle cycle, FillRef fill);
 
     /** @return true if the line holding @p addr is resident (untimed). */
     bool contains(std::uint64_t addr) const;
@@ -112,6 +155,9 @@ class CacheModel
     void reset();
 
   private:
+    /** Sentinel for "no way" in the intrusive LRU links. */
+    static constexpr std::uint32_t kNoWay = ~0u;
+
     struct Line
     {
         std::uint64_t tag = 0;
@@ -122,9 +168,15 @@ class CacheModel
     struct Set
     {
         std::vector<Line> lines;
-        // LRU order: front = most recently used; stores way indices.
-        std::list<std::uint32_t> lru;
+        // Intrusive LRU list over way indices: head = MRU, tail = LRU.
+        std::vector<std::uint32_t> prev, next;
+        std::uint32_t head = kNoWay, tail = kNoWay;
+        // Valid lines only; erased on eviction and reset().
+        std::unordered_map<std::uint64_t, std::uint32_t> tagToWay;
     };
+
+    void unlink(Set &set, std::uint32_t way);
+    void moveToFront(Set &set, std::uint32_t way);
 
     std::uint64_t
     lineAddr(std::uint64_t addr) const

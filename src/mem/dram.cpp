@@ -32,20 +32,20 @@ DramModel::access(std::uint64_t addr, Cycle cycle)
     Cycle start = std::max(cycle, bank.busyUntil);
     // Crude queueing penalty when the bank is backed up.
     if (bank.busyUntil > cycle) {
-        stats_.inc("bank_conflicts");
+        stats_.inc(StatId::BankConflicts);
         start += config_.queuePenalty;
     }
 
     bool row_hit = bank.openRow == row;
     Cycle latency =
         row_hit ? config_.rowHitLatency : config_.rowMissLatency;
-    stats_.inc(row_hit ? "row_hits" : "row_misses");
-    stats_.inc("accesses");
+    stats_.inc(row_hit ? StatId::RowHits : StatId::RowMisses);
+    stats_.inc(StatId::Accesses);
 
     bank.openRow = row;
     bank.busyUntil = start + config_.burstOccupancy;
     Cycle done = start + latency;
-    stats_.addSample("latency", done - cycle);
+    stats_.addSample(HistId::Latency, done - cycle);
     if (trace_)
         trace_->emit({cycle, done - cycle, TraceEventKind::DramAccess,
                       static_cast<std::uint16_t>(bank_idx),

@@ -42,7 +42,7 @@ class IntersectionUnit
     Cycle
     boxPairLatency()
     {
-        stats_.inc("box_tests", 2);
+        stats_.inc(StatId::BoxTests, 2);
         return config_.boxTestLatency + 1;
     }
 
@@ -51,7 +51,7 @@ class IntersectionUnit
     Cycle
     leafLatency(std::uint32_t prim_count)
     {
-        stats_.inc("tri_tests", prim_count);
+        stats_.inc(StatId::TriTests, prim_count);
         return config_.triTestLatency +
                (prim_count > 0 ? prim_count - 1 : 0);
     }

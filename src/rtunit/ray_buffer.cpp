@@ -29,11 +29,27 @@ RayBuffer::allocate(const Ray &ray, std::uint32_t global_id,
             std::to_string(global_id) + ")");
     std::uint32_t idx = freeList_.back();
     freeList_.pop_back();
+    // Field-wise reset instead of `e = RayEntry{}` so the slot's stack
+    // keeps its capacity: resident-ray churn then causes no steady-state
+    // heap traffic.
     RayEntry &e = slots_[idx];
-    e = RayEntry{};
     e.ray = ray;
     e.globalId = global_id;
-    e.stack = TraversalStack(stack_entries);
+    e.phase = RayPhase::Lookup;
+    e.stack.reset(stack_entries);
+    e.readyAt = 0;
+    e.dispatchedAt = 0;
+    e.predEvalStart = 0;
+    e.predicted = false;
+    e.verified = false;
+    e.mispredicted = false;
+    e.hit = false;
+    e.hitT = 0.0f;
+    e.hitPrim = ~0u;
+    e.hitLeaf = ~0u;
+    e.nodeFetches = 0;
+    e.triFetches = 0;
+    e.predPhaseFetches = 0;
     return idx;
 }
 

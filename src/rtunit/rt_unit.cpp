@@ -4,7 +4,6 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 
 #include "geometry/intersect.hpp"
 #include "util/trace.hpp"
@@ -18,13 +17,19 @@ RtUnit::RtUnit(const RtUnitConfig &config, const Bvh &bvh,
       smId_(sm_id), predictor_(predictor),
       buffer_((config.maxWarps + config.additionalWarps) *
               config.warpSize),
-      isect_(config.isect), collector_(config.repacker)
+      isect_(config.isect), collector_(config.repacker),
+      events_(config.eventQueue)
 {
     l1Ports_.assign(std::max(1u, config_.l1PortsPerCycle), 0);
     // Concurrent warps are bounded by one warp per resident ray plus the
     // external warp limit; reserving up front keeps Warp& references
     // stable across allocWarp() calls.
     warps_.reserve(buffer_.capacity() + config_.maxWarps + 1);
+    std::uint32_t warp = std::max(1u, config_.warpSize);
+    predictedScratch_.reserve(warp);
+    predNodesScratch_.reserve(8);
+    issueScratch_.reserve(warp);
+    servedScratch_.reserve(warp);
 }
 
 std::uint32_t
@@ -70,7 +75,7 @@ RtUnit::nextEventCycle() const
         throw std::logic_error(
             "RtUnit::nextEventCycle: empty event queue (SM " +
             std::to_string(smId_) + ")");
-    return events_.top().cycle;
+    return events_.nextCycle();
 }
 
 void
@@ -80,10 +85,9 @@ RtUnit::step()
         throw std::logic_error(
             "RtUnit::step: empty event queue (SM " +
             std::to_string(smId_) + ")");
-    Event ev = events_.top();
-    events_.pop();
+    RtEvent ev = events_.pop();
 
-    if (ev.kind == EventKind::CollectorFlush) {
+    if (ev.kind == RtEventKind::CollectorFlush) {
         auto flushed = collector_.flushIfExpired(ev.cycle);
         if (!flushed.empty())
             dispatchRepacked(flushed, ev.cycle);
@@ -109,7 +113,7 @@ RtUnit::dispatchPending(Cycle now)
            buffer_.hasFree(config_.warpSize)) {
         std::uint32_t warp_idx = allocWarp();
         Warp &w = warps_[warp_idx];
-        w = Warp{};
+        w.reset();
         w.order = dispatchCounter_++;
         w.dispatchedAt = now + config_.queueLatency;
         std::size_t count =
@@ -129,7 +133,7 @@ RtUnit::dispatchPending(Cycle now)
         pendingNext_ += count;
         activeExternalWarps_++;
         activeWarps_++;
-        stats_.inc("warps_dispatched");
+        stats_.inc(StatId::WarpsDispatched);
         if (trace_)
             trace_->emit({w.dispatchedAt, 0,
                           TraceEventKind::WarpDispatch,
@@ -147,14 +151,14 @@ RtUnit::dispatchRepacked(const std::vector<std::uint32_t> &slots,
         return;
     std::uint32_t warp_idx = allocWarp();
     Warp &w = warps_[warp_idx];
-    w = Warp{};
+    w.reset();
     w.order = dispatchCounter_++;
     w.repacked = true;
-    w.slots = slots;
+    w.slots.assign(slots.begin(), slots.end());
     w.dispatchedAt = now;
     w.raysAtDispatch = static_cast<std::uint32_t>(slots.size());
     activeWarps_++;
-    stats_.inc("repacked_warps");
+    stats_.inc(StatId::RepackedWarps);
     if (trace_)
         trace_->emit({now, 0, TraceEventKind::WarpDispatch,
                       static_cast<std::uint16_t>(smId_), 1, w.order,
@@ -165,8 +169,8 @@ RtUnit::dispatchRepacked(const std::vector<std::uint32_t> &slots,
 void
 RtUnit::scheduleWarp(std::uint32_t warp_idx, Cycle cycle)
 {
-    events_.push(Event{cycle, warps_[warp_idx].order,
-                       EventKind::WarpStep, warp_idx});
+    events_.push(RtEvent{cycle, warps_[warp_idx].order,
+                         RtEventKind::WarpStep, warp_idx});
 }
 
 void
@@ -174,8 +178,8 @@ RtUnit::scheduleCollectorFlush()
 {
     if (collector_.pendingCount() == 0)
         return;
-    events_.push(Event{collector_.deadline(), ~0ull,
-                       EventKind::CollectorFlush, 0});
+    events_.push(RtEvent{collector_.deadline(), ~0ull,
+                         RtEventKind::CollectorFlush, 0});
 }
 
 void
@@ -198,16 +202,16 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
     else
         doTraversal(warp, now);
 
-    // Retire completed rays from the warp.
-    std::vector<std::uint32_t> live;
-    for (std::uint32_t s : warp.slots) {
-        if (buffer_.slot(s).phase == RayPhase::Done) {
+    // Retire completed rays from the warp (in-place compaction).
+    std::size_t live = 0;
+    for (std::size_t i = 0; i < warp.slots.size(); ++i) {
+        std::uint32_t s = warp.slots[i];
+        if (buffer_.slot(s).phase == RayPhase::Done)
             completeRay(s, now);
-        } else {
-            live.push_back(s);
-        }
+        else
+            warp.slots[live++] = s;
     }
-    warp.slots.swap(live);
+    warp.slots.resize(live);
 
     if (warp.slots.empty()) {
         // Warp complete: free the slot and admit pending work.
@@ -223,12 +227,12 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
                                                          ? 1
                                                          : 0),
                           warp.order, warp.raysAtDispatch});
-        warp = Warp{};
+        warp.reset();
         freeWarpSlots_.push_back(warp_idx);
         activeWarps_--;
         if (external)
             activeExternalWarps_--;
-        stats_.inc("warps_retired");
+        stats_.inc(StatId::WarpsRetired);
         dispatchPending(now);
         return;
     }
@@ -243,17 +247,18 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
 void
 RtUnit::doLookups(Warp &warp, Cycle now)
 {
-    std::vector<std::uint32_t> predicted_slots;
-    std::vector<std::uint32_t> keep;
+    predictedScratch_.clear();
+    std::size_t keep = 0;
 
-    for (std::uint32_t s : warp.slots) {
+    for (std::size_t i = 0; i < warp.slots.size(); ++i) {
+        std::uint32_t s = warp.slots[i];
         RayEntry &e = buffer_.slot(s);
         if (e.phase != RayPhase::Lookup) {
-            keep.push_back(s);
+            warp.slots[keep++] = s;
             continue;
         }
         if (e.readyAt > now) {
-            keep.push_back(s);
+            warp.slots[keep++] = s;
             continue;
         }
 
@@ -261,45 +266,46 @@ RtUnit::doLookups(Warp &warp, Cycle now)
             e.phase = RayPhase::Normal;
             e.stack.push(kBvhRoot);
             e.readyAt = now;
-            keep.push_back(s);
+            warp.slots[keep++] = s;
             continue;
         }
 
         Cycle ready;
-        auto pred = predictor_->lookup(e.ray, now, ready);
+        bool pred =
+            predictor_->lookupInto(e.ray, now, ready, predNodesScratch_);
         e.readyAt = ready;
         if (pred) {
             e.predicted = true;
             e.phase = RayPhase::PredEval;
             e.predEvalStart = ready;
             // Push predicted nodes; top of stack is evaluated first.
-            for (auto it = pred->nodes.rbegin();
-                 it != pred->nodes.rend(); ++it)
+            for (auto it = predNodesScratch_.rbegin();
+                 it != predNodesScratch_.rend(); ++it)
                 e.stack.push(*it);
-            stats_.inc("rays_predicted");
+            stats_.inc(StatId::RaysPredicted);
             if (config_.repackEnabled)
-                predicted_slots.push_back(s);
+                predictedScratch_.push_back(s);
             else
-                keep.push_back(s);
+                warp.slots[keep++] = s;
         } else {
             e.phase = RayPhase::Normal;
             e.stack.push(kBvhRoot);
-            keep.push_back(s);
+            warp.slots[keep++] = s;
         }
     }
 
-    warp.slots.swap(keep);
+    warp.slots.resize(keep);
 
-    if (!predicted_slots.empty()) {
+    if (!predictedScratch_.empty()) {
         // Repacking: predicted rays leave for the collector; the
         // not-predicted residue continues as a partial warp.
-        auto full = collector_.add(predicted_slots, now);
+        auto full = collector_.add(predictedScratch_, now);
         for (auto &w : full)
             dispatchRepacked(w, now);
         scheduleCollectorFlush();
         if (!warp.notPredictedResidue) {
             warp.notPredictedResidue = true;
-            stats_.inc("residue_warps");
+            stats_.inc(StatId::ResidueWarps);
         }
     }
 }
@@ -361,14 +367,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
 {
     // Collect the next node of each ready ray; merge duplicate node
     // requests within the warp into a single memory access.
-    struct Issue
-    {
-        std::uint32_t slot;
-        std::uint32_t node;
-        bool isLeaf;
-        std::uint32_t extraLocalAccesses; //!< stack spills/refills
-    };
-    std::vector<Issue> issues;
+    issueScratch_.clear();
 
     for (std::uint32_t s : warp.slots) {
         RayEntry &e = buffer_.slot(s);
@@ -392,7 +391,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                     // Occlusion rays would have terminated above; this
                     // handles GI rays whose prediction trimmed tMax.
                     e.verified = true;
-                    stats_.inc("rays_verified");
+                    stats_.inc(StatId::RaysVerified);
                     if (trace_)
                         trace_->emit(
                             {now, 0, TraceEventKind::PredictorVerify,
@@ -402,8 +401,8 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                     e.stack.push(kBvhRoot);
                 } else {
                     e.mispredicted = true;
-                    stats_.inc("rays_mispredicted");
-                    stats_.addSample("mispredict_restart_cycles",
+                    stats_.inc(StatId::RaysMispredicted);
+                    stats_.addSample(HistId::MispredictRestartCycles,
                                      now - e.predEvalStart);
                     if (trace_)
                         trace_->emit(
@@ -427,20 +426,22 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
         is.isLeaf = bvh_.node(*top).isLeaf();
         is.extraLocalAccesses =
             e.stack.takeSpillEvents() + e.stack.takeRefillEvents();
-        issues.push_back(is);
+        issueScratch_.push_back(is);
     }
 
-    if (issues.empty())
+    if (issueScratch_.empty())
         return;
 
     // SIMT efficiency: threads issuing work this step vs the warp width.
-    issueActiveThreads_ += issues.size();
+    issueActiveThreads_ += issueScratch_.size();
     issueSlots_ += config_.warpSize;
 
     // Issue memory requests: one per unique node (plus local-memory
-    // traffic from stack spills), in thread order, one L1 port.
-    std::unordered_map<std::uint64_t, Cycle> served;
-    for (const Issue &is : issues) {
+    // traffic from stack spills), in thread order, one L1 port. The
+    // merge table is a flat vector with linear lookup: a warp issues at
+    // most warpSize requests, where that beats any hashed container.
+    servedScratch_.clear();
+    for (const Issue &is : issueScratch_) {
         RayEntry &e = buffer_.slot(is.slot);
         std::uint64_t addr;
         std::uint32_t bytes;
@@ -453,12 +454,18 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
             bytes = kBvhNodeBytes;
         }
 
-        Cycle data_ready;
-        auto it = served.find(addr);
-        if (it != served.end()) {
+        Cycle data_ready = 0;
+        bool merged = false;
+        for (const auto &kv : servedScratch_) {
+            if (kv.first == addr) {
+                data_ready = kv.second;
+                merged = true;
+                break;
+            }
+        }
+        if (merged) {
             // Intra-warp duplicate: merged into the earlier request.
-            data_ready = it->second;
-            stats_.inc("warp_merged_requests");
+            stats_.inc(StatId::WarpMergedRequests);
             if (trace_)
                 trace_->emit({now, 0, TraceEventKind::NodeFetchIssue,
                               static_cast<std::uint16_t>(smId_),
@@ -480,12 +487,13 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                 ready = std::max(ready, acc.readyCycle);
             }
             data_ready = ready;
-            served.emplace(addr, data_ready);
-            stats_.inc(is.isLeaf ? "mem_tri_accesses"
-                                 : "mem_node_accesses");
+            servedScratch_.emplace_back(addr, data_ready);
+            stats_.inc(is.isLeaf ? StatId::MemTriAccesses
+                                 : StatId::MemNodeAccesses);
             if (e.phase == RayPhase::PredEval)
-                stats_.inc("mem_pred_phase_accesses");
-            stats_.addSample("node_fetch_cycles", data_ready - start);
+                stats_.inc(StatId::MemPredPhaseAccesses);
+            stats_.addSample(HistId::NodeFetchCycles,
+                             data_ready - start);
             if (trace_)
                 trace_->emit({start,
                               data_ready > start ? data_ready - start
@@ -505,7 +513,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
             Cycle start = std::max(now, *port);
             *port = start + 1;
             mem_.access(smId_, 0xF0000000ULL + is.slot * 64, start);
-            stats_.inc("mem_stack_accesses");
+            stats_.inc(StatId::MemStackAccesses);
         }
 
         if (is.isLeaf)
@@ -522,7 +530,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
         if (e.hit && e.ray.kind == RayKind::Occlusion) {
             if (e.phase == RayPhase::PredEval) {
                 e.verified = true;
-                stats_.inc("rays_verified");
+                stats_.inc(StatId::RaysVerified);
                 if (trace_)
                     trace_->emit(
                         {now, 0, TraceEventKind::PredictorVerify,
@@ -547,16 +555,16 @@ RtUnit::completeRay(std::uint32_t slot, Cycle now)
     res.mispredicted = e.mispredicted;
     results_[e.globalId] = res;
 
-    stats_.inc("rays_completed");
-    stats_.addSample("ray_latency_cycles", now - e.dispatchedAt);
+    stats_.inc(StatId::RaysCompleted);
+    stats_.addSample(HistId::RayLatencyCycles, now - e.dispatchedAt);
     if (e.hit)
-        stats_.inc("rays_hit");
-    stats_.inc("ray_node_fetches", e.nodeFetches);
-    stats_.inc("ray_tri_fetches", e.triFetches);
-    stats_.inc("ray_pred_phase_fetches", e.predPhaseFetches);
+        stats_.inc(StatId::RaysHit);
+    stats_.inc(StatId::RayNodeFetches, e.nodeFetches);
+    stats_.inc(StatId::RayTriFetches, e.triFetches);
+    stats_.inc(StatId::RayPredPhaseFetches, e.predPhaseFetches);
     if (e.mispredicted)
-        stats_.inc("wasted_pred_fetches", e.predPhaseFetches);
-    stats_.inc("stack_spills", e.stack.totalSpills());
+        stats_.inc(StatId::WastedPredFetches, e.predPhaseFetches);
+    stats_.inc(StatId::StackSpills, e.stack.totalSpills());
 
     // Train the predictor with the Go-Up-Level ancestor (Section 4.3).
     if (predictor_ && e.hit && e.hitLeaf != ~0u)

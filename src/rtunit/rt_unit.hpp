@@ -21,19 +21,23 @@
  * warp merge into one memory access, and the L1 port admits one request
  * per cycle. Warp repacking (Section 4.4) pulls predicted rays into the
  * partial warp collector after the lookup phase.
+ *
+ * Steady-state operation is allocation-free: warp slot vectors, ray
+ * entries, traversal stacks, and the scheduler's scratch buffers are all
+ * pooled and reused, so a run's heap traffic is bounded by its warm-up.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "bvh/bvh.hpp"
 #include "core/predictor.hpp"
 #include "core/repacker.hpp"
 #include "mem/memory_system.hpp"
+#include "rtunit/event_queue.hpp"
 #include "rtunit/intersection_unit.hpp"
 #include "rtunit/ray_buffer.hpp"
 #include "util/stats.hpp"
@@ -52,6 +56,9 @@ struct RtUnitConfig
     IntersectionConfig isect;
     bool repackEnabled = true;        //!< Section 4.4 warp repacking
     RepackerConfig repacker;
+    /** Scheduler queue implementation (LegacyHeap is the reference
+     *  model used by the equivalence tests). */
+    EventQueueImpl eventQueue = EventQueueImpl::Calendar;
 };
 
 /** Final state of one traced ray. */
@@ -164,28 +171,27 @@ class RtUnit
         std::uint32_t raysAtDispatch = 0; //!< member count at dispatch
         bool repacked = false;
         bool notPredictedResidue = false; //!< residue after repacking
-    };
 
-    enum class EventKind : std::uint8_t
-    {
-        WarpStep,
-        CollectorFlush,
-    };
-
-    struct Event
-    {
-        Cycle cycle;
-        std::uint64_t order; //!< tie-break: oldest warp first (GTO)
-        EventKind kind;
-        std::uint32_t warp;
-
-        bool
-        operator>(const Event &o) const
+        /** Return to the pristine state, keeping slots' capacity. */
+        void
+        reset()
         {
-            if (cycle != o.cycle)
-                return cycle > o.cycle;
-            return order > o.order;
+            slots.clear();
+            order = 0;
+            dispatchedAt = 0;
+            raysAtDispatch = 0;
+            repacked = false;
+            notPredictedResidue = false;
         }
+    };
+
+    /** One ready ray's next node fetch within a warp step. */
+    struct Issue
+    {
+        std::uint32_t slot;
+        std::uint32_t node;
+        bool isLeaf;
+        std::uint32_t extraLocalAccesses; //!< stack spills/refills
     };
 
     /** Try to dispatch pending external warps into free slots. */
@@ -240,12 +246,19 @@ class RtUnit
     std::vector<std::uint32_t> pendingIds_;
     std::size_t pendingNext_ = 0;
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
-        events_;
+    EventQueue events_;
     std::uint64_t dispatchCounter_ = 0;
     std::vector<Cycle> l1Ports_;
     Cycle completionCycle_ = 0;
     std::uint64_t remainingRays_ = 0;
+
+    // Per-step scratch buffers, reused across steps so the steady state
+    // performs no heap allocation.
+    std::vector<std::uint32_t> predictedScratch_; //!< doLookups repack set
+    std::vector<std::uint32_t> predNodesScratch_; //!< predictor lookup out
+    std::vector<Issue> issueScratch_;             //!< doTraversal issues
+    std::vector<std::pair<std::uint64_t, Cycle>>
+        servedScratch_; //!< intra-warp request merge table (<= warpSize)
 
     std::vector<RayResult> results_;
     StatGroup stats_;

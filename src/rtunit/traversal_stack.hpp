@@ -56,6 +56,23 @@ class TraversalStack
         spilledDepth_ = 0;
     }
 
+    /**
+     * Reconfigure and return to the pristine state, keeping the entry
+     * vector's capacity. Lets RayBuffer::allocate reuse a slot's stack
+     * without a heap round-trip per ray.
+     */
+    void
+    reset(std::uint32_t hw_entries, std::uint32_t spill_chunk = 4)
+    {
+        hwEntries_ = hw_entries;
+        spillChunk_ = spill_chunk;
+        entries_.clear();
+        spilledDepth_ = 0;
+        pendingSpills_ = 0;
+        pendingRefills_ = 0;
+        totalSpills_ = 0;
+    }
+
     /** Number of entries currently spilled to local memory. */
     std::uint32_t
     spilledDepth() const

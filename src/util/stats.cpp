@@ -32,7 +32,106 @@ bucketRange(std::size_t i, std::uint64_t &lo, std::uint64_t &hi)
     hi = i >= 64 ? ~0ull : (1ull << i) - 1;
 }
 
+/** Names of the hot counters, indexed by StatId. */
+constexpr std::array<const char *, StatGroup::kNumStatIds> kStatNames = {
+    // RT unit
+    "warps_dispatched",
+    "repacked_warps",
+    "residue_warps",
+    "warps_retired",
+    "rays_predicted",
+    "rays_verified",
+    "rays_mispredicted",
+    "warp_merged_requests",
+    "mem_node_accesses",
+    "mem_tri_accesses",
+    "mem_pred_phase_accesses",
+    "mem_stack_accesses",
+    "rays_completed",
+    "rays_hit",
+    "ray_node_fetches",
+    "ray_tri_fetches",
+    "ray_pred_phase_fetches",
+    "wasted_pred_fetches",
+    "stack_spills",
+    // Intersection unit
+    "box_tests",
+    "tri_tests",
+    // Cache
+    "hits",
+    "misses",
+    "mshr_merges",
+    "evictions",
+    "inflight_victim_skips",
+    "inflight_bypasses",
+    // DRAM
+    "bank_conflicts",
+    "row_hits",
+    "row_misses",
+    "accesses",
+    // Predictor unit
+    "lookups",
+    "predicted",
+    "trained",
+    // Predictor table
+    "lookup_hits",
+    "lookup_misses",
+    "confirms",
+    "updates",
+    "entry_evictions",
+    "node_evictions",
+    // Partial warp collector
+    "overflow_drops",
+    "rays_collected",
+    "full_warps_formed",
+    "timeout_flushes",
+    "drain_flushes",
+};
+
+/** Names of the hot histograms, indexed by HistId. */
+constexpr std::array<const char *, StatGroup::kNumHistIds> kHistNames = {
+    "miss_latency",
+    "latency",
+    "mispredict_restart_cycles",
+    "node_fetch_cycles",
+    "ray_latency_cycles",
+};
+
+/** @return The StatId for @p name, or kCount when it has none. */
+StatId
+findStatId(const std::string &name)
+{
+    for (std::size_t i = 0; i < kStatNames.size(); ++i) {
+        if (name == kStatNames[i])
+            return static_cast<StatId>(i);
+    }
+    return StatId::kCount;
+}
+
+/** @return The HistId for @p name, or kCount when it has none. */
+HistId
+findHistId(const std::string &name)
+{
+    for (std::size_t i = 0; i < kHistNames.size(); ++i) {
+        if (name == kHistNames[i])
+            return static_cast<HistId>(i);
+    }
+    return HistId::kCount;
+}
+
 } // namespace
+
+const char *
+statName(StatId id)
+{
+    return kStatNames[static_cast<std::size_t>(id)];
+}
+
+const char *
+histName(HistId id)
+{
+    return kHistNames[static_cast<std::size_t>(id)];
+}
 
 void
 Histogram::add(std::uint64_t value)
@@ -98,9 +197,34 @@ Histogram::percentile(double p) const
     return static_cast<double>(max_);
 }
 
+void
+StatGroup::inc(const std::string &name, std::uint64_t delta)
+{
+    StatId id = findStatId(name);
+    if (id != StatId::kCount) {
+        inc(id, delta);
+        return;
+    }
+    counters_[name] += delta;
+}
+
+void
+StatGroup::addSample(const std::string &name, std::uint64_t value)
+{
+    HistId id = findHistId(name);
+    if (id != HistId::kCount) {
+        addSample(id, value);
+        return;
+    }
+    histograms_[name].add(value);
+}
+
 std::uint64_t
 StatGroup::get(const std::string &name) const
 {
+    StatId id = findStatId(name);
+    if (id != StatId::kCount)
+        return get(id);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
 }
@@ -115,6 +239,15 @@ StatGroup::getScalar(const std::string &name) const
 const Histogram *
 StatGroup::histogram(const std::string &name) const
 {
+    HistId id = findHistId(name);
+    if (id != HistId::kCount) {
+        auto i = static_cast<std::size_t>(id);
+        // An untouched hot histogram was "never sampled": nullptr, as
+        // for an absent map entry.
+        if (fastHistTouched_ & (std::uint32_t{1} << i))
+            return &fastHists_[i];
+        return nullptr;
+    }
     auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
 }
@@ -122,12 +255,24 @@ StatGroup::histogram(const std::string &name) const
 void
 StatGroup::mergeHistogram(const std::string &name, const Histogram &h)
 {
+    HistId id = findHistId(name);
+    if (id != HistId::kCount) {
+        auto i = static_cast<std::size_t>(id);
+        fastHists_[i].merge(h);
+        fastHistTouched_ |= std::uint32_t{1} << i;
+        return;
+    }
     histograms_[name].merge(h);
 }
 
 void
 StatGroup::clear()
 {
+    fast_.fill(0);
+    fastTouched_ = 0;
+    for (auto &h : fastHists_)
+        h = Histogram{};
+    fastHistTouched_ = 0;
     counters_.clear();
     scalars_.clear();
     histograms_.clear();
@@ -136,6 +281,14 @@ StatGroup::clear()
 void
 StatGroup::merge(const StatGroup &other)
 {
+    for (std::size_t i = 0; i < kNumStatIds; ++i)
+        fast_[i] += other.fast_[i];
+    fastTouched_ |= other.fastTouched_;
+    for (std::size_t i = 0; i < kNumHistIds; ++i) {
+        if (other.fastHistTouched_ & (std::uint32_t{1} << i))
+            fastHists_[i].merge(other.fastHists_[i]);
+    }
+    fastHistTouched_ |= other.fastHistTouched_;
     for (const auto &kv : other.counters_)
         counters_[kv.first] += kv.second;
     for (const auto &kv : other.scalars_) {
@@ -158,14 +311,36 @@ StatGroup::merge(const StatGroup &other)
         histograms_[kv.first].merge(kv.second);
 }
 
+std::map<std::string, std::uint64_t>
+StatGroup::counters() const
+{
+    std::map<std::string, std::uint64_t> out = counters_;
+    for (std::size_t i = 0; i < kNumStatIds; ++i) {
+        if (fastTouched_ & (std::uint64_t{1} << i))
+            out[kStatNames[i]] += fast_[i];
+    }
+    return out;
+}
+
+std::map<std::string, Histogram>
+StatGroup::histograms() const
+{
+    std::map<std::string, Histogram> out = histograms_;
+    for (std::size_t i = 0; i < kNumHistIds; ++i) {
+        if (fastHistTouched_ & (std::uint32_t{1} << i))
+            out[kHistNames[i]].merge(fastHists_[i]);
+    }
+    return out;
+}
+
 void
 StatGroup::dump(std::ostream &os, const std::string &prefix) const
 {
-    for (const auto &kv : counters_)
+    for (const auto &kv : counters())
         os << prefix << kv.first << " = " << kv.second << "\n";
     for (const auto &kv : scalars_)
         os << prefix << kv.first << " = " << kv.second.value << "\n";
-    for (const auto &kv : histograms_) {
+    for (const auto &kv : histograms()) {
         const Histogram &h = kv.second;
         char buf[160];
         std::snprintf(buf, sizeof(buf),
@@ -239,7 +414,7 @@ StatGroup::toJson(std::ostream &os) const
 {
     os << "{\"counters\":{";
     bool first = true;
-    for (const auto &kv : counters_) {
+    for (const auto &kv : counters()) {
         if (!first)
             os << ',';
         first = false;
@@ -259,10 +434,10 @@ StatGroup::toJson(std::ostream &os) const
     os << "}";
     // Only groups that actually sampled a distribution grow the key, so
     // histogram-free outputs stay byte-identical to earlier releases.
-    if (!histograms_.empty()) {
+    if (fastHistTouched_ != 0 || !histograms_.empty()) {
         os << ",\"histograms\":{";
         first = true;
-        for (const auto &kv : histograms_) {
+        for (const auto &kv : histograms()) {
             if (!first)
                 os << ',';
             first = false;

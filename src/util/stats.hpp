@@ -5,6 +5,13 @@
  * Every simulator component owns a StatGroup; counters register by name and
  * can be dumped, diffed, and aggregated. This plays the role gem5's Stats
  * package plays for GPGPU-Sim-style simulators, at a fraction of the weight.
+ *
+ * Hot-path counters additionally have enum identifiers (StatId / HistId):
+ * components bump an array element indexed by the enum instead of paying a
+ * string hash + map lookup per increment, and the names are materialised
+ * only when stats are read, merged, or serialised. The two keyspaces are
+ * unified — inc("rays_completed") and inc(StatId::RaysCompleted) hit the
+ * same counter — so JSON output, dump(), and get() are unchanged.
  */
 
 #pragma once
@@ -92,6 +99,92 @@ class Histogram
 };
 
 /**
+ * Enum identifiers for the simulator's hot-path counters. A StatGroup
+ * stores these in a flat array (one add + one bit-or per bump); the
+ * string name appears only when stats are read or serialised.
+ *
+ * The list is the union of every component's per-event counters; a
+ * single group only ever touches its own subset, and the untouched
+ * entries cost nothing (they are skipped via the touched bitmask, so
+ * they never materialise as zero-valued JSON entries).
+ */
+enum class StatId : std::uint8_t
+{
+    // RT unit (rtunit/rt_unit.cpp)
+    WarpsDispatched,
+    RepackedWarps,
+    ResidueWarps,
+    WarpsRetired,
+    RaysPredicted,
+    RaysVerified,
+    RaysMispredicted,
+    WarpMergedRequests,
+    MemNodeAccesses,
+    MemTriAccesses,
+    MemPredPhaseAccesses,
+    MemStackAccesses,
+    RaysCompleted,
+    RaysHit,
+    RayNodeFetches,
+    RayTriFetches,
+    RayPredPhaseFetches,
+    WastedPredFetches,
+    StackSpills,
+    // Intersection unit (rtunit/intersection_unit.hpp)
+    BoxTests,
+    TriTests,
+    // Cache (mem/cache.cpp)
+    Hits,
+    Misses,
+    MshrMerges,
+    Evictions,
+    InflightVictimSkips,
+    InflightBypasses,
+    // DRAM (mem/dram.cpp)
+    BankConflicts,
+    RowHits,
+    RowMisses,
+    Accesses,
+    // Predictor unit (core/predictor.cpp)
+    Lookups,
+    Predicted,
+    Trained,
+    // Predictor table (core/predictor_table.cpp); Lookups is shared.
+    LookupHits,
+    LookupMisses,
+    Confirms,
+    Updates,
+    EntryEvictions,
+    NodeEvictions,
+    // Partial warp collector (core/repacker.cpp)
+    OverflowDrops,
+    RaysCollected,
+    FullWarpsFormed,
+    TimeoutFlushes,
+    DrainFlushes,
+
+    kCount,
+};
+
+/** @return The string name of @p id (the JSON/dump key). */
+const char *statName(StatId id);
+
+/** Enum identifiers for the hot-path histograms. */
+enum class HistId : std::uint8_t
+{
+    MissLatency,             //!< cache fill cycles per true miss
+    Latency,                 //!< DRAM access latency
+    MispredictRestartCycles, //!< wasted verification traversal time
+    NodeFetchCycles,         //!< RT unit node fetch latency
+    RayLatencyCycles,        //!< dispatch-to-completion per ray
+
+    kCount,
+};
+
+/** @return The string name of @p id (the JSON/dump key). */
+const char *histName(HistId id);
+
+/**
  * How a scalar combines when two groups merge. Counters always add;
  * scalars carry an explicit policy because "last writer wins" silently
  * drops every SM's value but one when per-SM groups are aggregated.
@@ -113,12 +206,31 @@ class StatGroup
         ScalarMerge merge = ScalarMerge::Sum;
     };
 
-    /** Add @p delta to counter @p name (creating it at zero if absent). */
+    static constexpr std::size_t kNumStatIds =
+        static_cast<std::size_t>(StatId::kCount);
+    static constexpr std::size_t kNumHistIds =
+        static_cast<std::size_t>(HistId::kCount);
+    static_assert(kNumStatIds <= 64,
+                  "StatId touched-mask is a single 64-bit word");
+    static_assert(kNumHistIds <= 32,
+                  "HistId touched-mask is a single 32-bit word");
+
+    /** Add @p delta to the hot counter @p id (no string lookup). */
     void
-    inc(const std::string &name, std::uint64_t delta = 1)
+    inc(StatId id, std::uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        auto i = static_cast<std::size_t>(id);
+        fast_[i] += delta;
+        fastTouched_ |= std::uint64_t{1} << i;
     }
+
+    /**
+     * Add @p delta to counter @p name (creating it at zero if absent).
+     * Names with a StatId are redirected to the enum-indexed array so a
+     * counter lives in exactly one place regardless of how callers
+     * address it.
+     */
+    void inc(const std::string &name, std::uint64_t delta = 1);
 
     /** Set scalar @p name to @p value with merge policy @p merge. */
     void
@@ -128,11 +240,23 @@ class StatGroup
         scalars_[name] = Scalar{value, merge};
     }
 
-    /** Record @p value into histogram @p name (created when absent). */
+    /** Record @p value into the hot histogram @p id. */
     void
-    addSample(const std::string &name, std::uint64_t value)
+    addSample(HistId id, std::uint64_t value)
     {
-        histograms_[name].add(value);
+        auto i = static_cast<std::size_t>(id);
+        fastHists_[i].add(value);
+        fastHistTouched_ |= std::uint32_t{1} << i;
+    }
+
+    /** Record @p value into histogram @p name (created when absent). */
+    void addSample(const std::string &name, std::uint64_t value);
+
+    /** @return Hot counter value (0 when never touched). */
+    std::uint64_t
+    get(StatId id) const
+    {
+        return fast_[static_cast<std::size_t>(id)];
     }
 
     /** @return Counter value, or 0 if never touched. */
@@ -171,12 +295,12 @@ class StatGroup
     /** @return toJson output as a string. */
     std::string toJson() const;
 
-    /** @return All counters (for tests and table generation). */
-    const std::map<std::string, std::uint64_t> &
-    counters() const
-    {
-        return counters_;
-    }
+    /**
+     * @return All counters, materialised by name (for tests and table
+     * generation). Returned by value: hot counters live in the
+     * enum-indexed array and are folded in on demand.
+     */
+    std::map<std::string, std::uint64_t> counters() const;
 
     /** @return All scalars with their merge policies. */
     const std::map<std::string, Scalar> &
@@ -185,14 +309,20 @@ class StatGroup
         return scalars_;
     }
 
-    /** @return All histograms. */
-    const std::map<std::string, Histogram> &
-    histograms() const
-    {
-        return histograms_;
-    }
+    /** @return All histograms, materialised by name (by value). */
+    std::map<std::string, Histogram> histograms() const;
 
   private:
+    // Hot counters: enum-indexed, with a touched bitmask so untouched
+    // ids never materialise (inc(name, 0) must still create a JSON
+    // entry, hence "touched", not "non-zero").
+    std::array<std::uint64_t, kNumStatIds> fast_{};
+    std::uint64_t fastTouched_ = 0;
+    std::array<Histogram, kNumHistIds> fastHists_{};
+    std::uint32_t fastHistTouched_ = 0;
+
+    // Cold counters: anything without a StatId (prefixed aggregates,
+    // test names) stays string-keyed.
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, Scalar> scalars_;
     std::map<std::string, Histogram> histograms_;

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Simulator self-benchmark: measures the simulator's own execution
+ * speed (simulated rays per wall-clock second), not any property of the
+ * modelled hardware. Used to track host-performance regressions of the
+ * per-cycle core; docs/performance.md records the methodology and the
+ * numbers across revisions.
+ *
+ * Deliberately single-threaded (one Simulation at a time) so the number
+ * is a property of the core, not of the sweep harness's thread pool.
+ *
+ * Environment:
+ *   RTP_SELFBENCH_REPS  repetitions per (scene, config) cell; the
+ *                       fastest rep is reported (default 3).
+ *   RTP_JSON_DIR        directory for bench_selfbench.json (default
+ *                       the working directory).
+ *   RTP_SCALE           workload fidelity, as for every bench binary.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/harness.hpp"
+
+using namespace rtp;
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+struct Cell
+{
+    std::string label;
+    std::size_t rays = 0;
+    Cycle cycles = 0;
+    double wallSeconds = 0.0; //!< fastest rep
+
+    double
+    raysPerSecond() const
+    {
+        return wallSeconds > 0.0 ? rays / wallSeconds : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Simulator self-benchmark (host speed, not model "
+                "output)",
+                "n/a — measures this implementation, not the paper",
+                wc);
+
+    int reps = 3;
+    if (const char *r = std::getenv("RTP_SELFBENCH_REPS"))
+        reps = std::max(1, std::atoi(r));
+
+    WorkloadCache cache(wc);
+    std::vector<const Workload *> workloads =
+        cache.getAll(allSceneIds());
+
+    struct Config
+    {
+        const char *name;
+        SimConfig config;
+    };
+    std::vector<Config> configs = {
+        {"baseline", SimConfig::baseline()},
+        {"proposed", SimConfig::proposed()},
+    };
+
+    std::vector<Cell> cells;
+    std::size_t total_rays = 0;
+    double total_wall = 0.0;
+
+    std::printf("%-22s %10s %12s %14s\n", "Cell", "Rays", "Wall(s)",
+                "Rays/s");
+    for (const Workload *w : workloads) {
+        for (const Config &c : configs) {
+            Simulation sim(c.config, w->bvh,
+                           w->scene.mesh.triangles());
+            Cell cell;
+            cell.label = w->scene.shortName + "/" + c.name;
+            cell.rays = w->ao.rays.size();
+            cell.wallSeconds = -1.0;
+            for (int rep = 0; rep < reps; ++rep) {
+                double t0 = now_seconds();
+                SimResult r = sim.run(w->ao.rays);
+                double dt = now_seconds() - t0;
+                cell.cycles = r.cycles;
+                if (cell.wallSeconds < 0.0 || dt < cell.wallSeconds)
+                    cell.wallSeconds = dt;
+            }
+            total_rays += cell.rays;
+            total_wall += cell.wallSeconds;
+            std::printf("%-22s %10zu %12.4f %14.0f\n",
+                        cell.label.c_str(), cell.rays,
+                        cell.wallSeconds, cell.raysPerSecond());
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    double total_rps = total_wall > 0.0 ? total_rays / total_wall : 0.0;
+    std::printf("%-22s %10zu %12.4f %14.0f\n", "TOTAL", total_rays,
+                total_wall, total_rps);
+
+    // bench_selfbench.json, honouring RTP_JSON_DIR like every bench.
+    std::ostringstream os;
+    os << "{\"bench\":\"selfbench\",\"reps\":" << reps
+       << ",\"results\":{";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        if (i)
+            os << ",";
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"rays\":%zu,\"cycles\":%llu,"
+                      "\"wall_seconds\":%.6f,\"rays_per_second\":%.1f}",
+                      c.label.c_str(), c.rays,
+                      static_cast<unsigned long long>(c.cycles),
+                      c.wallSeconds, c.raysPerSecond());
+        os << buf;
+    }
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "},\"total\":{\"rays\":%zu,\"wall_seconds\":%.6f,"
+                  "\"rays_per_second\":%.1f}}\n",
+                  total_rays, total_wall, total_rps);
+    os << buf;
+
+    const char *dir = std::getenv("RTP_JSON_DIR");
+    std::string path = dir && *dir
+                           ? std::string(dir) + "/bench_selfbench.json"
+                           : "bench_selfbench.json";
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        const std::string body = os.str();
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "[rtp-selfbench] wrote %s\n",
+                     path.c_str());
+    } else {
+        std::fprintf(stderr, "[rtp-selfbench] cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    return 0;
+}
