@@ -2,9 +2,18 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+RayPredictor::snapshotInto(TelemetrySmSample &out) const
+{
+    out.pred_lookups = stats_.get(StatId::Lookups);
+    out.pred_hits = stats_.get(StatId::Predicted);
+    out.pred_trains = stats_.get(StatId::Trained);
+}
 
 RayPredictor::RayPredictor(const PredictorConfig &config, const Bvh &bvh)
     : config_(config), bvh_(&bvh),

@@ -23,6 +23,8 @@
 
 namespace rtp {
 
+struct TelemetrySmSample;
+
 /** Predictor unit configuration (Table 3 defaults). */
 struct PredictorConfig
 {
@@ -89,6 +91,14 @@ class RayPredictor
         trace_ = sink;
         traceUnit_ = unit;
     }
+
+    /**
+     * Telemetry probe: copy the cumulative lookup/hit/train counters
+     * into the owning SM's sample row (see util/telemetry.hpp). Pure
+     * observer; a predictor shared by several SMs reports the same
+     * cumulative values on each.
+     */
+    void snapshotInto(TelemetrySmSample &out) const;
 
     /**
      * Rebind to a new frame's BVH while keeping the trained table

@@ -2,9 +2,16 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+PartialWarpCollector::snapshotInto(TelemetrySmSample &out) const
+{
+    out.repack_queue_depth = pending_.size();
+}
 
 std::vector<std::vector<std::uint32_t>>
 PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,

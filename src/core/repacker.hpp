@@ -20,6 +20,8 @@
 
 namespace rtp {
 
+struct TelemetrySmSample;
+
 /** Collector configuration. */
 struct RepackerConfig
 {
@@ -89,6 +91,12 @@ class PartialWarpCollector
         trace_ = sink;
         traceUnit_ = unit;
     }
+
+    /**
+     * Telemetry probe: record the instantaneous collector queue depth
+     * into the owning SM's sample row. Pure observer.
+     */
+    void snapshotInto(TelemetrySmSample &out) const;
 
     const StatGroup &
     stats() const

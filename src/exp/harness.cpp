@@ -1,15 +1,31 @@
 #include "exp/harness.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
 
 namespace {
+
+/** Read a sweep-point index from @p env, clamped to the sweep size. */
+std::size_t
+pointIndexFromEnv(const char *env, std::size_t num_points)
+{
+    std::size_t idx = 0;
+    if (const char *p = std::getenv(env))
+        idx = static_cast<std::size_t>(std::strtoull(p, nullptr, 10));
+    return idx < num_points ? idx : num_points - 1;
+}
 
 /** Escape a string for embedding in a JSON document. */
 std::string
@@ -57,45 +73,120 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
         return Simulation(p.config, *p.bvh, *p.triangles).run(*p.rays);
     };
 
-    // RTP_TRACE=<path>: attach a cycle-level trace sink to one sweep
-    // point (index RTP_TRACE_POINT, default 0, clamped) and write a
-    // Chrome-trace JSON file after the sweep. Only the first non-empty
-    // sweep of the process traces, so multi-sweep benches produce one
-    // file. The sink rides on exactly one point, which executes on
-    // exactly one worker thread, so no locking is needed. Tracing
-    // writes nothing to stdout and never changes simulated cycles, so
-    // bench output is byte-identical with or without RTP_TRACE.
+    // RTP_TRACE=<path> / RTP_TELEMETRY=<path>: attach a cycle-level
+    // trace sink and/or an interval telemetry sampler to one sweep
+    // point each (indices RTP_TRACE_POINT / RTP_TELEMETRY_POINT,
+    // default 0, clamped) and write the observer output after the
+    // sweep. Only the first non-empty sweep of the process is
+    // observed, so multi-sweep benches produce one file per observer.
+    // Each observer rides on exactly one point, which executes on
+    // exactly one worker thread, so no locking is needed. Observers
+    // write nothing to stdout and never change simulated cycles, so
+    // bench output is byte-identical with or without them.
     static bool traceConsumed = false;
+    static bool telemetryConsumed = false;
     const char *trace_path = std::getenv("RTP_TRACE");
-    if (trace_path && *trace_path && !traceConsumed &&
-        !points.empty()) {
+    const char *telemetry_path = std::getenv("RTP_TELEMETRY");
+    bool want_trace = trace_path && *trace_path && !traceConsumed &&
+                      !points.empty();
+    bool want_telemetry = telemetry_path && *telemetry_path &&
+                          !telemetryConsumed && !points.empty();
+    if (!want_trace && !want_telemetry)
+        return runSweep(points, run, label);
+
+    std::vector<SimPoint> observed = points;
+    TraceSink sink;
+    std::size_t trace_idx = 0;
+    if (want_trace) {
         traceConsumed = true;
-        std::size_t idx = 0;
-        if (const char *p = std::getenv("RTP_TRACE_POINT"))
-            idx = static_cast<std::size_t>(
-                std::strtoull(p, nullptr, 10));
-        if (idx >= points.size())
-            idx = points.size() - 1;
-        std::vector<SimPoint> traced = points;
-        TraceSink sink;
-        traced[idx].config.trace = &sink;
-        std::vector<SimResult> results = runSweep(traced, run, label);
-        if (sink.writeChromeTrace(trace_path))
+        trace_idx = pointIndexFromEnv("RTP_TRACE_POINT", points.size());
+        observed[trace_idx].config.trace = &sink;
+    }
+
+    std::unique_ptr<TelemetrySampler> sampler;
+    std::size_t telemetry_idx = 0;
+    if (want_telemetry) {
+        telemetryConsumed = true;
+        telemetry_idx =
+            pointIndexFromEnv("RTP_TELEMETRY_POINT", points.size());
+        // RTP_TELEMETRY_PERIOD: sampling period in simulated cycles.
+        // 256 resolves predictor warm-up on the bundled workloads while
+        // keeping timelines to a few thousand records.
+        Cycle period = 256;
+        if (const char *p = std::getenv("RTP_TELEMETRY_PERIOD")) {
+            Cycle parsed = std::strtoull(p, nullptr, 10);
+            if (parsed == 0)
+                std::fprintf(stderr,
+                             "[rtp-harness] RTP_TELEMETRY_PERIOD must "
+                             "be >= 1; using %llu\n",
+                             static_cast<unsigned long long>(period));
+            else
+                period = parsed;
+        }
+        sampler = std::make_unique<TelemetrySampler>(period);
+        observed[telemetry_idx].config.telemetry = sampler.get();
+    }
+
+    std::vector<SimResult> results = runSweep(observed, run, label);
+
+    if (want_trace) {
+        if (ensureParentDir(trace_path) &&
+            sink.writeChromeTrace(trace_path))
             std::fprintf(stderr,
                          "[rtp-harness] wrote trace %s "
                          "(%zu events, %llu dropped, point %zu)\n",
                          trace_path, sink.size(),
                          static_cast<unsigned long long>(
                              sink.dropped()),
-                         idx);
+                         trace_idx);
         else
             std::fprintf(stderr,
                          "[rtp-harness] cannot write trace %s\n",
                          trace_path);
-        return results;
     }
+    if (want_telemetry) {
+        // Extension picks the format: .csv = long-format CSV,
+        // everything else = the JSON timeline object.
+        std::string path = telemetry_path;
+        bool csv = path.size() >= 4 &&
+                   path.compare(path.size() - 4, 4, ".csv") == 0;
+        bool ok = ensureParentDir(path) &&
+                  (csv ? sampler->writeCsv(path)
+                       : sampler->writeJson(path));
+        if (ok)
+            std::fprintf(
+                stderr,
+                "[rtp-harness] wrote telemetry %s "
+                "(%zu samples, %llu dropped, period %llu, point %zu)\n",
+                path.c_str(), sampler->records().size(),
+                static_cast<unsigned long long>(
+                    sampler->droppedRecords()),
+                static_cast<unsigned long long>(sampler->period()),
+                telemetry_idx);
+        else
+            std::fprintf(stderr,
+                         "[rtp-harness] cannot write telemetry %s\n",
+                         path.c_str());
+    }
+    return results;
+}
 
-    return runSweep(points, run, label);
+bool
+ensureParentDir(const std::string &path)
+{
+    std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (parent.empty())
+        return true;
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "[rtp-harness] cannot create directory %s: %s\n",
+                     parent.string().c_str(), ec.message().c_str());
+        return false;
+    }
+    return true;
 }
 
 std::vector<RunOutcome>
@@ -194,10 +285,16 @@ JsonResultSink::close()
     }
     os << "}}\n";
 
+    // RTP_JSON_DIR may name a directory that does not exist yet (a
+    // fresh CI artifact dir); create it instead of silently dropping
+    // the results.
+    if (!ensureParentDir(path_))
+        return false;
     std::FILE *f = std::fopen(path_.c_str(), "w");
     if (!f) {
-        std::fprintf(stderr, "[rtp-harness] cannot write %s\n",
-                     path_.c_str());
+        std::fprintf(stderr,
+                     "[rtp-harness] cannot write %s: %s\n",
+                     path_.c_str(), std::strerror(errno));
         return false;
     }
     const std::string body = os.str();

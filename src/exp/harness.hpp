@@ -132,6 +132,14 @@ class JsonResultSink
     bool closed_ = false;
 };
 
+/**
+ * Create the directory portion of @p path (recursively) if missing, so
+ * sinks honouring RTP_JSON_DIR work with not-yet-existing directories.
+ * @return false (with a [rtp-harness] stderr message) when creation
+ *         fails; a path without a directory portion returns true.
+ */
+bool ensureParentDir(const std::string &path);
+
 /** Print a standard header naming the experiment and its scope. */
 void printHeader(const std::string &title, const std::string &paper_ref,
                  const WorkloadConfig &config);

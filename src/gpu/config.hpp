@@ -16,6 +16,7 @@
 namespace rtp {
 
 class TraceSink;
+class TelemetrySampler;
 class Bvh;
 
 /** Full simulation configuration. */
@@ -34,6 +35,17 @@ struct SimConfig
      * trace at most one simulate() call per sink at a time.
      */
     TraceSink *trace = nullptr;
+
+    /**
+     * Optional interval-sampling telemetry sampler (not owned; nullptr
+     * = telemetry off). Attached to the RT units and memory system
+     * before the event loop runs and fed at event-boundary granularity;
+     * see util/telemetry.hpp. Like tracing, sampling is a pure
+     * observer: simulated cycles and statistics are byte-identical with
+     * and without a sampler. Single-threaded — at most one simulate()
+     * call per sampler at a time.
+     */
+    TelemetrySampler *telemetry = nullptr;
 
     /** The baseline (Table 2/3) configuration with the predictor on. */
     static SimConfig proposed();

@@ -1,5 +1,7 @@
 #include "gpu/simulator.hpp"
 
+#include "util/telemetry.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -122,6 +124,14 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
                     config.trace, static_cast<std::uint16_t>(s));
         }
     }
+    TelemetrySampler *telemetry = config.telemetry;
+    if (telemetry) {
+        std::vector<const RtUnit *> probes;
+        probes.reserve(num_sms);
+        for (std::uint32_t s = 0; s < num_sms; ++s)
+            probes.push_back(units[s].get());
+        telemetry->attach(std::move(probes), &mem);
+    }
 
     for (std::uint32_t s = 0; s < num_sms; ++s) {
         if (!per_sm_rays[s].empty())
@@ -183,6 +193,13 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
         }
 
         do {
+            // The leader's next event is the globally earliest, so
+            // every event before a period boundary has been processed
+            // by the time the boundary is crossed here: each sample
+            // observes a deterministic start-of-cycle state regardless
+            // of batching.
+            if (telemetry)
+                telemetry->sampleUpTo(next->nextEventCycle());
             next->step();
         } while (!next->finished() && next->hasEvents() &&
                  (next->nextEventCycle() < others ||
@@ -215,6 +232,8 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
         units.empty() ? 1.0 : simt_acc / units.size();
     result.memStats = mem.aggregateStats();
     result.avgBusyBanks = mem.dram().avgBusyBanks();
+    if (telemetry)
+        telemetry->finish(result.cycles);
     return result;
 }
 

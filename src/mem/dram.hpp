@@ -17,6 +17,8 @@
 
 namespace rtp {
 
+struct TelemetryGlobalSample;
+
 /** DRAM timing configuration (cycles in the memory clock domain are
  *  approximated in core cycles for simplicity). */
 struct DramConfig
@@ -63,6 +65,14 @@ class DramModel
     {
         return stats_;
     }
+
+    /**
+     * Telemetry probe: fill the DRAM portion of @p out — cumulative
+     * access/row-hit counters, the busy-bank accumulator pair (so
+     * consumers can difference per-interval bank parallelism), and the
+     * instantaneous number of banks busy at @p at. Pure observer.
+     */
+    void snapshotInto(TelemetryGlobalSample &out, Cycle at) const;
 
     void
     clearStats()

@@ -1,5 +1,7 @@
 #include "mem/memory_system.hpp"
 
+#include "util/telemetry.hpp"
+
 namespace rtp {
 
 MemorySystem::MemorySystem(const MemoryConfig &config,
@@ -50,6 +52,13 @@ MemorySystem::setTraceSink(TraceSink *sink)
         l1s_[i]->setTraceSink(sink, static_cast<std::uint16_t>(i), 1);
     l2_->setTraceSink(sink, 0, 2);
     dram_.setTraceSink(sink);
+}
+
+void
+MemorySystem::snapshotInto(TelemetryGlobalSample &out, Cycle at) const
+{
+    l2_->snapshotInto(out.l2_hits, out.l2_misses, out.l2_mshr_merges);
+    dram_.snapshotInto(out, at);
 }
 
 StatGroup

@@ -15,6 +15,8 @@
 
 namespace rtp {
 
+struct TelemetryGlobalSample;
+
 /** Where a request was ultimately served from. */
 enum class MemLevel : std::uint8_t
 {
@@ -92,6 +94,21 @@ class MemorySystem
      * 0 with level 2, DRAM its bank index.
      */
     void setTraceSink(TraceSink *sink);
+
+    /**
+     * Telemetry probe: fill the shared-memory portion of @p out (the
+     * L2's cumulative counters plus the DRAM probe at cycle @p at).
+     * Per-SM L1s are sampled through RtUnit::snapshotInto. Pure
+     * observer.
+     */
+    void snapshotInto(TelemetryGlobalSample &out, Cycle at) const;
+
+    /** Per-SM L1 probe access for the RT unit's telemetry snapshot. */
+    const CacheModel &
+    l1(std::uint32_t sm) const
+    {
+        return *l1s_[sm];
+    }
 
     /** Aggregate counters and histograms across all levels into one
      *  group under "l1." / "l2." / "dram." prefixes. */

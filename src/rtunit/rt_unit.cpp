@@ -6,6 +6,7 @@
 #include <string>
 
 #include "geometry/intersect.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
@@ -197,10 +198,17 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
         }
     }
 
-    if (any_lookup)
-        doLookups(warp, now);
-    else
-        doTraversal(warp, now);
+    bool did_work =
+        any_lookup ? doLookups(warp, now) : doTraversal(warp, now);
+    if (did_work) {
+        if (now != lastBusyCycle_) {
+            lastBusyCycle_ = now;
+            busyCycles_++;
+        }
+    } else if (now != lastStallCycle_) {
+        lastStallCycle_ = now;
+        stallCycles_++;
+    }
 
     // Retire completed rays from the warp (in-place compaction).
     std::size_t live = 0;
@@ -244,11 +252,12 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
     scheduleWarp(warp_idx, std::max(next, now + 1));
 }
 
-void
+bool
 RtUnit::doLookups(Warp &warp, Cycle now)
 {
     predictedScratch_.clear();
     std::size_t keep = 0;
+    bool processed = false;
 
     for (std::size_t i = 0; i < warp.slots.size(); ++i) {
         std::uint32_t s = warp.slots[i];
@@ -261,6 +270,7 @@ RtUnit::doLookups(Warp &warp, Cycle now)
             warp.slots[keep++] = s;
             continue;
         }
+        processed = true;
 
         if (!predictor_) {
             e.phase = RayPhase::Normal;
@@ -308,6 +318,7 @@ RtUnit::doLookups(Warp &warp, Cycle now)
             stats_.inc(StatId::ResidueWarps);
         }
     }
+    return processed;
 }
 
 Cycle
@@ -362,12 +373,13 @@ RtUnit::processNode(RayEntry &entry, std::uint32_t node_idx,
     return done;
 }
 
-void
+bool
 RtUnit::doTraversal(Warp &warp, Cycle now)
 {
     // Collect the next node of each ready ray; merge duplicate node
     // requests within the warp into a single memory access.
     issueScratch_.clear();
+    bool retired = false;
 
     for (std::uint32_t s : warp.slots) {
         RayEntry &e = buffer_.slot(s);
@@ -380,6 +392,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
         // continue until the stack drains.
         if (e.hit && e.ray.kind == RayKind::Occlusion) {
             e.phase = RayPhase::Done;
+            retired = true;
             continue;
         }
 
@@ -416,6 +429,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
                 top = e.stack.pop();
             } else {
                 e.phase = RayPhase::Done;
+                retired = true;
                 continue;
             }
         }
@@ -430,7 +444,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
     }
 
     if (issueScratch_.empty())
-        return;
+        return retired;
 
     // SIMT efficiency: threads issuing work this step vs the warp width.
     issueActiveThreads_ += issueScratch_.size();
@@ -540,6 +554,7 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
             e.phase = RayPhase::Done;
         }
     }
+    return true;
 }
 
 void
@@ -586,6 +601,29 @@ RtUnit::simtEfficiency() const
     return issueSlots_ == 0
                ? 1.0
                : static_cast<double>(issueActiveThreads_) / issueSlots_;
+}
+
+void
+RtUnit::snapshotInto(TelemetrySmSample &out) const
+{
+    out.busy_cycles = busyCycles_;
+    out.stall_cycles = stallCycles_;
+    out.active_warps = activeWarps_;
+    out.resident_rays = buffer_.capacity() - buffer_.freeSlots();
+    out.ray_buffer_capacity = buffer_.capacity();
+    out.event_queue_depth = events_.size();
+    out.warps_dispatched = stats_.get(StatId::WarpsDispatched);
+    out.repacked_warps = stats_.get(StatId::RepackedWarps);
+    out.warps_retired = stats_.get(StatId::WarpsRetired);
+    out.rays_completed = stats_.get(StatId::RaysCompleted);
+    out.rays_predicted = stats_.get(StatId::RaysPredicted);
+    out.rays_verified = stats_.get(StatId::RaysVerified);
+    out.rays_mispredicted = stats_.get(StatId::RaysMispredicted);
+    collector_.snapshotInto(out);
+    if (predictor_)
+        predictor_->snapshotInto(out);
+    mem_.l1(smId_).snapshotInto(out.l1_hits, out.l1_misses,
+                                out.l1_mshr_merges);
 }
 
 } // namespace rtp

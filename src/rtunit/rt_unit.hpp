@@ -44,6 +44,8 @@
 
 namespace rtp {
 
+struct TelemetrySmSample;
+
 /** RT unit configuration (Section 5.1 / Table 2 defaults). */
 struct RtUnitConfig
 {
@@ -150,6 +152,16 @@ class RtUnit
     double simtEfficiency() const;
 
     /**
+     * Telemetry probe: fill this SM's sample row — busy/stall cycle
+     * counts, instantaneous warp/ray-buffer/event-queue/collector
+     * occupancy, cumulative warp and predictor-outcome counters, and
+     * this SM's L1 counters (see util/telemetry.hpp). Pure observer:
+     * only reads state, so interval sampling cannot perturb the
+     * simulation.
+     */
+    void snapshotInto(TelemetrySmSample &out) const;
+
+    /**
      * Attach a trace sink (nullptr detaches). Shared with the partial
      * warp collector. Emission is a pure observer: enabling a sink
      * never changes simulated cycles or statistics.
@@ -200,11 +212,13 @@ class RtUnit
     /** Run one scheduling step for a warp. */
     void stepWarp(std::uint32_t warp_idx, Cycle now);
 
-    /** Handle the lookup phase for the given warp members. */
-    void doLookups(Warp &warp, Cycle now);
+    /** Handle the lookup phase for the given warp members.
+     *  @return true when at least one lookup was processed. */
+    bool doLookups(Warp &warp, Cycle now);
 
-    /** One traversal iteration for all ready rays of a warp. */
-    void doTraversal(Warp &warp, Cycle now);
+    /** One traversal iteration for all ready rays of a warp.
+     *  @return true when at least one ray issued or retired. */
+    bool doTraversal(Warp &warp, Cycle now);
 
     /** Process a node fetched for a ray; returns post-test ready time. */
     Cycle processNode(RayEntry &entry, std::uint32_t node_idx,
@@ -265,6 +279,17 @@ class RtUnit
     TraceSink *trace_ = nullptr;
     std::uint64_t issueActiveThreads_ = 0;
     std::uint64_t issueSlots_ = 0;
+
+    // Telemetry accounting (distinct-cycle busy/stall counts). Plain
+    // members, not StatGroup entries, so end-of-run stat output is
+    // unchanged whether or not a sampler reads them. A cycle counts as
+    // busy when >= 1 warp step issued work in it and as stalled when
+    // >= 1 warp step found no ready ray; one cycle can be both (two
+    // warps), and idle time is derived offline as elapsed - busy.
+    std::uint64_t busyCycles_ = 0;
+    std::uint64_t stallCycles_ = 0;
+    Cycle lastBusyCycle_ = ~0ull;
+    Cycle lastStallCycle_ = ~0ull;
 };
 
 } // namespace rtp

@@ -1,0 +1,208 @@
+#include "util/telemetry.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+#include <utility>
+
+#include "mem/memory_system.hpp"
+#include "rtunit/rt_unit.hpp"
+
+namespace rtp {
+
+namespace {
+
+constexpr TelemetrySmField kSmFields[] = {
+    {"busy_cycles", &TelemetrySmSample::busy_cycles},
+    {"stall_cycles", &TelemetrySmSample::stall_cycles},
+    {"active_warps", &TelemetrySmSample::active_warps},
+    {"resident_rays", &TelemetrySmSample::resident_rays},
+    {"ray_buffer_capacity", &TelemetrySmSample::ray_buffer_capacity},
+    {"event_queue_depth", &TelemetrySmSample::event_queue_depth},
+    {"repack_queue_depth", &TelemetrySmSample::repack_queue_depth},
+    {"warps_dispatched", &TelemetrySmSample::warps_dispatched},
+    {"repacked_warps", &TelemetrySmSample::repacked_warps},
+    {"warps_retired", &TelemetrySmSample::warps_retired},
+    {"rays_completed", &TelemetrySmSample::rays_completed},
+    {"rays_predicted", &TelemetrySmSample::rays_predicted},
+    {"rays_verified", &TelemetrySmSample::rays_verified},
+    {"rays_mispredicted", &TelemetrySmSample::rays_mispredicted},
+    {"pred_lookups", &TelemetrySmSample::pred_lookups},
+    {"pred_hits", &TelemetrySmSample::pred_hits},
+    {"pred_trains", &TelemetrySmSample::pred_trains},
+    {"l1_hits", &TelemetrySmSample::l1_hits},
+    {"l1_misses", &TelemetrySmSample::l1_misses},
+    {"l1_mshr_merges", &TelemetrySmSample::l1_mshr_merges},
+    {nullptr, nullptr},
+};
+
+constexpr TelemetryGlobalField kGlobalFields[] = {
+    {"l2_hits", &TelemetryGlobalSample::l2_hits},
+    {"l2_misses", &TelemetryGlobalSample::l2_misses},
+    {"l2_mshr_merges", &TelemetryGlobalSample::l2_mshr_merges},
+    {"dram_accesses", &TelemetryGlobalSample::dram_accesses},
+    {"dram_row_hits", &TelemetryGlobalSample::dram_row_hits},
+    {"dram_row_misses", &TelemetryGlobalSample::dram_row_misses},
+    {"dram_busy_accum", &TelemetryGlobalSample::dram_busy_accum},
+    {"dram_busy_samples", &TelemetryGlobalSample::dram_busy_samples},
+    {"dram_banks_busy_now",
+     &TelemetryGlobalSample::dram_banks_busy_now},
+    {"dram_num_banks", &TelemetryGlobalSample::dram_num_banks},
+    {nullptr, nullptr},
+};
+
+} // namespace
+
+const TelemetrySmField *
+telemetrySmFields()
+{
+    return kSmFields;
+}
+
+const TelemetryGlobalField *
+telemetryGlobalFields()
+{
+    return kGlobalFields;
+}
+
+TelemetrySampler::TelemetrySampler(Cycle period,
+                                   std::size_t max_records)
+    : period_(period), nextSample_(period), maxRecords_(max_records)
+{
+    if (period == 0)
+        throw std::invalid_argument(
+            "TelemetrySampler: sampling period must be >= 1 cycle");
+}
+
+void
+TelemetrySampler::attach(std::vector<const RtUnit *> units,
+                         const MemorySystem *mem)
+{
+    units_ = std::move(units);
+    mem_ = mem;
+    nextSample_ = period_;
+    attached_ = true;
+}
+
+void
+TelemetrySampler::finish(Cycle end_cycle)
+{
+    if (!attached_)
+        return;
+    // Record the final state once, at the completion cycle (skipped
+    // when a period boundary already sampled it).
+    if (records_.empty() || records_.back().cycle < end_cycle)
+        takeSample(end_cycle);
+    attached_ = false;
+    units_.clear();
+    mem_ = nullptr;
+}
+
+void
+TelemetrySampler::clear()
+{
+    records_.clear();
+    nextSample_ = period_;
+}
+
+void
+TelemetrySampler::takeSample(Cycle at)
+{
+    // Advance the boundary even when dropping, so sampleUpTo() cannot
+    // spin on a full store.
+    if (at >= nextSample_)
+        nextSample_ = (at / period_ + 1) * period_;
+
+    if (records_.size() >= maxRecords_) {
+        droppedRecords_++;
+        return;
+    }
+
+    TelemetryRecord rec;
+    rec.cycle = at;
+    rec.sms.resize(units_.size());
+    for (std::size_t s = 0; s < units_.size(); ++s)
+        units_[s]->snapshotInto(rec.sms[s]);
+    if (mem_)
+        mem_->snapshotInto(rec.global, at);
+    records_.push_back(std::move(rec));
+}
+
+void
+TelemetrySampler::writeJson(std::ostream &os) const
+{
+    os << "{\"telemetry\":{\"period\":" << period_
+       << ",\"num_sms\":" << (records_.empty()
+                                  ? units_.size()
+                                  : records_.front().sms.size())
+       << ",\"dropped_records\":" << droppedRecords_
+       << ",\"samples\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const TelemetryRecord &rec = records_[i];
+        if (i)
+            os << ",";
+        os << "{\"cycle\":" << rec.cycle << ",\"sms\":[";
+        for (std::size_t s = 0; s < rec.sms.size(); ++s) {
+            if (s)
+                os << ",";
+            os << "{";
+            for (const TelemetrySmField *f = kSmFields; f->name; ++f) {
+                if (f != kSmFields)
+                    os << ",";
+                os << "\"" << f->name
+                   << "\":" << rec.sms[s].*(f->member);
+            }
+            os << "}";
+        }
+        os << "],\"global\":{";
+        for (const TelemetryGlobalField *f = kGlobalFields; f->name;
+             ++f) {
+            if (f != kGlobalFields)
+                os << ",";
+            os << "\"" << f->name << "\":" << rec.global.*(f->member);
+        }
+        os << "}}";
+    }
+    os << "]}}\n";
+}
+
+bool
+TelemetrySampler::writeJson(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    writeJson(f);
+    f.flush();
+    return static_cast<bool>(f);
+}
+
+void
+TelemetrySampler::writeCsv(std::ostream &os) const
+{
+    os << "cycle,scope,counter,value\n";
+    for (const TelemetryRecord &rec : records_) {
+        for (std::size_t s = 0; s < rec.sms.size(); ++s) {
+            for (const TelemetrySmField *f = kSmFields; f->name; ++f)
+                os << rec.cycle << ",sm" << s << "," << f->name << ","
+                   << rec.sms[s].*(f->member) << "\n";
+        }
+        for (const TelemetryGlobalField *f = kGlobalFields; f->name;
+             ++f)
+            os << rec.cycle << ",global," << f->name << ","
+               << rec.global.*(f->member) << "\n";
+    }
+}
+
+bool
+TelemetrySampler::writeCsv(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    writeCsv(f);
+    f.flush();
+    return static_cast<bool>(f);
+}
+
+} // namespace rtp

@@ -223,7 +223,8 @@ TraceSink::writeChromeTrace(std::ostream &os) const
     os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
        << "\"clock\":\"1 ts = 1 simulated cycle\","
        << "\"buffered_events\":" << size_
-       << ",\"dropped_events\":" << dropped_ << "}}\n";
+       << ",\"dropped_events\":" << dropped_
+       << ",\"emitted_events\":" << size_ + dropped_ << "}}\n";
 }
 
 bool

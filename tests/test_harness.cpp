@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "exp/harness.hpp"
 #include "gpu/config.hpp"
@@ -92,6 +94,46 @@ TEST(Harness, RunPairProducesBothResults)
     EXPECT_GT(out.speedup(), 0.0);
     EXPECT_EQ(out.baseline.stats.get("rays_predicted"), 0u);
     EXPECT_GT(out.treatment.stats.get("rays_predicted"), 0u);
+}
+
+TEST(Harness, EnsureParentDirCreatesNestedDirectories)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::temp_directory_path() / "rtp_harness_dirtest";
+    fs::remove_all(root);
+    fs::path file = root / "a" / "b" / "out.json";
+    EXPECT_TRUE(ensureParentDir(file.string()));
+    EXPECT_TRUE(fs::is_directory(root / "a" / "b"));
+    // Idempotent when the directory already exists.
+    EXPECT_TRUE(ensureParentDir(file.string()));
+    // A bare filename has no directory portion to create.
+    EXPECT_TRUE(ensureParentDir("out.json"));
+    fs::remove_all(root);
+}
+
+TEST(Harness, JsonSinkCreatesMissingOutputDirectory)
+{
+    // Regression test: RTP_JSON_DIR pointing at a directory that does
+    // not exist yet (e.g. bench/baselines on a fresh checkout) must be
+    // created recursively instead of silently failing the write.
+    namespace fs = std::filesystem;
+    fs::path root = fs::temp_directory_path() / "rtp_harness_sinktest";
+    fs::remove_all(root);
+    fs::path dir = root / "nested" / "deeper";
+    setenv("RTP_JSON_DIR", dir.string().c_str(), 1);
+    {
+        JsonResultSink sink("bench_dirtest");
+        EXPECT_TRUE(sink.close());
+        EXPECT_TRUE(fs::exists(sink.path()));
+        EXPECT_EQ(fs::path(sink.path()).parent_path(), dir);
+        std::ifstream in(sink.path());
+        std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        EXPECT_NE(text.find("\"bench\":\"bench_dirtest\""),
+                  std::string::npos);
+    }
+    unsetenv("RTP_JSON_DIR");
+    fs::remove_all(root);
 }
 
 TEST(Harness, PctFormatting)

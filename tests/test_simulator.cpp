@@ -7,6 +7,7 @@
 #include "gpu/simulator.hpp"
 #include "rays/raygen.hpp"
 #include "scene/registry.hpp"
+#include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
@@ -99,6 +100,65 @@ TEST(Simulator, TracingDoesNotPerturbSimulation)
                 << "ray " << i;
         }
     }
+}
+
+TEST(Simulator, TelemetryDoesNotPerturbSimulation)
+{
+    // Same contract as tracing: an attached TelemetrySampler must not
+    // change cycles, statistics, or per-ray results. Byte-compare the
+    // stats JSON so even counter bookkeeping perturbation is caught.
+    for (const SimConfig &base :
+         {SimConfig::baseline(), SimConfig::proposed()}) {
+        SimResult plain = simulate(
+            rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+            base);
+        SimConfig sampled_cfg = base;
+        TelemetrySampler sampler(64);
+        sampled_cfg.telemetry = &sampler;
+        SimResult sampled = simulate(
+            rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+            sampled_cfg);
+        EXPECT_GT(sampler.records().size(), 2u);
+        EXPECT_EQ(plain.cycles, sampled.cycles);
+        EXPECT_EQ(plain.toJson(), sampled.toJson());
+        for (std::size_t i = 0; i < rig().ao.rays.size(); ++i) {
+            ASSERT_EQ(plain.rayResults[i].hit,
+                      sampled.rayResults[i].hit)
+                << "ray " << i;
+        }
+    }
+}
+
+TEST(Simulator, TelemetryTimelineIsMonotoneAndPopulated)
+{
+    // Samples are taken every `period` cycles in order, cumulative
+    // counters never decrease, and the final finish() record lands at
+    // the end-of-run cycle.
+    SimConfig cfg = SimConfig::proposed();
+    TelemetrySampler sampler(128);
+    cfg.telemetry = &sampler;
+    SimResult r = simulate(rig().bvh, rig().scene.mesh.triangles(),
+                           rig().ao.rays, cfg);
+    const auto &recs = sampler.records();
+    ASSERT_GT(recs.size(), 2u);
+    EXPECT_EQ(sampler.droppedRecords(), 0u);
+    EXPECT_EQ(recs.back().cycle, r.cycles);
+    std::uint64_t prev_cycle = 0;
+    std::uint64_t prev_completed = 0;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        if (i > 0) {
+            EXPECT_GT(recs[i].cycle, prev_cycle) << "record " << i;
+        }
+        prev_cycle = recs[i].cycle;
+        ASSERT_EQ(recs[i].sms.size(), cfg.numSms);
+        std::uint64_t completed = 0;
+        for (const TelemetrySmSample &sm : recs[i].sms)
+            completed += sm.rays_completed;
+        EXPECT_GE(completed, prev_completed) << "record " << i;
+        prev_completed = completed;
+    }
+    // By the final record every ray has been counted as completed.
+    EXPECT_EQ(prev_completed, rig().ao.rays.size());
 }
 
 TEST(Simulator, TraceCoversComponentTaxonomy)

@@ -168,6 +168,50 @@ TEST(Histogram, SingleValuePercentilesAreExact)
     EXPECT_EQ(h.percentile(99.0), 64.0);
 }
 
+TEST(Histogram, OneSamplePercentilesAreThatSample)
+{
+    // A single recorded value must be returned for every percentile,
+    // including the p=0 / p=100 extremes and out-of-range requests.
+    Histogram h;
+    h.add(37);
+    EXPECT_EQ(h.percentile(0.0), 37.0);
+    EXPECT_EQ(h.percentile(50.0), 37.0);
+    EXPECT_EQ(h.percentile(100.0), 37.0);
+    EXPECT_EQ(h.percentile(-5.0), 37.0);
+    EXPECT_EQ(h.percentile(250.0), 37.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZeroForAnyP)
+{
+    Histogram h;
+    EXPECT_EQ(h.percentile(0.0), 0.0);
+    EXPECT_EQ(h.percentile(100.0), 0.0);
+    EXPECT_EQ(h.percentile(-1.0), 0.0);
+    EXPECT_EQ(h.percentile(1e9), 0.0);
+}
+
+TEST(Histogram, AllSamplesInOneBucketStayWithinRange)
+{
+    // Values 64..127 share a log2 bucket. The histogram cannot resolve
+    // order inside the bucket, but every percentile must stay within
+    // the recorded [min, max] range and be monotone in p.
+    Histogram h;
+    for (std::uint64_t v = 64; v < 128; ++v)
+        h.add(v);
+    double prev = 0.0;
+    for (double p : {0.0, 10.0, 50.0, 90.0, 100.0}) {
+        double q = h.percentile(p);
+        EXPECT_GE(q, 64.0) << "p=" << p;
+        EXPECT_LE(q, 127.0) << "p=" << p;
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+    // p=0 interpolates near the low edge of the bucket (not exactly
+    // min, since the bucket cannot resolve order); p=100 clamps to max.
+    EXPECT_NEAR(h.percentile(0.0), 64.0, 1.0);
+    EXPECT_EQ(h.percentile(100.0), 127.0);
+}
+
 TEST(Histogram, MergeAddsBucketwise)
 {
     Histogram a, b;
@@ -179,6 +223,47 @@ TEST(Histogram, MergeAddsBucketwise)
     EXPECT_EQ(a.sum(), 1003u);
     EXPECT_EQ(a.min(), 1u);
     EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, MergePreservesPercentiles)
+{
+    // Merging two histograms must give the same percentiles as adding
+    // every sample to one histogram directly — merge is bucketwise, so
+    // the results are bit-identical, not merely close.
+    Histogram combined, left, right;
+    for (std::uint64_t v = 1; v <= 500; ++v) {
+        combined.add(v);
+        left.add(v);
+    }
+    for (std::uint64_t v = 501; v <= 1000; ++v) {
+        combined.add(v);
+        right.add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), combined.count());
+    EXPECT_EQ(left.sum(), combined.sum());
+    EXPECT_EQ(left.min(), combined.min());
+    EXPECT_EQ(left.max(), combined.max());
+    for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(left.percentile(p), combined.percentile(p))
+            << "p=" << p;
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram h, empty;
+    h.add(5);
+    h.add(9);
+    h.merge(empty);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.min(), 5u);
+    EXPECT_EQ(h.max(), 9u);
+    Histogram h2;
+    h2.merge(h);
+    EXPECT_EQ(h2.count(), 2u);
+    EXPECT_EQ(h2.min(), 5u);
+    EXPECT_EQ(h2.max(), 9u);
+    EXPECT_EQ(h2.percentile(50.0), h.percentile(50.0));
 }
 
 TEST(Stats, AddSampleCreatesHistogram)

@@ -1,0 +1,177 @@
+/** @file TelemetrySampler unit tests (no simulation required: the
+ *  sampler is exercised with empty probe sets, which is exactly the
+ *  boundary/serialisation machinery integration tests cannot isolate).
+ *  End-to-end sampling against a real run lives in test_simulator.cpp.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+#include "util/telemetry.hpp"
+
+namespace rtp {
+namespace {
+
+/** Attach with no SMs and no memory system: boundary logic and
+ *  serialisation behave identically, records simply hold no sm rows. */
+void
+attachEmpty(TelemetrySampler &s)
+{
+    s.attach({}, nullptr);
+}
+
+TEST(Telemetry, ZeroPeriodThrows)
+{
+    EXPECT_THROW(TelemetrySampler(0), std::invalid_argument);
+    EXPECT_NO_THROW(TelemetrySampler(1));
+}
+
+TEST(Telemetry, SampleUpToIsNoopWhenDetached)
+{
+    TelemetrySampler s(10);
+    s.sampleUpTo(1000);
+    EXPECT_TRUE(s.records().empty());
+    EXPECT_FALSE(s.attached());
+}
+
+TEST(Telemetry, SamplesEveryPeriodBoundaryUpToCycle)
+{
+    TelemetrySampler s(10);
+    attachEmpty(s);
+    s.sampleUpTo(5); // before the first boundary
+    EXPECT_TRUE(s.records().empty());
+    s.sampleUpTo(10); // exactly on the boundary
+    ASSERT_EQ(s.records().size(), 1u);
+    EXPECT_EQ(s.records()[0].cycle, 10u);
+    s.sampleUpTo(35); // catches up across skipped boundaries
+    ASSERT_EQ(s.records().size(), 3u);
+    EXPECT_EQ(s.records()[1].cycle, 20u);
+    EXPECT_EQ(s.records()[2].cycle, 30u);
+    s.sampleUpTo(35); // idempotent between boundaries
+    EXPECT_EQ(s.records().size(), 3u);
+}
+
+TEST(Telemetry, FinishRecordsFinalCycleOnceAndDetaches)
+{
+    TelemetrySampler s(10);
+    attachEmpty(s);
+    s.sampleUpTo(20);
+    s.finish(42); // off-period completion cycle
+    ASSERT_EQ(s.records().size(), 3u);
+    EXPECT_EQ(s.records().back().cycle, 42u);
+    EXPECT_FALSE(s.attached());
+    s.finish(99); // second finish is a no-op
+    EXPECT_EQ(s.records().size(), 3u);
+}
+
+TEST(Telemetry, FinishOnBoundaryDoesNotDuplicate)
+{
+    TelemetrySampler s(10);
+    attachEmpty(s);
+    s.sampleUpTo(30);
+    ASSERT_EQ(s.records().size(), 3u);
+    s.finish(30); // cycle 30 was already sampled
+    EXPECT_EQ(s.records().size(), 3u);
+    EXPECT_EQ(s.records().back().cycle, 30u);
+}
+
+TEST(Telemetry, FullStoreDropsNewestAndCounts)
+{
+    TelemetrySampler s(1, /*max_records=*/3);
+    attachEmpty(s);
+    s.sampleUpTo(10);
+    ASSERT_EQ(s.records().size(), 3u);
+    // The warm-up prefix is kept; the 7 newest boundaries are dropped.
+    EXPECT_EQ(s.records()[0].cycle, 1u);
+    EXPECT_EQ(s.records()[2].cycle, 3u);
+    EXPECT_EQ(s.droppedRecords(), 7u);
+    s.finish(10); // the final sample is also dropped, but still counted
+    EXPECT_EQ(s.records().size(), 3u);
+    EXPECT_EQ(s.droppedRecords(), 8u);
+}
+
+TEST(Telemetry, ClearResetsRecordsAndBoundary)
+{
+    TelemetrySampler s(10);
+    attachEmpty(s);
+    s.sampleUpTo(30);
+    s.finish(35);
+    EXPECT_EQ(s.records().size(), 4u);
+    s.clear();
+    EXPECT_TRUE(s.records().empty());
+    attachEmpty(s);
+    s.sampleUpTo(10); // boundary restarts at the first period
+    ASSERT_EQ(s.records().size(), 1u);
+    EXPECT_EQ(s.records()[0].cycle, 10u);
+}
+
+TEST(Telemetry, FieldCataloguesAreNullTerminatedAndComplete)
+{
+    std::size_t n_sm = 0;
+    for (const TelemetrySmField *f = telemetrySmFields(); f->name; ++f)
+        n_sm++;
+    std::size_t n_global = 0;
+    for (const TelemetryGlobalField *f = telemetryGlobalFields();
+         f->name; ++f)
+        n_global++;
+    EXPECT_EQ(n_sm, 20u);
+    EXPECT_EQ(n_global, 10u);
+}
+
+TEST(Telemetry, JsonOutputParsesWithExpectedShape)
+{
+    TelemetrySampler s(16);
+    attachEmpty(s);
+    s.sampleUpTo(32);
+    s.finish(40);
+    std::ostringstream os;
+    s.writeJson(os);
+    std::string error;
+    auto root = parseJson(os.str(), &error);
+    ASSERT_TRUE(root.has_value()) << error;
+    const JsonValue *t = root->find("telemetry");
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->numberAt("period"), 16.0);
+    EXPECT_EQ(t->numberAt("num_sms"), 0.0);
+    EXPECT_EQ(t->numberAt("dropped_records"), 0.0);
+    const JsonValue *samples = t->find("samples");
+    ASSERT_NE(samples, nullptr);
+    ASSERT_TRUE(samples->isArray());
+    ASSERT_EQ(samples->array.size(), 3u);
+    EXPECT_EQ(samples->array[0].numberAt("cycle"), 16.0);
+    EXPECT_EQ(samples->array[1].numberAt("cycle"), 32.0);
+    EXPECT_EQ(samples->array[2].numberAt("cycle"), 40.0);
+    // Every sample carries the full global counter catalogue.
+    const JsonValue *global = samples->array[0].find("global");
+    ASSERT_NE(global, nullptr);
+    for (const TelemetryGlobalField *f = telemetryGlobalFields();
+         f->name; ++f)
+        EXPECT_NE(global->find(f->name), nullptr) << f->name;
+}
+
+TEST(Telemetry, CsvOutputIsLongFormat)
+{
+    TelemetrySampler s(8);
+    attachEmpty(s);
+    s.sampleUpTo(8);
+    s.finish(8);
+    std::ostringstream os;
+    s.writeCsv(os);
+    std::istringstream in(os.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    EXPECT_EQ(line, "cycle,scope,counter,value");
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        rows++;
+        EXPECT_EQ(line.rfind("8,global,", 0), 0u) << line;
+    }
+    // One record, no SMs -> exactly the 10 global counters.
+    EXPECT_EQ(rows, 10u);
+}
+
+} // namespace
+} // namespace rtp

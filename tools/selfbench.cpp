@@ -145,6 +145,11 @@ main()
     std::string path = dir && *dir
                            ? std::string(dir) + "/bench_selfbench.json"
                            : "bench_selfbench.json";
+    if (!ensureParentDir(path)) {
+        std::fprintf(stderr, "[rtp-selfbench] cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
     if (std::FILE *f = std::fopen(path.c_str(), "w")) {
         const std::string body = os.str();
         std::fwrite(body.data(), 1, body.size(), f);

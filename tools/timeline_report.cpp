@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Summarise a telemetry timeline JSON file emitted by the simulator's
+ * TelemetrySampler (RTP_TELEMETRY=out.json, see docs/observability.md).
+ *
+ * Usage: timeline_report <telemetry.json>
+ *
+ * Counters in the timeline are cumulative at each sample cycle; this
+ * tool differences consecutive samples into per-interval rates and
+ * prints:
+ *   - ASCII sparklines of the headline series (predictor hit rate,
+ *     prediction accuracy, ray-buffer occupancy, RT-unit busy fraction,
+ *     L1/L2 hit rates, DRAM busy fraction, ray completion throughput)
+ *   - predictor warm-up analysis: the cycle at which the interval hit
+ *     rate first reaches 80% of its steady-state (last-half mean) value
+ *   - occupancy dips: intervals whose ray-buffer occupancy falls below
+ *     half the run median, with the concurrent mispredict rate
+ *
+ * Exits 0 on a valid timeline, 1 on malformed input or I/O failure, 2
+ * on usage errors, 3 on a valid timeline that is degraded (the sampler
+ * dropped records, or fewer than 3 samples were taken — too short to
+ * analyse). CI uses the exit code to smoke-test telemetry runs.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using rtp::JsonValue;
+
+/** One aggregated (summed over SMs) sample. */
+struct Row
+{
+    double cycle = 0;
+    double busy = 0, stall = 0;
+    double resident = 0, capacity = 0;
+    double activeWarps = 0, eventDepth = 0, repackDepth = 0;
+    double raysCompleted = 0;
+    double predLookups = 0, predHits = 0;
+    double verified = 0, mispredicted = 0;
+    double l1Hits = 0, l1Misses = 0;
+    double l2Hits = 0, l2Misses = 0;
+    double dramBusyAccum = 0, dramBusySamples = 0, dramNumBanks = 0;
+};
+
+/** NaN marks intervals where a rate's denominator was zero. */
+const double kNone = std::nan("");
+
+bool
+valid(double v)
+{
+    return !std::isnan(v);
+}
+
+/** Per-interval rate series derived from consecutive Rows. */
+struct Series
+{
+    std::string name;
+    std::vector<double> v; //!< one entry per interval; kNone = no data
+    double scaleMax = 1.0; //!< sparkline full-scale (1.0 for ratios)
+};
+
+/** Resample @p v to at most @p width buckets (mean of valid points). */
+std::vector<double>
+resample(const std::vector<double> &v, std::size_t width)
+{
+    if (v.size() <= width)
+        return v;
+    std::vector<double> out(width, kNone);
+    for (std::size_t b = 0; b < width; ++b) {
+        std::size_t lo = b * v.size() / width;
+        std::size_t hi = (b + 1) * v.size() / width;
+        double sum = 0;
+        std::size_t n = 0;
+        for (std::size_t i = lo; i < hi && i < v.size(); ++i) {
+            if (valid(v[i])) {
+                sum += v[i];
+                n++;
+            }
+        }
+        if (n)
+            out[b] = sum / static_cast<double>(n);
+    }
+    return out;
+}
+
+void
+printSparkline(const Series &s)
+{
+    static const char kRamp[] = " .:-=+*#%@";
+    const int kLevels = static_cast<int>(sizeof(kRamp) - 2);
+    std::vector<double> r = resample(s.v, 60);
+    double lo = 0.0, hi = s.scaleMax;
+    if (hi <= 0.0) {
+        // Auto-scale throughput-style series to their own peak.
+        for (double x : r)
+            if (valid(x))
+                hi = std::max(hi, x);
+        if (hi <= 0.0)
+            hi = 1.0;
+    }
+    std::string line;
+    double last = kNone, peak = 0.0;
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (double x : s.v) {
+        if (!valid(x))
+            continue;
+        sum += x;
+        n++;
+        peak = std::max(peak, x);
+        last = x;
+    }
+    for (double x : r) {
+        if (!valid(x)) {
+            line += ' ';
+            continue;
+        }
+        double t = (x - lo) / (hi - lo);
+        int lvl = static_cast<int>(t * kLevels + 0.5);
+        lvl = std::max(0, std::min(kLevels, lvl));
+        line += kRamp[lvl];
+    }
+    std::printf("  %-14s |%s|\n", s.name.c_str(), line.c_str());
+    if (n)
+        std::printf("  %14s  mean=%.3f peak=%.3f final=%.3f "
+                    "(full scale %.3g)\n",
+                    "", sum / static_cast<double>(n), peak, last, hi);
+    else
+        std::printf("  %14s  (no data)\n", "");
+}
+
+double
+fieldOf(const JsonValue &obj, const char *key)
+{
+    return obj.numberAt(key);
+}
+
+/** Median of the valid entries (0 when none). */
+double
+medianOf(const std::vector<double> &v)
+{
+    std::vector<double> s;
+    for (double x : v)
+        if (valid(x))
+            s.push_back(x);
+    if (s.empty())
+        return 0.0;
+    std::sort(s.begin(), s.end());
+    return s[s.size() / 2];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 2) {
+        std::fprintf(stderr, "usage: %s <telemetry.json>\n", argv[0]);
+        return 2;
+    }
+
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "timeline_report: cannot open %s\n",
+                     argv[1]);
+        return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+
+    std::string error;
+    auto root = rtp::parseJson(buf.str(), &error);
+    if (!root || !root->isObject()) {
+        std::fprintf(stderr, "timeline_report: %s: invalid JSON: %s\n",
+                     argv[1], error.c_str());
+        return 1;
+    }
+    const JsonValue *tel = root->find("telemetry");
+    if (!tel || !tel->isObject()) {
+        std::fprintf(stderr,
+                     "timeline_report: %s: missing telemetry object\n",
+                     argv[1]);
+        return 1;
+    }
+    const JsonValue *samples = tel->find("samples");
+    if (!samples || !samples->isArray()) {
+        std::fprintf(stderr,
+                     "timeline_report: %s: missing samples array\n",
+                     argv[1]);
+        return 1;
+    }
+    double period = tel->numberAt("period");
+    double numSms = tel->numberAt("num_sms");
+    double droppedRecords = tel->numberAt("dropped_records");
+
+    // Flatten each sample: sum per-SM counters, keep global ones.
+    std::vector<Row> rows;
+    rows.reserve(samples->array.size());
+    for (const JsonValue &s : samples->array) {
+        if (!s.isObject()) {
+            std::fprintf(stderr,
+                         "timeline_report: %s: sample %zu is not an "
+                         "object\n",
+                         argv[1], rows.size());
+            return 1;
+        }
+        const JsonValue *sms = s.find("sms");
+        const JsonValue *global = s.find("global");
+        if (!sms || !sms->isArray() || !global || !global->isObject()) {
+            std::fprintf(stderr,
+                         "timeline_report: %s: sample %zu lacks "
+                         "sms/global\n",
+                         argv[1], rows.size());
+            return 1;
+        }
+        Row r;
+        r.cycle = s.numberAt("cycle");
+        for (const JsonValue &sm : sms->array) {
+            r.busy += fieldOf(sm, "busy_cycles");
+            r.stall += fieldOf(sm, "stall_cycles");
+            r.resident += fieldOf(sm, "resident_rays");
+            r.capacity += fieldOf(sm, "ray_buffer_capacity");
+            r.activeWarps += fieldOf(sm, "active_warps");
+            r.eventDepth += fieldOf(sm, "event_queue_depth");
+            r.repackDepth += fieldOf(sm, "repack_queue_depth");
+            r.raysCompleted += fieldOf(sm, "rays_completed");
+            r.predLookups += fieldOf(sm, "pred_lookups");
+            r.predHits += fieldOf(sm, "pred_hits");
+            r.verified += fieldOf(sm, "rays_verified");
+            r.mispredicted += fieldOf(sm, "rays_mispredicted");
+            r.l1Hits += fieldOf(sm, "l1_hits");
+            r.l1Misses += fieldOf(sm, "l1_misses");
+        }
+        r.l2Hits = global->numberAt("l2_hits");
+        r.l2Misses = global->numberAt("l2_misses");
+        r.dramBusyAccum = global->numberAt("dram_busy_accum");
+        r.dramBusySamples = global->numberAt("dram_busy_samples");
+        r.dramNumBanks = global->numberAt("dram_num_banks");
+        rows.push_back(r);
+    }
+
+    std::printf("timeline_report: %s\n", argv[1]);
+    std::printf("samples: %zu  period: %.0f cycles  sms: %.0f",
+                rows.size(), period, numSms);
+    if (!rows.empty())
+        std::printf("  span: [%.0f..%.0f]", rows.front().cycle,
+                    rows.back().cycle);
+    std::printf("\n");
+    if (droppedRecords > 0)
+        std::printf("*** WARNING: %.0f samples were dropped (record "
+                    "store full); the timeline tail is missing ***\n",
+                    droppedRecords);
+    if (rows.size() < 3) {
+        std::printf("timeline too short to analyse (need >= 3 "
+                    "samples; raise the workload or lower "
+                    "RTP_TELEMETRY_PERIOD)\n");
+        return 3;
+    }
+
+    // Difference consecutive samples into per-interval rate series.
+    std::size_t n = rows.size() - 1;
+    auto ratio = [](double num, double den) {
+        return den > 0.0 ? num / den : kNone;
+    };
+    Series predRate{"pred hit rate", {}, 1.0};
+    Series accuracy{"pred accuracy", {}, 1.0};
+    Series occupancy{"occupancy", {}, 1.0};
+    Series busyFrac{"busy fraction", {}, 1.0};
+    Series l1Rate{"l1 hit rate", {}, 1.0};
+    Series l2Rate{"l2 hit rate", {}, 1.0};
+    Series dramBusy{"dram busy", {}, 1.0};
+    Series throughput{"rays/kcycle", {}, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+        const Row &a = rows[i];
+        const Row &b = rows[i + 1];
+        double cycles = b.cycle - a.cycle;
+        predRate.v.push_back(ratio(b.predHits - a.predHits,
+                                   b.predLookups - a.predLookups));
+        double verif = b.verified - a.verified;
+        double mispred = b.mispredicted - a.mispredicted;
+        accuracy.v.push_back(ratio(verif, verif + mispred));
+        occupancy.v.push_back(ratio(b.resident, b.capacity));
+        busyFrac.v.push_back(
+            ratio(b.busy - a.busy, cycles * numSms));
+        double l1h = b.l1Hits - a.l1Hits;
+        double l1m = b.l1Misses - a.l1Misses;
+        l1Rate.v.push_back(ratio(l1h, l1h + l1m));
+        double l2h = b.l2Hits - a.l2Hits;
+        double l2m = b.l2Misses - a.l2Misses;
+        l2Rate.v.push_back(ratio(l2h, l2h + l2m));
+        double busyAcc = b.dramBusyAccum - a.dramBusyAccum;
+        double busySamp = b.dramBusySamples - a.dramBusySamples;
+        dramBusy.v.push_back(
+            busySamp > 0.0 && b.dramNumBanks > 0.0
+                ? (busyAcc / busySamp) / b.dramNumBanks
+                : kNone);
+        throughput.v.push_back(
+            cycles > 0.0
+                ? (b.raysCompleted - a.raysCompleted) / cycles * 1000.0
+                : kNone);
+    }
+
+    std::printf("\n== timelines (one column ~ %.0f cycles) ==\n",
+                period * std::max<double>(
+                             1.0, static_cast<double>(n) / 60.0));
+    for (const Series *s :
+         {&predRate, &accuracy, &occupancy, &busyFrac, &l1Rate,
+          &l2Rate, &dramBusy, &throughput})
+        printSparkline(*s);
+
+    // Predictor warm-up: the hit rate climbs from zero (empty table) to
+    // a steady-state plateau as training fills entries. Steady state is
+    // the mean over the last half of the intervals; warm-up ends at the
+    // first interval reaching 80% of it.
+    std::printf("\n== predictor warm-up ==\n");
+    double steady = 0.0;
+    std::size_t steadyN = 0;
+    for (std::size_t i = n / 2; i < n; ++i) {
+        if (valid(predRate.v[i])) {
+            steady += predRate.v[i];
+            steadyN++;
+        }
+    }
+    if (steadyN == 0 || steady <= 0.0) {
+        std::printf("  no predictor activity in the timeline "
+                    "(baseline run or predictor disabled)\n");
+    } else {
+        steady /= static_cast<double>(steadyN);
+        std::size_t warm = n;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (valid(predRate.v[i]) &&
+                predRate.v[i] >= 0.8 * steady) {
+                warm = i;
+                break;
+            }
+        }
+        double firstRate =
+            valid(predRate.v[0]) ? predRate.v[0] : 0.0;
+        std::printf("  steady-state hit rate (last half): %.3f\n",
+                    steady);
+        std::printf("  first-interval hit rate:            %.3f\n",
+                    firstRate);
+        if (warm < n)
+            std::printf("  warm-up ends (80%% of steady): cycle %.0f "
+                        "(interval %zu of %zu)\n",
+                        rows[warm + 1].cycle, warm + 1, n);
+        else
+            std::printf("  hit rate never reached 80%% of "
+                        "steady-state\n");
+    }
+
+    // Occupancy dips: intervals whose occupancy drops below half the
+    // run median, annotated with the concurrent mispredict rate.
+    std::printf("\n== occupancy dips ==\n");
+    double med = medianOf(occupancy.v);
+    std::size_t dips = 0, worst = n;
+    double worstVal = 2.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!valid(occupancy.v[i]) || med <= 0.0)
+            continue;
+        if (occupancy.v[i] < 0.5 * med) {
+            dips++;
+            if (occupancy.v[i] < worstVal) {
+                worstVal = occupancy.v[i];
+                worst = i;
+            }
+        }
+    }
+    std::printf("  median occupancy: %.3f\n", med);
+    if (dips == 0) {
+        std::printf("  no interval fell below half the median\n");
+    } else {
+        std::printf("  %zu of %zu intervals below half the median\n",
+                    dips, n);
+        double mispredRate =
+            valid(accuracy.v[worst]) ? 1.0 - accuracy.v[worst] : 0.0;
+        std::printf("  worst dip: occupancy %.3f at cycle %.0f "
+                    "(interval mispredict rate %.3f)\n",
+                    worstVal, rows[worst + 1].cycle, mispredRate);
+    }
+
+    return droppedRecords > 0 ? 3 : 0;
+}

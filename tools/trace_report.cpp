@@ -15,7 +15,10 @@
  *   - repacker activity (full / timeout / drain flushes)
  *
  * Exits 0 on a valid trace, 1 on malformed input or I/O failure, 2 on
- * usage errors — CI uses the exit code to smoke-test traced runs.
+ * usage errors, 3 on a valid trace whose ring buffer dropped events
+ * (every summary above is then computed from a truncated window and the
+ * oldest — warm-up — events are the ones missing). CI uses the exit
+ * code to smoke-test traced runs.
  */
 
 #include <algorithm>
@@ -221,13 +224,20 @@ main(int argc, char **argv)
     }
 
     const JsonValue *other = root->find("otherData");
+    double dropped = other ? other->numberAt("dropped_events") : 0.0;
     std::printf("trace_report: %s\n", argv[1]);
     std::printf("events: %zu", events->array.size());
     if (other)
         std::printf("  (buffered=%.0f dropped=%.0f)",
-                    other->numberAt("buffered_events"),
-                    other->numberAt("dropped_events"));
+                    other->numberAt("buffered_events"), dropped);
     std::printf("\n");
+    if (dropped > 0.0)
+        std::printf("*** WARNING: the trace ring dropped %.0f events; "
+                    "every summary below is computed from a truncated "
+                    "window (the oldest events are missing). Re-trace "
+                    "with a larger sink capacity or a smaller "
+                    "workload. ***\n",
+                    dropped);
 
     std::printf("\n== warp critical path ==\n");
     std::printf("  dispatches=%llu completed=%zu\n",
@@ -309,5 +319,13 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(flushFull),
                 static_cast<unsigned long long>(flushTimeout),
                 static_cast<unsigned long long>(flushDrain));
+    if (dropped > 0.0) {
+        std::fprintf(stderr,
+                     "trace_report: %s: %.0f events were dropped by "
+                     "the trace ring — summaries above are from a "
+                     "truncated window\n",
+                     argv[1], dropped);
+        return 3;
+    }
     return 0;
 }
