@@ -18,10 +18,16 @@ CombinedRayHasher::hash(const Ray &ray) const
     std::uint32_t g = grid_.hash(ray);
     std::uint32_t t = twoPoint_.hash(ray);
     // Mix the Two Point view in with a 1-bit rotation so identical keys
-    // from the two views do not cancel out.
-    int bits = hashBits();
-    std::uint32_t mask = (1u << bits) - 1;
-    std::uint32_t rot = ((t << 1) | (t >> (bits - 1))) & mask;
+    // from the two views do not cancel out. Shift amounts must stay in
+    // [0, 32): wide configurations reach bits >= 32 (e.g. 11 origin
+    // bits -> 33), where `1u << bits` is undefined, and a 1-bit key
+    // would hit the undefined `t >> -1` besides having nothing to
+    // rotate.
+    int bits = std::min(hashBits(), 32);
+    std::uint32_t mask = bits >= 32 ? ~0u : (1u << bits) - 1;
+    std::uint32_t rot = bits <= 1
+                            ? (t & mask)
+                            : (((t << 1) | (t >> (bits - 1))) & mask);
     return (g ^ rot) & mask;
 }
 

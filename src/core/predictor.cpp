@@ -1,11 +1,36 @@
 #include "core/predictor.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+RayPredictor::checkFinalState(InvariantChecker &check) const
+{
+    std::uint64_t lookups = stats_.get(StatId::Lookups);
+    std::uint64_t predicted = stats_.get(StatId::Predicted);
+    std::uint64_t table_hits = table_.stats().get(StatId::LookupHits);
+    std::uint64_t table_misses =
+        table_.stats().get(StatId::LookupMisses);
+    check.require(lookups == table_hits + table_misses, "RayPredictor",
+                  "every lookup is exactly one table hit or miss", [&] {
+                      return "lookups " + std::to_string(lookups) +
+                             " != table hits " +
+                             std::to_string(table_hits) + " + misses " +
+                             std::to_string(table_misses);
+                  });
+    check.require(predicted == table_hits, "RayPredictor",
+                  "every prediction came from a table hit", [&] {
+                      return "predicted " + std::to_string(predicted) +
+                             " != table hits " +
+                             std::to_string(table_hits);
+                  });
+}
 
 void
 RayPredictor::snapshotInto(TelemetrySmSample &out) const
@@ -62,6 +87,14 @@ RayPredictor::lookupInto(const Ray &ray, Cycle cycle,
         return false;
     }
     ready_cycle = schedulePort(lookupPorts_, cycle);
+    if (check_)
+        check_->require(
+            ready_cycle >= cycle, "RayPredictor",
+            "a lookup result is never ready before it was issued",
+            [&] {
+                return "issued at cycle " + std::to_string(cycle) +
+                       ", ready at " + std::to_string(ready_cycle);
+            });
     stats_.inc(StatId::Lookups);
 
     std::uint32_t h = hasher_.hash(ray);

@@ -24,6 +24,7 @@
 namespace rtp {
 
 struct TelemetrySmSample;
+class InvariantChecker;
 
 /** Predictor unit configuration (Table 3 defaults). */
 struct PredictorConfig
@@ -118,6 +119,30 @@ class RayPredictor
         return table_;
     }
 
+    const PredictorTable &
+    table() const
+    {
+        return table_;
+    }
+
+    /**
+     * Attach an invariant checker (nullptr detaches). Lookups then
+     * verify that timed results never become ready before they were
+     * issued (port scheduling can delay, never time-travel).
+     */
+    void
+    setChecker(InvariantChecker *check)
+    {
+        check_ = check;
+    }
+
+    /**
+     * End-of-run sweep: the unit's counters and the table's must tell
+     * one story — every lookup is exactly one table hit or miss, and
+     * every prediction came from a table hit.
+     */
+    void checkFinalState(InvariantChecker &check) const;
+
     const PredictorConfig &
     config() const
     {
@@ -150,6 +175,7 @@ class RayPredictor
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
+    InvariantChecker *check_ = nullptr;
 };
 
 } // namespace rtp

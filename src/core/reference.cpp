@@ -1,0 +1,100 @@
+#include "core/reference.hpp"
+
+#include "geometry/intersect.hpp"
+
+namespace rtp {
+
+namespace {
+
+/** Test every primitive of leaf @p node against @p ray. For closest-hit
+ *  rays the ray's tMax shrinks as candidates are found. */
+void
+testLeaf(const Bvh &bvh, const std::vector<Triangle> &triangles,
+         const BvhNode &node, Ray &ray, HitRecord &best, bool any_hit)
+{
+    for (std::uint32_t i = 0; i < node.primCount; ++i) {
+        std::uint32_t tri = bvh.primIndices()[node.firstPrim + i];
+        HitRecord h;
+        if (intersectRayTriangle(ray, triangles[tri], h)) {
+            h.prim = tri;
+            best = h;
+            if (any_hit)
+                return;
+            ray.tMax = h.t;
+        }
+    }
+}
+
+/**
+ * Recursive walk from @p node_idx. @p ray is mutated (tMax shrinks on
+ * closest-hit candidates) so deeper recursion prunes against the best
+ * hit so far. @return true when an any-hit ray can stop.
+ */
+bool
+walk(const Bvh &bvh, const std::vector<Triangle> &triangles,
+     std::uint32_t node_idx, Ray &ray, HitRecord &best, bool any_hit)
+{
+    const BvhNode &node = bvh.node(node_idx);
+    if (node.isLeaf()) {
+        testLeaf(bvh, triangles, node, ray, best, any_hit);
+        return any_hit && best.hit;
+    }
+
+    RayBoxPrecomp pre(ray);
+    auto l = static_cast<std::uint32_t>(node.left);
+    auto r = static_cast<std::uint32_t>(node.right);
+    float tl, tr;
+    bool hit_l = intersectRayAabb(ray, pre, bvh.node(l).box, tl);
+    bool hit_r = intersectRayAabb(ray, pre, bvh.node(r).box, tr);
+    if (hit_l && hit_r) {
+        // Near child first, ties to the left — the RT unit's order.
+        std::uint32_t first = tl <= tr ? l : r;
+        std::uint32_t second = tl <= tr ? r : l;
+        if (walk(bvh, triangles, first, ray, best, any_hit))
+            return true;
+        return walk(bvh, triangles, second, ray, best, any_hit);
+    }
+    if (hit_l)
+        return walk(bvh, triangles, l, ray, best, any_hit);
+    if (hit_r)
+        return walk(bvh, triangles, r, ray, best, any_hit);
+    return false;
+}
+
+HitRecord
+trace(const Bvh &bvh, const std::vector<Triangle> &triangles,
+      const Ray &ray, bool any_hit)
+{
+    Ray r = ray;
+    HitRecord best;
+    if (bvh.nodeCount() > 0)
+        walk(bvh, triangles, kBvhRoot, r, best, any_hit);
+    return best;
+}
+
+} // namespace
+
+HitRecord
+referenceAnyHit(const Bvh &bvh, const std::vector<Triangle> &triangles,
+                const Ray &ray)
+{
+    return trace(bvh, triangles, ray, true);
+}
+
+HitRecord
+referenceClosestHit(const Bvh &bvh,
+                    const std::vector<Triangle> &triangles,
+                    const Ray &ray)
+{
+    return trace(bvh, triangles, ray, false);
+}
+
+HitRecord
+referenceTrace(const Bvh &bvh, const std::vector<Triangle> &triangles,
+               const Ray &ray)
+{
+    return trace(bvh, triangles, ray,
+                 ray.kind == RayKind::Occlusion);
+}
+
+} // namespace rtp

@@ -1,11 +1,46 @@
 #include "core/repacker.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+PartialWarpCollector::checkConservation(const char *site) const
+{
+    check_->require(
+        collectedIds_ ==
+            emittedIds_ + droppedIds_ + pending_.size(),
+        "PartialWarpCollector", site, [&] {
+            return "collected " + std::to_string(collectedIds_) +
+                   " != emitted " + std::to_string(emittedIds_) +
+                   " + dropped " + std::to_string(droppedIds_) +
+                   " + pending " + std::to_string(pending_.size());
+        });
+}
+
+void
+PartialWarpCollector::checkFinalState(InvariantChecker &check) const
+{
+    check.require(pending_.empty(), "PartialWarpCollector",
+                  "collector drains fully by end of run", [&] {
+                      return std::to_string(pending_.size()) +
+                             " ray IDs still pending after the last "
+                             "ray completed";
+                  });
+    check.require(droppedIds_ == 0, "PartialWarpCollector",
+                  "no ray ID is ever dropped on overflow", [&] {
+                      return std::to_string(droppedIds_) +
+                             " IDs dropped (capacity " +
+                             std::to_string(config_.capacity) +
+                             ", warp size " +
+                             std::to_string(config_.warpSize) + ")";
+                  });
+}
 
 void
 PartialWarpCollector::snapshotInto(TelemetrySmSample &out) const
@@ -24,8 +59,11 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
         if (pending_.size() <
             static_cast<std::size_t>(config_.capacity)) {
             pending_.push_back(Pending{id, cycle});
+            collectedIds_++;
         } else {
             stats_.inc(StatId::OverflowDrops);
+            collectedIds_++;
+            droppedIds_++;
         }
     }
     stats_.inc(StatId::RaysCollected, ray_ids.size());
@@ -45,12 +83,15 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
             warp.push_back(pending_[i].id);
         pending_.erase(pending_.begin(),
                        pending_.begin() + config_.warpSize);
+        emittedIds_ += config_.warpSize;
         warps.push_back(std::move(warp));
         stats_.inc(StatId::FullWarpsFormed);
         if (trace_)
             trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 0, 0, config_.warpSize});
     }
+    if (check_)
+        checkConservation("add() conserves ray IDs");
     return warps;
 }
 
@@ -64,10 +105,13 @@ PartialWarpCollector::flushIfExpired(Cycle cycle)
     for (const Pending &p : pending_)
         warp.push_back(p.id);
     pending_.clear();
+    emittedIds_ += warp.size();
     stats_.inc(StatId::TimeoutFlushes);
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                       traceUnit_, 1, 0, warp.size()});
+    if (check_)
+        checkConservation("flushIfExpired() conserves ray IDs");
     return warp;
 }
 
@@ -82,12 +126,15 @@ PartialWarpCollector::flushAll()
     for (const Pending &p : pending_)
         warp.push_back(p.id);
     pending_.clear();
+    emittedIds_ += warp.size();
     if (!warp.empty()) {
         stats_.inc(StatId::DrainFlushes);
         if (trace_)
             trace_->emit({at, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 2, 0, warp.size()});
     }
+    if (check_)
+        checkConservation("flushAll() conserves ray IDs");
     return warp;
 }
 

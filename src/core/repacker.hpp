@@ -21,6 +21,7 @@
 namespace rtp {
 
 struct TelemetrySmSample;
+class InvariantChecker;
 
 /** Collector configuration. */
 struct RepackerConfig
@@ -93,6 +94,25 @@ class PartialWarpCollector
     }
 
     /**
+     * Attach an invariant checker (nullptr detaches). Every add/flush
+     * then re-verifies ray conservation: IDs in == IDs out + IDs
+     * pending, i.e. the repacker neither drops nor duplicates rays.
+     */
+    void
+    setChecker(InvariantChecker *check)
+    {
+        check_ = check;
+    }
+
+    /**
+     * End-of-run sweep: the collector must be empty (with zero rays
+     * remaining, pending IDs could never complete) and must never have
+     * dropped an ID on overflow (a dropped ID is a ray that hangs the
+     * simulation when capacity is tight).
+     */
+    void checkFinalState(InvariantChecker &check) const;
+
+    /**
      * Telemetry probe: record the instantaneous collector queue depth
      * into the owning SM's sample row. Pure observer.
      */
@@ -112,11 +132,20 @@ class PartialWarpCollector
         Cycle addedAt;
     };
 
+    void checkConservation(const char *site) const;
+
     RepackerConfig config_;
     std::deque<Pending> pending_;
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
+    InvariantChecker *check_ = nullptr;
+    // Conservation ledger: plain members, not StatGroup counters, so
+    // the stats JSON stays byte-identical with checking off (the
+    // zero-perturbation contract). Cheap enough to maintain always.
+    std::uint64_t collectedIds_ = 0; //!< IDs accepted into pending_
+    std::uint64_t emittedIds_ = 0;   //!< IDs handed out in warps
+    std::uint64_t droppedIds_ = 0;   //!< IDs lost to overflow
 };
 
 } // namespace rtp

@@ -1,13 +1,20 @@
 #include "energy/energy_model.hpp"
 
+#include <string>
+
 namespace rtp {
 
 EnergyBreakdown
 computeEnergy(const SimResult &result, std::uint32_t num_sms,
               const EnergyParams &params)
 {
+    // Read counters through StatId (and build the prefixed memStats
+    // keys from statName) rather than raw string literals: enum reads
+    // are O(1) array lookups, and a counter rename can no longer leave
+    // a stale string here silently returning 0 — it either tracks the
+    // enum or fails to compile.
     EnergyBreakdown b;
-    std::uint64_t rays = result.stats.get("rays_completed");
+    std::uint64_t rays = result.stats.get(StatId::RaysCompleted);
     if (rays == 0)
         return b;
     double inv_rays = 1.0 / static_cast<double>(rays);
@@ -17,11 +24,16 @@ computeEnergy(const SimResult &result, std::uint32_t num_sms,
     // requests still deliver data to every consuming thread, so the
     // SRAM read-out and wire energy scale with fetches, not with the
     // deduplicated request count.
-    double l1 = static_cast<double>(result.stats.get("ray_node_fetches") +
-                                    result.stats.get("ray_tri_fetches"));
-    double l2 = static_cast<double>(result.memStats.get("l2.hits") +
-                                    result.memStats.get("l2.misses"));
-    double dram = static_cast<double>(result.memStats.get("dram.accesses"));
+    double l1 = static_cast<double>(
+        result.stats.get(StatId::RayNodeFetches) +
+        result.stats.get(StatId::RayTriFetches));
+    double l2 = static_cast<double>(
+        result.memStats.get(std::string("l2.") +
+                            statName(StatId::Hits)) +
+        result.memStats.get(std::string("l2.") +
+                            statName(StatId::Misses)));
+    double dram = static_cast<double>(result.memStats.get(
+        std::string("dram.") + statName(StatId::Accesses)));
     double cycles = static_cast<double>(result.cycles) * num_sms;
     b.baseGpu = (cycles * params.coreCyclePerSm + l1 * params.l1Access +
                  l2 * params.l2Access + dram * params.dramAccess) *
@@ -29,36 +41,37 @@ computeEnergy(const SimResult &result, std::uint32_t num_sms,
 
     // Predictor table: lookups + training updates.
     double pred_accesses =
-        static_cast<double>(result.stats.get("lookups") +
-                            result.stats.get("trained"));
+        static_cast<double>(result.stats.get(StatId::Lookups) +
+                            result.stats.get(StatId::Trained));
     b.predictorTable = pred_accesses * params.predictorAccess * inv_rays;
 
     // Warp repacking: collector traffic plus the extra ray buffer reads
     // when repacked warps re-index their rays.
     double collected =
-        static_cast<double>(result.stats.get("rays_collected"));
+        static_cast<double>(result.stats.get(StatId::RaysCollected));
     double repacked_reads =
-        static_cast<double>(result.stats.get("rays_predicted"));
+        static_cast<double>(result.stats.get(StatId::RaysPredicted));
     b.warpRepacking = (collected * params.collectorAccess +
                        repacked_reads * params.rayBufferAccess) *
                       inv_rays;
 
     // Traversal stack: roughly one push+pop pair per fetched node.
     double stack_ops =
-        static_cast<double>(result.stats.get("ray_node_fetches") +
-                            result.stats.get("ray_tri_fetches")) *
+        static_cast<double>(result.stats.get(StatId::RayNodeFetches) +
+                            result.stats.get(StatId::RayTriFetches)) *
         2.0;
     b.traversalStack = stack_ops * params.stackAccess * inv_rays;
 
     // Ray buffer: one read per issued fetch, one write per result.
     double buffer_ops =
-        static_cast<double>(result.stats.get("ray_node_fetches") +
-                            result.stats.get("ray_tri_fetches") + rays);
+        static_cast<double>(result.stats.get(StatId::RayNodeFetches) +
+                            result.stats.get(StatId::RayTriFetches) +
+                            rays);
     b.rayBuffer = buffer_ops * params.rayBufferAccess * inv_rays;
 
     // Intersection units.
-    double box = static_cast<double>(result.stats.get("box_tests"));
-    double tri = static_cast<double>(result.stats.get("tri_tests"));
+    double box = static_cast<double>(result.stats.get(StatId::BoxTests));
+    double tri = static_cast<double>(result.stats.get(StatId::TriTests));
     b.rayIntersections =
         (box * params.boxTest + tri * params.triTest) * inv_rays;
 

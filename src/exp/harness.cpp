@@ -10,6 +10,7 @@
 #include <system_error>
 #include <utility>
 
+#include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -69,7 +70,26 @@ makePoint(const Workload &w, const SimConfig &config, bool sorted)
 std::vector<SimResult>
 runSimPoints(const std::vector<SimPoint> &points, const char *label)
 {
+    // RTP_CHECK=1: run every sweep point under the invariant checker
+    // and the per-ray reference oracle (util/check.hpp,
+    // docs/validation.md). One stack-local checker per point keeps the
+    // single-threaded checker contract under the parallel sweep. A
+    // violation throws InvariantViolation and aborts the bench — the
+    // point of the flag is that CI fails loudly, so no recovery is
+    // attempted. Checked results are byte-identical to unchecked ones;
+    // only wall-clock time changes.
+    static const bool check_enabled = [] {
+        const char *c = std::getenv("RTP_CHECK");
+        return c && *c && std::strcmp(c, "0") != 0;
+    }();
     auto run = [](const SimPoint &p) {
+        if (check_enabled) {
+            InvariantChecker check;
+            SimConfig config = p.config;
+            config.check = &check;
+            return Simulation(config, *p.bvh, *p.triangles)
+                .run(*p.rays);
+        }
         return Simulation(p.config, *p.bvh, *p.triangles).run(*p.rays);
     };
 

@@ -89,6 +89,77 @@ SimConfig::validate(const Bvh &bvh) const
 }
 
 std::string
+configToJson(const SimConfig &config)
+{
+    auto cache = [](std::ostringstream &os, const CacheConfig &c) {
+        os << "{\"size_bytes\":" << c.sizeBytes
+           << ",\"line_bytes\":" << c.lineBytes << ",\"ways\":" << c.ways
+           << ",\"hit_latency\":" << c.hitLatency << "}";
+    };
+    std::ostringstream os;
+    os << "{\"num_sms\":" << config.numSms;
+    os << ",\"rt\":{\"warp_size\":" << config.rt.warpSize
+       << ",\"max_warps\":" << config.rt.maxWarps
+       << ",\"additional_warps\":" << config.rt.additionalWarps
+       << ",\"stack_entries\":" << config.rt.stackEntries
+       << ",\"l1_ports_per_cycle\":" << config.rt.l1PortsPerCycle
+       << ",\"queue_latency\":" << config.rt.queueLatency
+       << ",\"box_test_latency\":" << config.rt.isect.boxTestLatency
+       << ",\"tri_test_latency\":" << config.rt.isect.triTestLatency
+       << ",\"repack_enabled\":"
+       << (config.rt.repackEnabled ? "true" : "false")
+       << ",\"repacker\":{\"warp_size\":" << config.rt.repacker.warpSize
+       << ",\"capacity\":" << config.rt.repacker.capacity
+       << ",\"timeout\":" << config.rt.repacker.timeout << "}"
+       << ",\"event_queue\":\""
+       << (config.rt.eventQueue == EventQueueImpl::Calendar
+               ? "calendar"
+               : "legacy_heap")
+       << "\"}";
+    const PredictorConfig &p = config.predictor;
+    os << ",\"predictor\":{\"enabled\":"
+       << (p.enabled ? "true" : "false")
+       << ",\"go_up_level\":" << p.goUpLevel
+       << ",\"access_ports\":" << p.accessPorts
+       << ",\"access_latency\":" << p.accessLatency
+       << ",\"hash\":{\"function\":\""
+       << (p.hash.function == HashFunction::GridSpherical
+               ? "grid_spherical"
+               : "two_point")
+       << "\",\"origin_bits\":" << p.hash.originBits
+       << ",\"direction_bits\":" << p.hash.directionBits
+       << ",\"length_ratio\":" << p.hash.lengthRatio << "}"
+       << ",\"table\":{\"num_entries\":" << p.table.numEntries
+       << ",\"ways\":" << p.table.ways
+       << ",\"nodes_per_entry\":" << p.table.nodesPerEntry
+       << ",\"node_replacement\":\""
+       << (p.table.nodeReplacement == NodeReplacement::LRU
+               ? "lru"
+               : p.table.nodeReplacement == NodeReplacement::LFU
+                     ? "lfu"
+                     : "lruk")
+       << "\",\"lru_k\":" << p.table.lruK
+       << ",\"node_bits\":" << p.table.nodeBits << "}}";
+    const MemoryConfig &m = config.memory;
+    os << ",\"memory\":{\"l1\":";
+    cache(os, m.l1);
+    os << ",\"l2\":";
+    cache(os, m.l2);
+    os << ",\"l1_to_l2_latency\":" << m.l1ToL2Latency
+       << ",\"l2_to_dram_latency\":" << m.l2ToDramLatency
+       << ",\"l2_enabled\":" << (m.l2Enabled ? "true" : "false")
+       << ",\"dram\":{\"num_banks\":" << m.dram.numBanks
+       << ",\"row_bytes\":" << m.dram.rowBytes
+       << ",\"row_hit_latency\":" << m.dram.rowHitLatency
+       << ",\"row_miss_latency\":" << m.dram.rowMissLatency
+       << ",\"burst_occupancy\":" << m.dram.burstOccupancy
+       << ",\"queue_capacity\":" << m.dram.queueCapacity
+       << ",\"queue_penalty\":" << m.dram.queuePenalty << "}}";
+    os << "}";
+    return os.str();
+}
+
+std::string
 describe(const SimConfig &config)
 {
     std::ostringstream os;

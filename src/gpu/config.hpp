@@ -17,6 +17,7 @@ namespace rtp {
 
 class TraceSink;
 class TelemetrySampler;
+class InvariantChecker;
 class Bvh;
 
 /** Full simulation configuration. */
@@ -47,6 +48,20 @@ struct SimConfig
      */
     TelemetrySampler *telemetry = nullptr;
 
+    /**
+     * Optional invariant checker (not owned; nullptr = checking off).
+     * Attached to every component before the event loop runs; probes
+     * then enforce conservation laws at event boundaries, the driver
+     * runs an end-of-run accounting sweep, and every completed ray is
+     * cross-checked against the recursive reference-traversal oracle
+     * (core/reference.hpp). Violations throw InvariantViolation with a
+     * full context dump. Same pure-observer contract as trace and
+     * telemetry: simulated cycles, statistics, and per-ray results are
+     * byte-identical with and without a checker. Single-threaded — at
+     * most one simulate() call per checker at a time.
+     */
+    InvariantChecker *check = nullptr;
+
     /** The baseline (Table 2/3) configuration with the predictor on. */
     static SimConfig proposed();
 
@@ -71,5 +86,13 @@ struct SimConfig
 
 /** One-line summary of a configuration (for bench/table headers). */
 std::string describe(const SimConfig &config);
+
+/**
+ * Serialize every simulated knob of @p config as one deterministic JSON
+ * object (observer pointers are omitted). tools/simfuzz prints this as
+ * part of a failure reproducer so a failing sweep point can be rebuilt
+ * exactly without re-deriving it from the seed.
+ */
+std::string configToJson(const SimConfig &config);
 
 } // namespace rtp

@@ -1,0 +1,117 @@
+#include "gpu/differential.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "core/reference.hpp"
+#include "util/check.hpp"
+
+namespace rtp {
+
+namespace {
+
+std::uint32_t
+floatBits(float f)
+{
+    std::uint32_t u;
+    std::memcpy(&u, &f, sizeof u);
+    return u;
+}
+
+std::string
+describeRay(const Ray &ray, std::size_t index)
+{
+    return "ray " + std::to_string(index) + " (" +
+           (ray.kind == RayKind::Occlusion ? "occlusion"
+                                           : "closest-hit") +
+           ")";
+}
+
+} // namespace
+
+void
+checkAgainstReference(InvariantChecker &check, const Bvh &bvh,
+                      const std::vector<Triangle> &triangles,
+                      const std::vector<Ray> &rays,
+                      const std::vector<RayResult> &results)
+{
+    for (std::size_t i = 0; i < rays.size(); ++i) {
+        const Ray &ray = rays[i];
+        const RayResult &sim = results[i];
+        HitRecord ref = referenceTrace(bvh, triangles, ray);
+        check.require(sim.hit == ref.hit, "ReferenceOracle",
+                      "simulated visibility matches the recursive "
+                      "reference traversal",
+                      [&] {
+                          return describeRay(ray, i) + ": simulated " +
+                                 (sim.hit ? "hit" : "miss") +
+                                 ", reference " +
+                                 (ref.hit ? "hit" : "miss");
+                      });
+        if (ray.kind != RayKind::Occlusion && sim.hit) {
+            check.require(
+                floatBits(sim.t) == floatBits(ref.t), "ReferenceOracle",
+                "simulated closest-hit distance matches the reference "
+                "bitwise",
+                [&] {
+                    return describeRay(ray, i) + ": simulated t " +
+                           std::to_string(sim.t) + ", reference t " +
+                           std::to_string(ref.t);
+                });
+        }
+    }
+}
+
+DifferentialReport
+runDifferential(const SimConfig &config, const Bvh &bvh,
+                const std::vector<Triangle> &triangles,
+                const std::vector<Ray> &rays)
+{
+    InvariantChecker local;
+    InvariantChecker *check = config.check ? config.check : &local;
+
+    SimConfig on = config;
+    on.predictor.enabled = true;
+    on.check = check;
+    SimConfig off = config;
+    off.predictor.enabled = false;
+    off.rt.repackEnabled = false;
+    off.check = check;
+
+    SimResult res_on = Simulation(on, bvh, triangles).run(rays);
+    SimResult res_off = Simulation(off, bvh, triangles).run(rays);
+
+    for (std::size_t i = 0; i < rays.size(); ++i) {
+        const RayResult &a = res_on.rayResults[i];
+        const RayResult &b = res_off.rayResults[i];
+        check->require(a.hit == b.hit, "Differential",
+                       "predictor on/off agree on per-ray visibility",
+                       [&] {
+                           return describeRay(rays[i], i) +
+                                  ": predictor-on " +
+                                  (a.hit ? "hit" : "miss") +
+                                  ", predictor-off " +
+                                  (b.hit ? "hit" : "miss");
+                       });
+        if (rays[i].kind != RayKind::Occlusion && a.hit) {
+            check->require(
+                floatBits(a.t) == floatBits(b.t), "Differential",
+                "predictor on/off agree bitwise on the hit distance",
+                [&] {
+                    return describeRay(rays[i], i) +
+                           ": predictor-on t " + std::to_string(a.t) +
+                           ", predictor-off t " + std::to_string(b.t);
+                });
+        }
+    }
+
+    DifferentialReport report;
+    report.rays = rays.size();
+    report.cyclesOn = res_on.cycles;
+    report.cyclesOff = res_off.cycles;
+    report.predictedRate = res_on.predictedRate();
+    report.checksRun = check->checksRun();
+    return report;
+}
+
+} // namespace rtp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Differential correctness checks over whole simulation runs.
+ *
+ * Two complementary oracles (see docs/validation.md):
+ *
+ * 1. checkAgainstReference — compare every completed ray's result
+ *    against the recursive reference traversal (core/reference.hpp).
+ *    Occlusion rays must agree on the hit flag; closest-hit rays must
+ *    agree on the hit flag and bitwise on the hit distance (the strict
+ *    t < tMax rejection in geometry/intersect.cpp makes the closest-hit
+ *    distance traversal-order independent, so exact equality is the
+ *    correct expectation, not a tolerance).
+ *
+ * 2. runDifferential — run the same workload with the predictor on and
+ *    off and assert byte-identical per-ray visibility. The predictor is
+ *    a performance mechanism: predictions only reorder traversal
+ *    (verified rays skip to a subtree, mispredictions restart from the
+ *    root), so any visibility difference is a correctness bug by
+ *    construction.
+ *
+ * Violations throw InvariantViolation with the offending ray's index
+ * and the disagreeing values.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "gpu/simulator.hpp"
+
+namespace rtp {
+
+class InvariantChecker;
+
+/**
+ * Cross-check every ray's simulated result against the reference
+ * oracle. @p results is indexed like @p rays (the submitted order).
+ */
+void checkAgainstReference(InvariantChecker &check, const Bvh &bvh,
+                           const std::vector<Triangle> &triangles,
+                           const std::vector<Ray> &rays,
+                           const std::vector<RayResult> &results);
+
+/** Summary of one predictor-on vs predictor-off differential run. */
+struct DifferentialReport
+{
+    std::size_t rays = 0;
+    Cycle cyclesOn = 0;        //!< completion cycle, predictor on
+    Cycle cyclesOff = 0;       //!< completion cycle, predictor off
+    double predictedRate = 0.0; //!< fraction of rays predicted (on run)
+    std::uint64_t checksRun = 0; //!< probes executed across both runs
+};
+
+/**
+ * Run @p rays twice through @p config — once with the predictor enabled
+ * and once disabled (repacking off too; it only acts on predicted rays)
+ * — with the invariant checker and per-ray oracle attached to both
+ * runs, then assert the two runs produced byte-identical per-ray
+ * visibility. Uses config.check when set, else a run-local checker.
+ * @throws InvariantViolation on the first disagreeing ray.
+ */
+DifferentialReport runDifferential(const SimConfig &config,
+                                   const Bvh &bvh,
+                                   const std::vector<Triangle> &triangles,
+                                   const std::vector<Ray> &rays);
+
+} // namespace rtp

@@ -1,5 +1,7 @@
 #include "gpu/simulator.hpp"
 
+#include "gpu/differential.hpp"
+#include "util/check.hpp"
 #include "util/telemetry.hpp"
 
 #include <algorithm>
@@ -97,7 +99,8 @@ SimResult
 runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
              const std::vector<RayPredictor *> &predictors,
              MemorySystem &mem, const std::vector<Ray> &rays,
-             const SimConfig &config)
+             const SimConfig &config, const Bvh &bvh,
+             const std::vector<Triangle> &triangles)
 {
     // Round-robin warp-sized chunks across SMs, preserving intra-chunk
     // ray order (consecutive rays share a warp, like consecutive
@@ -122,6 +125,17 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
             if (predictors[s])
                 predictors[s]->setTraceSink(
                     config.trace, static_cast<std::uint16_t>(s));
+        }
+    }
+    InvariantChecker *check = config.check;
+    if (check) {
+        check->setContext(describe(config) + ", " +
+                          std::to_string(rays.size()) + " rays");
+        mem.setChecker(check);
+        for (std::uint32_t s = 0; s < num_sms; ++s) {
+            units[s]->setChecker(check);
+            if (predictors[s])
+                predictors[s]->setChecker(check);
         }
     }
     TelemetrySampler *telemetry = config.telemetry;
@@ -234,6 +248,17 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
     result.avgBusyBanks = mem.dram().avgBusyBanks();
     if (telemetry)
         telemetry->finish(result.cycles);
+    if (check) {
+        // End-of-run accounting sweep, then the per-ray oracle: every
+        // completed ray must agree with the recursive reference
+        // traversal (occlusion: hit flag; closest-hit: flag + bitwise
+        // distance).
+        for (std::uint32_t s = 0; s < num_sms; ++s)
+            units[s]->checkFinalState(*check);
+        mem.checkFinalState(*check);
+        checkAgainstReference(*check, bvh, triangles, rays,
+                              result.rayResults);
+    }
     return result;
 }
 
@@ -334,7 +359,8 @@ Simulation::run(const std::vector<Ray> &rays)
     for (std::uint32_t i = 0; i < config_.numSms; ++i)
         units.push_back(std::make_unique<RtUnit>(
             config_.rt, *bvh_, *triangles_, mem, i, preds[i]));
-    return runEventLoop(units, preds, mem, rays, config_);
+    return runEventLoop(units, preds, mem, rays, config_, *bvh_,
+                        *triangles_);
 }
 
 SimResult

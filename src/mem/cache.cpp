@@ -1,10 +1,55 @@
 #include "mem/cache.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "util/check.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+CacheModel::checkAccess(const CacheAccess &res, Cycle cycle)
+{
+    accessesChecked_++;
+    check_->require(!(res.hit && res.merged), "CacheModel",
+                    "an access is never both a hit and an MSHR merge",
+                    [&] { return "cache " + config_.name; });
+    check_->require(
+        res.readyCycle >= cycle, "CacheModel",
+        "data is never ready before the access issued", [&] {
+            return "cache " + config_.name + ": issued at cycle " +
+                   std::to_string(cycle) + ", ready at " +
+                   std::to_string(res.readyCycle);
+        });
+}
+
+void
+CacheModel::checkFinalState(InvariantChecker &check) const
+{
+    std::uint64_t hits = stats_.get(StatId::Hits);
+    std::uint64_t merges = stats_.get(StatId::MshrMerges);
+    std::uint64_t misses = stats_.get(StatId::Misses);
+    check.require(
+        hits + merges + misses == accessesChecked_, "CacheModel",
+        "every access is exactly one hit, MSHR merge, or miss", [&] {
+            return "cache " + config_.name + ": hits " +
+                   std::to_string(hits) + " + merges " +
+                   std::to_string(merges) + " + misses " +
+                   std::to_string(misses) + " != accesses " +
+                   std::to_string(accessesChecked_);
+        });
+    std::uint64_t bypasses = stats_.get(StatId::InflightBypasses);
+    std::uint64_t evictions = stats_.get(StatId::Evictions);
+    check.require(bypasses + evictions <= misses, "CacheModel",
+                  "bypasses and evictions are disjoint kinds of miss",
+                  [&] {
+                      return "cache " + config_.name + ": bypasses " +
+                             std::to_string(bypasses) + " + evictions " +
+                             std::to_string(evictions) + " > misses " +
+                             std::to_string(misses);
+                  });
+}
 
 CacheModel::CacheModel(CacheConfig config) : config_(std::move(config))
 {
@@ -88,6 +133,8 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
                               traceUnit_, traceLevel_, addr,
                               config_.hitLatency});
         }
+        if (check_)
+            checkAccess(res, cycle);
         return res;
     }
 
@@ -126,6 +173,8 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
                           fill_ready - cycle});
         CacheAccess res;
         res.readyCycle = fill_ready + config_.hitLatency;
+        if (check_)
+            checkAccess(res, cycle);
         return res;
     }
 
@@ -146,6 +195,8 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
 
     CacheAccess res;
     res.readyCycle = l.readyAt + config_.hitLatency;
+    if (check_)
+        checkAccess(res, cycle);
     return res;
 }
 

@@ -29,6 +29,7 @@
 namespace rtp {
 
 class TraceSink;
+class InvariantChecker;
 
 /** Cycle count type used by all timing models. */
 using Cycle = std::uint64_t;
@@ -168,6 +169,27 @@ class CacheModel
     /** Empty the cache (keeps statistics). */
     void reset();
 
+    /**
+     * Attach an invariant checker (nullptr detaches). Every access then
+     * verifies per-access sanity (an access is never both a hit and an
+     * MSHR merge; data is never ready before the access issued), and
+     * the checker counts accesses so the end-of-run sweep can balance
+     * the books.
+     */
+    void
+    setChecker(InvariantChecker *check)
+    {
+        check_ = check;
+        accessesChecked_ = 0;
+    }
+
+    /**
+     * End-of-run sweep: every access must be accounted exactly once as
+     * a hit, an MSHR merge, or a miss, and secondary counters must stay
+     * within their parents (bypasses and evictions are kinds of miss).
+     */
+    void checkFinalState(InvariantChecker &check) const;
+
   private:
     /** Sentinel for "no way" in the intrusive LRU links. */
     static constexpr std::uint32_t kNoWay = ~0u;
@@ -202,10 +224,14 @@ class CacheModel
     std::uint32_t numSets_ = 1;
     std::uint32_t waysPerSet_ = 1;
     std::vector<Set> sets_;
+    void checkAccess(const CacheAccess &res, Cycle cycle);
+
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
     std::uint16_t traceLevel_ = 0;
+    InvariantChecker *check_ = nullptr;
+    std::uint64_t accessesChecked_ = 0; //!< only counted while checking
 };
 
 } // namespace rtp

@@ -55,6 +55,23 @@ MemorySystem::setTraceSink(TraceSink *sink)
 }
 
 void
+MemorySystem::setChecker(InvariantChecker *check)
+{
+    for (auto &l1 : l1s_)
+        l1->setChecker(check);
+    l2_->setChecker(check);
+}
+
+void
+MemorySystem::checkFinalState(InvariantChecker &check) const
+{
+    for (const auto &l1 : l1s_)
+        l1->checkFinalState(check);
+    if (config_.l2Enabled)
+        l2_->checkFinalState(check);
+}
+
+void
 MemorySystem::snapshotInto(TelemetryGlobalSample &out, Cycle at) const
 {
     l2_->snapshotInto(out.l2_hits, out.l2_misses, out.l2_mshr_merges);

@@ -96,6 +96,15 @@ class MemorySystem
     void setTraceSink(TraceSink *sink);
 
     /**
+     * Attach an invariant checker to every cache level (nullptr
+     * detaches); see CacheModel::setChecker.
+     */
+    void setChecker(InvariantChecker *check);
+
+    /** End-of-run sweep over every L1 and the L2 (when enabled). */
+    void checkFinalState(InvariantChecker &check) const;
+
+    /**
      * Telemetry probe: fill the shared-memory portion of @p out (the
      * L2's cumulative counters plus the DRAM probe at cycle @p at).
      * Per-SM L1s are sampled through RtUnit::snapshotInto. Pure

@@ -2,8 +2,25 @@
 
 #include <algorithm>
 #include <bit>
+#include <string>
+
+#include "util/check.hpp"
 
 namespace rtp {
+
+void
+EventQueue::checkPop(const RtEvent &ev)
+{
+    check_->require(
+        ev.cycle >= lastPopCycle_, "EventQueue",
+        "popped event cycles are monotonically non-decreasing", [&] {
+            return "popped cycle " + std::to_string(ev.cycle) +
+                   " after cycle " + std::to_string(lastPopCycle_) +
+                   " (order " + std::to_string(ev.order) + ", " +
+                   std::to_string(size_) + " events remain)";
+        });
+    lastPopCycle_ = ev.cycle;
+}
 
 EventQueue::EventQueue(EventQueueImpl impl) : impl_(impl)
 {
@@ -130,6 +147,8 @@ EventQueue::pop()
         RtEvent ev = heap_.top();
         heap_.pop();
         size_--;
+        if (check_)
+            checkPop(ev);
         return ev;
     }
 
@@ -174,6 +193,8 @@ EventQueue::pop()
             if (ev.cycle > base_)
                 base_ = ev.cycle; // still <= every remaining event
             size_--;
+            if (check_)
+                checkPop(ev);
             return ev;
         }
     }
@@ -183,6 +204,8 @@ EventQueue::pop()
     if (bucket.empty())
         occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     size_--;
+    if (check_)
+        checkPop(ev);
     return ev;
 }
 

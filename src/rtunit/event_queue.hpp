@@ -30,6 +30,8 @@
 
 namespace rtp {
 
+class InvariantChecker;
+
 /** What a popped RT unit event means. */
 enum class RtEventKind : std::uint8_t
 {
@@ -91,6 +93,17 @@ class EventQueue
     /** Remove and return the minimum (cycle, order) event. */
     RtEvent pop();
 
+    /**
+     * Attach an invariant checker (nullptr detaches). The queue then
+     * verifies on every pop that event cycles never move backwards —
+     * the total-order guarantee the whole simulation rests on.
+     */
+    void
+    setChecker(InvariantChecker *check)
+    {
+        check_ = check;
+    }
+
   private:
     /** Ring capacity; one simulated cycle per bucket. Power of two. */
     static constexpr std::size_t kBuckets = 1024;
@@ -100,9 +113,12 @@ class EventQueue
     std::size_t firstOccupiedFrom(std::size_t start_idx) const;
     RtEvent takeMinFrom(std::vector<RtEvent> &bucket);
     void migrateOverflow();
+    void checkPop(const RtEvent &ev);
 
     EventQueueImpl impl_;
     std::size_t size_ = 0;
+    InvariantChecker *check_ = nullptr;
+    Cycle lastPopCycle_ = 0; //!< only maintained while check_ is set
 
     // --- Calendar state ---
     std::vector<std::vector<RtEvent>> buckets_{kBuckets};

@@ -1,7 +1,10 @@
 #include "rtunit/ray_buffer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+
+#include "util/check.hpp"
 
 namespace rtp {
 
@@ -56,7 +59,51 @@ RayBuffer::allocate(const Ray &ray, std::uint32_t global_id,
 void
 RayBuffer::release(std::uint32_t idx)
 {
+    if (check_) {
+        check_->require(idx < slots_.size(), "RayBuffer",
+                        "released slot index is within capacity", [&] {
+                            return "slot " + std::to_string(idx) +
+                                   ", capacity " +
+                                   std::to_string(slots_.size());
+                        });
+        check_->require(
+            std::find(freeList_.begin(), freeList_.end(), idx) ==
+                freeList_.end(),
+            "RayBuffer", "a slot is never released twice", [&] {
+                return "slot " + std::to_string(idx) +
+                       " already on the free list (" +
+                       std::to_string(freeList_.size()) + " of " +
+                       std::to_string(slots_.size()) + " slots free)";
+            });
+    }
     freeList_.push_back(idx);
+}
+
+void
+RayBuffer::checkFinalState(InvariantChecker &check) const
+{
+    check.require(freeList_.size() == slots_.size(), "RayBuffer",
+                  "all slots are free once every ray has retired", [&] {
+                      return std::to_string(freeList_.size()) + " of " +
+                             std::to_string(slots_.size()) +
+                             " slots free (leaked slot = a ray that "
+                             "completed without releasing its entry)";
+                  });
+    std::vector<std::uint32_t> sorted = freeList_;
+    std::sort(sorted.begin(), sorted.end());
+    bool unique_in_range = true;
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i] != i) {
+            unique_in_range = false;
+            break;
+        }
+    }
+    check.require(unique_in_range, "RayBuffer",
+                  "the free list holds each slot index exactly once",
+                  [&] {
+                      return "free list is not a permutation of [0, " +
+                             std::to_string(slots_.size()) + ")";
+                  });
 }
 
 } // namespace rtp

@@ -20,6 +20,8 @@
 
 namespace rtp {
 
+class InvariantChecker;
+
 /** Traversal phase of a resident ray. */
 enum class RayPhase : std::uint8_t
 {
@@ -107,9 +109,29 @@ class RayBuffer
         return slots_[idx];
     }
 
+    /**
+     * Attach an invariant checker (nullptr detaches). Every release()
+     * then scans the free list for double-frees and out-of-range slot
+     * indices — the two corruptions that silently shrink or alias the
+     * resident-ray pool.
+     */
+    void
+    setChecker(InvariantChecker *check)
+    {
+        check_ = check;
+    }
+
+    /**
+     * End-of-run sweep: with all rays retired, every slot must be back
+     * on the free list exactly once. Catches leaked slots that a run
+     * with spare capacity would otherwise absorb without hanging.
+     */
+    void checkFinalState(InvariantChecker &check) const;
+
   private:
     std::vector<RayEntry> slots_;
     std::vector<std::uint32_t> freeList_;
+    InvariantChecker *check_ = nullptr;
 };
 
 } // namespace rtp

@@ -6,10 +6,79 @@
 #include <string>
 
 #include "geometry/intersect.hpp"
+#include "util/check.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+RtUnit::setChecker(InvariantChecker *check)
+{
+    check_ = check;
+    buffer_.setChecker(check);
+    events_.setChecker(check);
+    collector_.setChecker(check);
+}
+
+void
+RtUnit::checkCompletedRay(const RayEntry &e) const
+{
+    check_->require(!(e.verified && e.mispredicted), "RtUnit",
+                    "a ray is never both verified and mispredicted",
+                    [&] { return "global ray " +
+                                 std::to_string(e.globalId); });
+    check_->require(
+        !(e.verified || e.mispredicted) || e.predicted, "RtUnit",
+        "only a predicted ray can be verified or mispredicted",
+        [&] { return "global ray " + std::to_string(e.globalId); });
+    check_->require(!e.hit || (e.hitPrim != ~0u && e.hitLeaf != ~0u),
+                    "RtUnit",
+                    "a hit ray names the primitive and leaf it hit",
+                    [&] {
+                        return "global ray " + std::to_string(e.globalId) +
+                               ": prim " + std::to_string(e.hitPrim) +
+                               ", leaf " + std::to_string(e.hitLeaf);
+                    });
+}
+
+void
+RtUnit::checkFinalState(InvariantChecker &check) const
+{
+    std::uint64_t predicted = stats_.get(StatId::RaysPredicted);
+    std::uint64_t verified = stats_.get(StatId::RaysVerified);
+    std::uint64_t mispredicted = stats_.get(StatId::RaysMispredicted);
+    check.require(
+        predicted == verified + mispredicted, "RtUnit",
+        "every predicted ray resolves as verified or mispredicted",
+        [&] {
+            return "SM " + std::to_string(smId_) + ": predicted " +
+                   std::to_string(predicted) + " != verified " +
+                   std::to_string(verified) + " + mispredicted " +
+                   std::to_string(mispredicted);
+        });
+    std::uint64_t dispatched = stats_.get(StatId::WarpsDispatched);
+    std::uint64_t repacked = stats_.get(StatId::RepackedWarps);
+    std::uint64_t retired = stats_.get(StatId::WarpsRetired);
+    check.require(dispatched + repacked == retired, "RtUnit",
+                  "every dispatched or repacked warp retires", [&] {
+                      return "SM " + std::to_string(smId_) +
+                             ": dispatched " + std::to_string(dispatched) +
+                             " + repacked " + std::to_string(repacked) +
+                             " != retired " + std::to_string(retired);
+                  });
+    check.require(activeWarps_ == 0, "RtUnit",
+                  "no warp is active after the last ray completed",
+                  [&] {
+                      return "SM " + std::to_string(smId_) + ": " +
+                             std::to_string(activeWarps_) +
+                             " warps still active";
+                  });
+    buffer_.checkFinalState(check);
+    collector_.checkFinalState(check);
+    if (predictor_)
+        predictor_->checkFinalState(check);
+}
 
 RtUnit::RtUnit(const RtUnitConfig &config, const Bvh &bvh,
                const std::vector<Triangle> &triangles, MemorySystem &mem,
@@ -370,6 +439,17 @@ RtUnit::processNode(RayEntry &entry, std::uint32_t node_idx,
             entry.stack.push(r);
         }
     }
+    if (check_)
+        check_->require(
+            entry.stack.hwResident() <= entry.stack.hwCapacity(),
+            "RtUnit",
+            "the traversal stack stays inside its hardware window",
+            [&] {
+                return "global ray " + std::to_string(entry.globalId) +
+                       ": " + std::to_string(entry.stack.hwResident()) +
+                       " resident entries, window " +
+                       std::to_string(entry.stack.hwCapacity());
+            });
     return done;
 }
 
@@ -561,6 +641,8 @@ void
 RtUnit::completeRay(std::uint32_t slot, Cycle now)
 {
     RayEntry &e = buffer_.slot(slot);
+    if (check_)
+        checkCompletedRay(e);
     RayResult res;
     res.hit = e.hit;
     res.t = e.hitT;

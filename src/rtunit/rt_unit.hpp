@@ -174,6 +174,24 @@ class RtUnit
                                 static_cast<std::uint16_t>(smId_));
     }
 
+    /**
+     * Attach an invariant checker (nullptr detaches), shared with the
+     * ray buffer, event queue, and partial warp collector. Probes then
+     * fire at event boundaries: stack pushes stay inside the hardware
+     * window, completed rays carry consistent prediction flags, slots
+     * are never double-released, event time never runs backwards. Same
+     * pure-observer contract as tracing.
+     */
+    void setChecker(InvariantChecker *check);
+
+    /**
+     * End-of-run sweep, called by the driver once every ray completed:
+     * warp and prediction-outcome accounting must balance, all warps
+     * must have retired, and the ray buffer and collector must be
+     * empty. See docs/validation.md for the invariant catalogue.
+     */
+    void checkFinalState(InvariantChecker &check) const;
+
   private:
     struct Warp
     {
@@ -227,6 +245,9 @@ class RtUnit
     /** Mark a ray complete; trains the predictor on hits. */
     void completeRay(std::uint32_t slot, Cycle now);
 
+    /** Checker probe: flag/result consistency of a completing ray. */
+    void checkCompletedRay(const RayEntry &e) const;
+
     /** Create a warp from collector ray IDs (repacked). */
     void dispatchRepacked(const std::vector<std::uint32_t> &slots,
                           Cycle now);
@@ -277,6 +298,7 @@ class RtUnit
     std::vector<RayResult> results_;
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
+    InvariantChecker *check_ = nullptr;
     std::uint64_t issueActiveThreads_ = 0;
     std::uint64_t issueSlots_ = 0;
 

@@ -9,8 +9,15 @@ TraversalStack::push(std::uint32_t node)
     std::uint32_t hw_count =
         static_cast<std::uint32_t>(entries_.size()) - spilledDepth_;
     if (hw_count > hwEntries_) {
-        // Spill the oldest window entries to thread-local memory.
-        spilledDepth_ += spillChunk_;
+        // Spill the oldest window entries to thread-local memory. A
+        // window smaller than the chunk holds fewer spillable entries
+        // than a full transfer; cap the chunk so the just-pushed top
+        // stays resident and spilledDepth_ cannot overrun the stack
+        // (uncapped, hwResident() underflows for stackEntries <
+        // spillChunk_ and the spill statistics go wild).
+        std::uint32_t chunk =
+            hw_count - 1 < spillChunk_ ? hw_count - 1 : spillChunk_;
+        spilledDepth_ += chunk;
         pendingSpills_++;
         totalSpills_++;
     }
@@ -24,9 +31,14 @@ TraversalStack::pop()
     std::uint32_t hw_count =
         static_cast<std::uint32_t>(entries_.size()) - spilledDepth_;
     if (hw_count == 0) {
-        // Refill a chunk from thread-local memory.
+        // Refill a chunk from thread-local memory. Like push's spill,
+        // the transfer is capped by the window size: a full chunk
+        // would leave more entries resident than the hardware holds
+        // when spillChunk_ > hwEntries_.
         std::uint32_t chunk =
             spilledDepth_ < spillChunk_ ? spilledDepth_ : spillChunk_;
+        if (chunk > hwEntries_)
+            chunk = hwEntries_;
         spilledDepth_ -= chunk;
         pendingRefills_++;
     }

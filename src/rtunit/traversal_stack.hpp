@@ -81,6 +81,26 @@ class TraversalStack
     }
 
     /**
+     * Entries currently resident in the hardware window. The invariant
+     * checker asserts this never exceeds hwCapacity() — a violation
+     * would mean the model forgot to spill and is simulating a larger
+     * stack than the hardware has.
+     */
+    std::uint32_t
+    hwResident() const
+    {
+        return static_cast<std::uint32_t>(entries_.size()) -
+               spilledDepth_;
+    }
+
+    /** Size of the hardware window (paper: 8 entries). */
+    std::uint32_t
+    hwCapacity() const
+    {
+        return hwEntries_;
+    }
+
+    /**
      * Spill transfers since the last call (each is one local-memory
      * store the RT unit should charge).
      */

@@ -1,0 +1,44 @@
+#include "util/check.hpp"
+
+#include <sstream>
+
+namespace rtp {
+
+namespace {
+
+std::string
+formatViolation(const std::string &component,
+                const std::string &invariant, const std::string &detail,
+                const std::string &context)
+{
+    std::ostringstream os;
+    os << "InvariantViolation [" << component << "]: " << invariant;
+    if (!detail.empty())
+        os << "\n  detail: " << detail;
+    if (!context.empty())
+        os << "\n  run: " << context;
+    return os.str();
+}
+
+} // namespace
+
+InvariantViolation::InvariantViolation(std::string component,
+                                       std::string invariant,
+                                       std::string detail,
+                                       std::string context)
+    : std::logic_error(
+          formatViolation(component, invariant, detail, context)),
+      component_(std::move(component)),
+      invariant_(std::move(invariant)), detail_(std::move(detail)),
+      context_(std::move(context))
+{
+}
+
+void
+InvariantChecker::fail(const char *component, const char *invariant,
+                       const std::string &detail) const
+{
+    throw InvariantViolation(component, invariant, detail, context_);
+}
+
+} // namespace rtp

@@ -79,6 +79,7 @@ TelemetrySampler::attach(std::vector<const RtUnit *> units,
                          const MemorySystem *mem)
 {
     units_ = std::move(units);
+    numSms_ = units_.size();
     mem_ = mem;
     nextSample_ = period_;
     attached_ = true;
@@ -132,9 +133,7 @@ void
 TelemetrySampler::writeJson(std::ostream &os) const
 {
     os << "{\"telemetry\":{\"period\":" << period_
-       << ",\"num_sms\":" << (records_.empty()
-                                  ? units_.size()
-                                  : records_.front().sms.size())
+       << ",\"num_sms\":" << numSms_
        << ",\"dropped_records\":" << droppedRecords_
        << ",\"samples\":[";
     for (std::size_t i = 0; i < records_.size(); ++i) {

@@ -213,6 +213,10 @@ class TelemetrySampler
     Cycle nextSample_;
     std::size_t maxRecords_;
     bool attached_ = false;
+    // Set at attach() and kept after finish() clears units_, so the
+    // JSON header reports the configured SM count even when a run was
+    // too short to capture any records.
+    std::size_t numSms_ = 0;
     std::vector<const RtUnit *> units_;
     const MemorySystem *mem_ = nullptr;
     std::vector<TelemetryRecord> records_;

@@ -142,5 +142,38 @@ TEST(AdaptiveHash, ObserveAfterCommitIsNoop)
     EXPECT_EQ(h.candidates()[0].collisions, collisions);
 }
 
+TEST(CombinedHash, FullWidthConfigStaysDefined)
+{
+    // 11 origin bits give 33-bit component hashes — wider than the
+    // 32-bit hash word. The combiner clamps its rotation to the word
+    // width; before the clamp this executed `1u << 33` and `t >> 32`
+    // (undefined, caught by UBSan running this test).
+    CombinedRayHasher h({HashFunction::GridSpherical, 11, 3, 0.15f},
+                        {HashFunction::TwoPoint, 11, 3, 0.15f},
+                        bounds());
+    EXPECT_EQ(h.hashBits(), 33);
+    Rng rng(7);
+    for (int i = 0; i < 256; ++i) {
+        Ray r = makeRay({rng.nextRange(5, 95), rng.nextRange(5, 95),
+                         rng.nextRange(5, 95)},
+                        {rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                         rng.nextRange(-1, 1) + 1e-3f});
+        EXPECT_EQ(h.hash(r), h.hash(r));
+    }
+}
+
+TEST(CombinedHash, OneBitConfigStaysDefined)
+{
+    // Zero origin and direction bits degenerate to a 1-bit key, where
+    // the unguarded rotation computed `t >> -1`.
+    CombinedRayHasher h({HashFunction::GridSpherical, 0, 0, 0.15f},
+                        {HashFunction::GridSpherical, 0, 0, 0.15f},
+                        bounds());
+    EXPECT_EQ(h.hashBits(), 1);
+    Ray r = makeRay({20, 30, 40}, {1, 0.2f, 0.1f});
+    EXPECT_LT(h.hash(r), 2u);
+    EXPECT_EQ(h.hash(r), h.hash(r));
+}
+
 } // namespace
 } // namespace rtp

@@ -1,0 +1,117 @@
+/** @file Differential-oracle tests: predictor on vs off, all scenes,
+ *  and cross-frame prediction on an animated scene. */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "core/reference.hpp"
+#include "gpu/differential.hpp"
+#include "gpu/frame_simulator.hpp"
+#include "rays/raygen.hpp"
+#include "scene/animation.hpp"
+#include "scene/registry.hpp"
+#include "util/check.hpp"
+
+namespace rtp {
+namespace {
+
+RayGenConfig
+smallRayGen()
+{
+    RayGenConfig cfg;
+    cfg.width = 24;
+    cfg.height = 24;
+    cfg.samplesPerPixel = 1;
+    cfg.viewportFraction = 0.3f;
+    return cfg;
+}
+
+TEST(Differential, PredictorPreservesVisibilityOnEveryScene)
+{
+    // The paper's core correctness claim: prediction is a performance
+    // mechanism, so enabling it must not change what any ray sees. The
+    // differential run also attaches the invariant checker and the
+    // reference oracle to both runs, so each scene is cross-validated
+    // three ways in one pass.
+    const SceneId scenes[] = {
+        SceneId::Sibenik,       SceneId::CrytekSponza,
+        SceneId::LostEmpire,    SceneId::LivingRoom,
+        SceneId::FireplaceRoom, SceneId::BistroInterior,
+        SceneId::CountryKitchen,
+    };
+    for (SceneId id : scenes) {
+        Scene scene = makeScene(id, 0.05f);
+        Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+        RayBatch ao = generateAoRays(scene, bvh, smallRayGen());
+        DifferentialReport rep =
+            runDifferential(SimConfig::proposed(), bvh,
+                            scene.mesh.triangles(), ao.rays);
+        EXPECT_EQ(rep.rays, ao.rays.size()) << scene.shortName;
+        EXPECT_GT(rep.cyclesOn, 0u) << scene.shortName;
+        EXPECT_GT(rep.cyclesOff, 0u) << scene.shortName;
+        EXPECT_GT(rep.checksRun, ao.rays.size()) << scene.shortName;
+    }
+}
+
+TEST(Differential, ClosestHitRaysAgreeBitwise)
+{
+    Scene scene = makeScene(SceneId::FireplaceRoom, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    RayBatch gi = generateGiRays(scene, bvh, smallRayGen());
+    DifferentialReport rep = runDifferential(
+        SimConfig::proposed(), bvh, scene.mesh.triangles(), gi.rays);
+    EXPECT_EQ(rep.rays, gi.rays.size());
+}
+
+TEST(Differential, ExternalCheckerAccumulatesAcrossRuns)
+{
+    Scene scene = makeScene(SceneId::FireplaceRoom, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    RayBatch ao = generateAoRays(scene, bvh, smallRayGen());
+    InvariantChecker check;
+    check.setContext("test");
+    SimConfig cfg = SimConfig::proposed();
+    cfg.check = &check;
+    DifferentialReport a =
+        runDifferential(cfg, bvh, scene.mesh.triangles(), ao.rays);
+    DifferentialReport b =
+        runDifferential(cfg, bvh, scene.mesh.triangles(), ao.rays);
+    EXPECT_EQ(a.checksRun * 2, b.checksRun);
+    EXPECT_EQ(check.checksRun(), b.checksRun);
+}
+
+TEST(Differential, CrossFramePredictionStaysExactAndWarmsUp)
+{
+    // Animated scene under the oracle: the predictor table persists
+    // across frames while the geometry (and refit BVH) moves under it.
+    // Stale predictions must only cost verification restarts — per-ray
+    // visibility stays exact every frame — and the warm table must
+    // predict more than the cold first frame.
+    Scene scene = makeScene(SceneId::FireplaceRoom, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    SceneAnimator anim(scene.mesh, 0.2f);
+    FrameSimulator fs(SimConfig::proposed(), true);
+
+    double first_rate = 0.0;
+    double last_rate = 0.0;
+    for (int frame = 0; frame < 4; ++frame) {
+        anim.setFrame(frame * 0.3f);
+        bvh.refit(scene.mesh.triangles());
+        RayBatch ao = generateAoRays(scene, bvh, smallRayGen());
+        SimResult r = fs.runFrame(bvh, scene.mesh.triangles(),
+                                  ao.rays);
+        for (std::size_t i = 0; i < ao.rays.size(); ++i) {
+            HitRecord ref = referenceTrace(
+                bvh, scene.mesh.triangles(), ao.rays[i]);
+            ASSERT_EQ(ref.hit, r.rayResults[i].hit)
+                << "frame " << frame << " ray " << i;
+        }
+        if (frame == 0)
+            first_rate = r.predictedRate();
+        last_rate = r.predictedRate();
+    }
+    EXPECT_GT(last_rate, first_rate);
+}
+
+} // namespace
+} // namespace rtp

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "bvh/builder.hpp"
 #include "energy/energy_model.hpp"
+#include "gpu/simulator.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
 
 namespace rtp {
 namespace {
@@ -90,6 +94,31 @@ TEST(Energy, PerRayNormalisation)
     r.stats.inc("rays_completed", 100); // now 200 rays
     EnergyBreakdown two = computeEnergy(r, 2);
     EXPECT_NEAR(two.baseGpu, one.baseGpu / 2.0, one.baseGpu * 0.01);
+}
+
+TEST(Energy, RealPredictorRunChargesEveryComponent)
+{
+    // Regression: computeEnergy used to read counters through raw
+    // string literals; a renamed counter left the stale string silently
+    // returning 0, zeroing that component in every published breakdown.
+    // A real predictor-enabled run must charge all six components.
+    Scene scene = makeScene(SceneId::FireplaceRoom, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    RayGenConfig cfg;
+    cfg.width = 24;
+    cfg.height = 24;
+    cfg.samplesPerPixel = 1;
+    cfg.viewportFraction = 0.3f;
+    RayBatch ao = generateAoRays(scene, bvh, cfg);
+    SimConfig sim = SimConfig::proposed();
+    SimResult r = simulate(bvh, scene.mesh.triangles(), ao.rays, sim);
+    EnergyBreakdown b = computeEnergy(r, sim.numSms);
+    EXPECT_GT(b.baseGpu, 0.0);
+    EXPECT_GT(b.predictorTable, 0.0);
+    EXPECT_GT(b.warpRepacking, 0.0);
+    EXPECT_GT(b.traversalStack, 0.0);
+    EXPECT_GT(b.rayBuffer, 0.0);
+    EXPECT_GT(b.rayIntersections, 0.0);
 }
 
 } // namespace

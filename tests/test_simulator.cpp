@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "bvh/builder.hpp"
 #include "bvh/traversal.hpp"
 #include "gpu/simulator.hpp"
@@ -264,6 +266,26 @@ TEST(Simulator, DistinctPredictorStatsStillSum)
         {&a, &b});
     EXPECT_EQ(r.stats.get("lookups"),
               a.stats().get("lookups") + b.stats().get("lookups"));
+}
+
+TEST(Simulator, TelemetryHeaderReportsSmCountWithoutRecords)
+{
+    // Regression: the JSON header used to derive num_sms from the
+    // captured records (falling back to the probe list, which finish()
+    // clears), so a run too short to record any sample — or one whose
+    // record store was full — reported "num_sms":0.
+    TelemetrySampler sampler(64, /*max_records=*/0);
+    SimConfig cfg = SimConfig::proposed();
+    cfg.telemetry = &sampler;
+    simulate(rig().bvh, rig().scene.mesh.triangles(), rig().ao.rays,
+             cfg);
+    EXPECT_TRUE(sampler.records().empty());
+    EXPECT_GT(sampler.droppedRecords(), 0u);
+    std::ostringstream os;
+    sampler.writeJson(os);
+    EXPECT_NE(os.str().find("\"num_sms\":" +
+                            std::to_string(cfg.numSms)),
+              std::string::npos);
 }
 
 TEST(Simulator, EmptyWorkload)

@@ -83,5 +83,39 @@ TEST(TraversalStack, DeepTraversalSpillCount)
     EXPECT_EQ(s.totalSpills(), 6u);
 }
 
+TEST(TraversalStack, WindowSmallerThanSpillChunkStaysBounded)
+{
+    // Regression (found by tools/simfuzz): with a 2-entry window and
+    // the default 4-entry spill chunk, spills used to transfer more
+    // entries than were resident, pushing spilledDepth_ past the stack
+    // size (hwResident() underflowed), and refills restored a full
+    // chunk into a window that cannot hold one.
+    TraversalStack s(2, 4);
+    for (std::uint32_t i = 0; i < 64; ++i) {
+        s.push(i);
+        ASSERT_LE(s.hwResident(), s.hwCapacity()) << "push " << i;
+        ASSERT_LE(s.spilledDepth(), s.size()) << "push " << i;
+    }
+    for (int i = 63; i >= 0; --i) {
+        std::optional<std::uint32_t> top = s.pop();
+        ASSERT_TRUE(top.has_value());
+        ASSERT_EQ(*top, static_cast<std::uint32_t>(i));
+        ASSERT_LE(s.hwResident(), s.hwCapacity()) << "pop " << i;
+    }
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.spilledDepth(), 0u);
+}
+
+TEST(TraversalStack, SingleEntryWindowStillLifo)
+{
+    TraversalStack s(1, 4);
+    for (std::uint32_t i = 0; i < 9; ++i)
+        s.push(i);
+    EXPECT_LE(s.hwResident(), 1u);
+    for (int i = 8; i >= 0; --i)
+        EXPECT_EQ(s.pop().value(), static_cast<std::uint32_t>(i));
+    EXPECT_FALSE(s.pop().has_value());
+}
+
 } // namespace
 } // namespace rtp
