@@ -82,15 +82,23 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
         const char *c = std::getenv("RTP_CHECK");
         return c && *c && std::strcmp(c, "0") != 0;
     }();
-    auto run = [](const SimPoint &p) {
+    // RTP_SIM_THREADS composes with RTP_THREADS through the thread
+    // budget (exp/parallel.hpp): sweep-level pool size x per-simulation
+    // sharded-loop workers. Re-read per sweep (not cached) so tests can
+    // vary the env between calls. Malformed values throw here, before
+    // any simulation starts.
+    const ThreadBudget budget = threadBudgetFromEnv();
+    auto run = [&budget](const SimPoint &p) {
+        SimConfig config = p.config;
+        if (config.simThreads <= 1)
+            config.simThreads = budget.simThreads;
         if (check_enabled) {
             InvariantChecker check;
-            SimConfig config = p.config;
             config.check = &check;
             return Simulation(config, *p.bvh, *p.triangles)
                 .run(*p.rays);
         }
-        return Simulation(p.config, *p.bvh, *p.triangles).run(*p.rays);
+        return Simulation(config, *p.bvh, *p.triangles).run(*p.rays);
     };
 
     // RTP_TRACE=<path> / RTP_TELEMETRY=<path>: attach a cycle-level
@@ -112,7 +120,8 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     bool want_telemetry = telemetry_path && *telemetry_path &&
                           !telemetryConsumed && !points.empty();
     if (!want_trace && !want_telemetry)
-        return runSweep(points, run, label);
+        return runSweep(points, run, label, nullptr,
+                        budget.sweepThreads);
 
     std::vector<SimPoint> observed = points;
     TraceSink sink;
@@ -147,7 +156,8 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
         observed[telemetry_idx].config.telemetry = sampler.get();
     }
 
-    std::vector<SimResult> results = runSweep(observed, run, label);
+    std::vector<SimResult> results =
+        runSweep(observed, run, label, nullptr, budget.sweepThreads);
 
     if (want_trace) {
         if (ensureParentDir(trace_path) &&

@@ -1,21 +1,71 @@
 #include "exp/parallel.hpp"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace rtp {
 
 unsigned
+parseThreadCountEnv(const char *name, unsigned fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return fallback;
+    auto reject = [&](const char *why) {
+        throw std::invalid_argument(
+            std::string(name) + "=\"" + env + "\" is invalid: " + why +
+            " (expected a plain positive decimal integer)");
+    };
+    if (*env == '\0')
+        reject("empty value");
+    // Strict: no leading whitespace or signs, no trailing junk — a typo
+    // like "4x" or "abc" must not silently become some default.
+    if (!std::isdigit(static_cast<unsigned char>(*env)))
+        reject("not a decimal number");
+    errno = 0;
+    char *end = nullptr;
+    unsigned long n = std::strtoul(env, &end, 10);
+    if (end == env || *end != '\0')
+        reject("trailing non-digit characters");
+    if (errno == ERANGE || n > 65536)
+        reject("out of range (max 65536)");
+    if (n == 0)
+        reject("thread count must be >= 1");
+    return static_cast<unsigned>(n);
+}
+
+ThreadBudget
+threadBudgetFromEnv(unsigned hw)
+{
+    if (hw == 0) {
+        hw = std::thread::hardware_concurrency();
+        if (hw == 0)
+            hw = 1;
+    }
+    const bool sweep_set = std::getenv("RTP_THREADS") != nullptr;
+    const bool sim_set = std::getenv("RTP_SIM_THREADS") != nullptr;
+
+    ThreadBudget b;
+    b.simThreads = parseThreadCountEnv("RTP_SIM_THREADS", 1);
+    if (sweep_set)
+        b.sweepThreads = parseThreadCountEnv("RTP_THREADS", hw);
+    else if (sim_set)
+        b.sweepThreads = std::max(1u, hw / b.simThreads);
+    else
+        b.sweepThreads = hw;
+    return b;
+}
+
+unsigned
 ThreadPool::defaultThreadCount()
 {
-    if (const char *env = std::getenv("RTP_THREADS")) {
-        long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
-            return static_cast<unsigned>(n);
-        return 1;
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw >= 1 ? hw : 1;
+    return parseThreadCountEnv("RTP_THREADS", hw >= 1 ? hw : 1);
 }
 
 ThreadPool::ThreadPool(unsigned threads)

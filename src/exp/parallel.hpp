@@ -15,6 +15,12 @@
  * Thread count: RTP_THREADS environment variable, defaulting to
  * std::thread::hardware_concurrency(). RTP_THREADS=1 recovers fully
  * serial execution (still through the pool, same ordering).
+ *
+ * A second knob, RTP_SIM_THREADS, controls *intra*-simulation
+ * parallelism (the sharded per-SM event loop, gpu/simulator.hpp). The
+ * two compose through threadBudgetFromEnv() so the product of sweep
+ * workers and per-simulation workers never oversubscribes the host
+ * unless both are set explicitly.
  */
 
 #pragma once
@@ -77,6 +83,48 @@ class ThreadPool
     bool stop_ = false;
 };
 
+/**
+ * Parse a thread-count environment variable strictly.
+ *
+ * @param name Variable name (e.g. "RTP_THREADS", "RTP_SIM_THREADS").
+ * @param fallback Returned when the variable is unset.
+ * @return The parsed count (>= 1), or @p fallback when unset.
+ * @throws std::invalid_argument when the variable is set to anything
+ *         that is not a plain positive decimal integer ("abc", "",
+ *         "0", "-2", "4x", " 8"). Garbage used to be silently treated
+ *         as a default thread count, which hid typos in CI scripts;
+ *         now it fails loudly with the offending value in the message.
+ */
+unsigned parseThreadCountEnv(const char *name, unsigned fallback);
+
+/**
+ * The composed thread budget for a harness run: how many sweep points
+ * run concurrently (ThreadPool size) and how many worker threads each
+ * simulation's sharded event loop may use (SimConfig::simThreads).
+ */
+struct ThreadBudget
+{
+    unsigned sweepThreads = 1; //!< runSweep pool size
+    unsigned simThreads = 1;   //!< per-simulation event-loop workers
+};
+
+/**
+ * Compose RTP_THREADS (sweep-level) and RTP_SIM_THREADS (per-simulation)
+ * into one budget without oversubscribing the host:
+ *
+ * - both set: honoured verbatim (the user asked for the product);
+ * - only RTP_SIM_THREADS: sweep threads = max(1, hw / simThreads), so
+ *   sweep x sim stays within the core count;
+ * - only RTP_THREADS: simThreads = 1 (sequential event loop);
+ * - neither: sweep threads = hw, simThreads = 1 (the historical
+ *   behaviour).
+ *
+ * @param hw Hardware thread count; 0 means hardware_concurrency().
+ * @throws std::invalid_argument on malformed values (see
+ *         parseThreadCountEnv).
+ */
+ThreadBudget threadBudgetFromEnv(unsigned hw = 0);
+
 /** Wall-clock accounting for one runSweep call. */
 struct SweepTiming
 {
@@ -112,11 +160,15 @@ void reportSweepTiming(const char *label, const SweepTiming &timing);
  * @param label When non-null, a timing summary is printed to stderr
  *        and per-run wall times are accumulated.
  * @param timing_out Optional out-param receiving the timing summary.
+ * @param threads Pool size; 0 = ThreadPool::defaultThreadCount(). The
+ *        harness passes a ThreadBudget's sweepThreads here so sweep-
+ *        and simulation-level parallelism compose.
  */
 template <typename Item, typename Fn>
 auto
 runSweep(const std::vector<Item> &items, Fn fn,
-         const char *label = nullptr, SweepTiming *timing_out = nullptr)
+         const char *label = nullptr, SweepTiming *timing_out = nullptr,
+         unsigned threads = 0)
     -> std::vector<decltype(fn(std::declval<const Item &>()))>
 {
     using Result = decltype(fn(std::declval<const Item &>()));
@@ -127,7 +179,7 @@ runSweep(const std::vector<Item> &items, Fn fn,
     std::vector<double> run_seconds(items.size(), 0.0);
 
     auto sweep_start = Clock::now();
-    ThreadPool pool;
+    ThreadPool pool(threads);
     for (std::size_t i = 0; i < items.size(); ++i) {
         pool.submit([&, i]() {
             auto run_start = Clock::now();

@@ -42,6 +42,9 @@ SimConfig::validate() const
     };
     if (numSms == 0)
         fail("numSms must be > 0 (no SM would receive rays)");
+    if (simThreads == 0)
+        fail("simThreads must be >= 1 (1 = sequential event loop, "
+             ">= 2 = sharded)");
     if (rt.warpSize == 0)
         fail("rt.warpSize must be > 0 (warps would be empty)");
     if (rt.maxWarps == 0)

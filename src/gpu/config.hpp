@@ -29,6 +29,17 @@ struct SimConfig
     MemoryConfig memory;
 
     /**
+     * Host worker threads for the event loop (NOT a simulated knob —
+     * excluded from configToJson, and results are byte-identical at any
+     * value). 1 = the sequential reference loop; >= 2 = the sharded
+     * loop with min(simThreads, numSms) workers, each advancing a
+     * subset of SMs and meeting at the L2/DRAM seam in exact
+     * (cycle, sm) order (see docs/performance.md). Driven by the
+     * RTP_SIM_THREADS env var in the bench harness. Must be >= 1.
+     */
+    std::uint32_t simThreads = 1;
+
+    /**
      * Optional cycle-level trace sink (not owned; nullptr = tracing
      * off). Attached to every component before the event loop runs.
      * Tracing is a pure observer: simulated cycles and statistics are

@@ -1,0 +1,36 @@
+#include "gpu/shard.hpp"
+
+#include <thread>
+
+namespace rtp {
+
+void
+ShardGate::waitTurn(std::uint32_t sm) const
+{
+    const Cycle c = slots_[sm].progress.load(std::memory_order_relaxed);
+    const std::size_t n = slots_.size();
+    // Fast path first, then a short spin, then yield: the wait is
+    // usually satisfied immediately (most misses are far apart in
+    // simulated time), and on oversubscribed hosts a busy spin would
+    // starve the very worker being waited on.
+    for (unsigned attempt = 0;; ++attempt) {
+        bool ready = true;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (t == sm)
+                continue;
+            Cycle p = slots_[t].progress.load(std::memory_order_acquire);
+            if (p < c || (p == c && t < sm)) {
+                ready = false;
+                break;
+            }
+        }
+        if (ready)
+            return;
+        if (abort_.load(std::memory_order_acquire))
+            throw ShardAbort{};
+        if (attempt >= 64)
+            std::this_thread::yield();
+    }
+}
+
+} // namespace rtp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The shard gate: the ordering protocol that lets per-SM event loops
+ * run on separate worker threads while the shared L2/DRAM still sees
+ * every request in the exact (cycle, SM) order of the sequential loop.
+ *
+ * Design (docs/performance.md has the full writeup): every SM
+ * publishes its *progress* — the cycle of its next pending (or
+ * currently executing) event — in a cache-line-padded atomic slot.
+ * Progress is monotone because per-SM event queues pop monotonically.
+ * Before touching shared state on behalf of SM s at event cycle c, a
+ * worker spins in waitTurn(s) until every other SM t satisfies
+ *
+ *     progress[t] > c  ||  (progress[t] == c && t > s)
+ *
+ * i.e. no other SM can still produce a shared access that the
+ * sequential loop (earliest event first, ties to the lowest SM index)
+ * would have ordered before this one. The globally smallest pending
+ * (cycle, sm) key always passes, so the protocol is deadlock-free, and
+ * the release store in setProgress / acquire load in waitTurn give the
+ * happens-before edges that make every shared L2/DRAM mutation
+ * data-race-free (ThreadSanitizer-clean).
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp" // Cycle
+
+namespace rtp {
+
+/**
+ * Thrown inside waitTurn when another worker requested an abort (it
+ * hit an error and can no longer advance its SMs past the waiter's
+ * cycle). Internal to the sharded loop: workers catch it, park, and
+ * the driver rethrows the original error.
+ */
+struct ShardAbort
+{
+};
+
+/** The per-SM progress table plus the ordered-entry wait protocol. */
+class ShardGate
+{
+  public:
+    /** Progress value meaning "this SM has no further events". */
+    static constexpr Cycle kDone = ~static_cast<Cycle>(0);
+
+    explicit ShardGate(std::uint32_t num_sms) : slots_(num_sms)
+    {
+        for (auto &s : slots_)
+            s.progress.store(0, std::memory_order_relaxed);
+    }
+
+    ShardGate(const ShardGate &) = delete;
+    ShardGate &operator=(const ShardGate &) = delete;
+
+    /**
+     * Publish SM @p sm's next-event cycle (kDone when finished). The
+     * release order makes every write the worker performed before the
+     * publish — including shared L2/DRAM mutations of the step that
+     * just completed — visible to any waiter that observes the new
+     * value.
+     */
+    void
+    setProgress(std::uint32_t sm, Cycle cycle)
+    {
+        slots_[sm].progress.store(cycle, std::memory_order_release);
+    }
+
+    Cycle
+    progress(std::uint32_t sm) const
+    {
+        return slots_[sm].progress.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Block until SM @p sm (whose published progress is its current
+     * event cycle) holds the globally smallest (cycle, sm) key, i.e.
+     * until the sequential loop would have reached this shared access.
+     * Called from MemorySystem on every true L1 miss.
+     * @throws ShardAbort when another worker requested an abort.
+     */
+    void waitTurn(std::uint32_t sm) const;
+
+    /** Ask every spinning waiter to bail out with ShardAbort. */
+    void
+    requestAbort()
+    {
+        abort_.store(true, std::memory_order_release);
+    }
+
+    bool
+    aborted() const
+    {
+        return abort_.load(std::memory_order_acquire);
+    }
+
+    std::uint32_t
+    numSms() const
+    {
+        return static_cast<std::uint32_t>(slots_.size());
+    }
+
+  private:
+    // One cache line per slot: workers publish progress on every step,
+    // and false sharing between neighbouring SMs' slots would put that
+    // store on the critical path of every other worker's spin.
+    struct alignas(64) Slot
+    {
+        std::atomic<Cycle> progress{0};
+    };
+
+    std::vector<Slot> slots_;
+    std::atomic<bool> abort_{false};
+};
+
+} // namespace rtp

@@ -7,6 +7,18 @@
  * event so the shared L2 / DRAM timing state is exercised in (approximate)
  * global cycle order.
  *
+ * Two interchangeable event-loop implementations sit behind the facade,
+ * selected by SimConfig::simThreads (RTP_SIM_THREADS in the harness):
+ * the sequential reference loop (simThreads = 1) and a sharded loop
+ * (simThreads >= 2) that runs each SM's events on one of
+ * min(simThreads, numSms) worker threads, synchronising at the shared
+ * L2/DRAM seam through the ShardGate protocol (gpu/shard.hpp). The two
+ * are byte-identical in every output — SimResult JSON, trace, telemetry,
+ * and checker behaviour — at any thread count; tests/test_sharded_equiv
+ * and the CI determinism steps lock this in. Expert-mode runs that bind
+ * one predictor object to several SMs fall back to the sequential loop
+ * (the shard protocol requires per-SM-private predictor state).
+ *
  * The primary entry point is the Simulation facade: construct it from a
  * SimConfig and a scene (BVH + triangles), then call run(rays) as many
  * times as needed. The simulate()/simulateWithPredictors() free functions

@@ -1,6 +1,10 @@
 #include "mem/memory_system.hpp"
 
+#include <utility>
+
+#include "gpu/shard.hpp"
 #include "util/telemetry.hpp"
+#include "util/trace.hpp"
 
 namespace rtp {
 
@@ -26,6 +30,22 @@ MemorySystem::access(std::uint32_t sm, std::uint64_t addr, Cycle cycle)
     };
 
     auto l1_fill = [&](std::uint64_t line_addr, Cycle c) -> Cycle {
+        // Sharded loop: a true L1 miss is the only path into the
+        // shared L2/DRAM, so this is where cross-SM ordering is
+        // enforced. waitTurn returns once the sequential loop would
+        // have reached this access; until the owning worker publishes
+        // progress past this step, no other SM's later access can
+        // enter, so the whole fill (L2 lookup + DRAM) is exclusive.
+        if (gate_) {
+            gate_->waitTurn(sm);
+            if (!shardSinks_.empty()) {
+                // Shared-level trace events must carry the order key
+                // of the step that caused them: route the L2 and DRAM
+                // into the requesting SM's tagged sink for this fill.
+                l2_->setTraceSink(shardSinks_[sm], 0, 2);
+                dram_.setTraceSink(shardSinks_[sm]);
+            }
+        }
         if (!config_.l2Enabled) {
             result.servedBy = MemLevel::Dram;
             return dram_.access(line_addr, c + config_.l1ToL2Latency +
@@ -52,6 +72,17 @@ MemorySystem::setTraceSink(TraceSink *sink)
         l1s_[i]->setTraceSink(sink, static_cast<std::uint16_t>(i), 1);
     l2_->setTraceSink(sink, 0, 2);
     dram_.setTraceSink(sink);
+}
+
+void
+MemorySystem::setShardTraceSinks(std::vector<TraceSink *> sinks)
+{
+    shardSinks_ = std::move(sinks);
+    if (shardSinks_.empty())
+        return;
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        l1s_[i]->setTraceSink(shardSinks_[i],
+                              static_cast<std::uint16_t>(i), 1);
 }
 
 void

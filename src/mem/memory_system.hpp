@@ -16,6 +16,8 @@
 namespace rtp {
 
 struct TelemetryGlobalSample;
+class ShardGate;
+class TraceSink;
 
 /** Where a request was ultimately served from. */
 enum class MemLevel : std::uint8_t
@@ -101,6 +103,30 @@ class MemorySystem
      */
     void setChecker(InvariantChecker *check);
 
+    /**
+     * Attach the sharded event loop's ordering gate (nullptr detaches).
+     * While attached, every true L1 miss — the only path into the
+     * shared L2/DRAM — first calls gate->waitTurn(sm), so cross-SM
+     * requests reach the shared levels in the exact (cycle, sm) order
+     * of the sequential loop. Per-SM L1 state needs no gating: each L1
+     * is only ever touched by the worker owning its SM.
+     */
+    void
+    setShardGate(ShardGate *gate)
+    {
+        gate_ = gate;
+    }
+
+    /**
+     * Route trace emission through per-SM order-tagged shard sinks
+     * (empty vector detaches): L1 i emits into sinks[i] permanently,
+     * while the L2 and DRAM sinks are swapped to the requesting SM's
+     * sink at the top of each gated fill, so shared-level events carry
+     * the order key of the step that caused them. Caller keeps
+     * ownership; one sink per SM, indexed by SM id.
+     */
+    void setShardTraceSinks(std::vector<TraceSink *> sinks);
+
     /** End-of-run sweep over every L1 and the L2 (when enabled). */
     void checkFinalState(InvariantChecker &check) const;
 
@@ -130,6 +156,8 @@ class MemorySystem
     std::vector<std::unique_ptr<CacheModel>> l1s_;
     std::unique_ptr<CacheModel> l2_;
     DramModel dram_;
+    ShardGate *gate_ = nullptr;            //!< sharded loop only
+    std::vector<TraceSink *> shardSinks_;  //!< per-SM tagged sinks
 };
 
 } // namespace rtp

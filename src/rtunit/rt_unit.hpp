@@ -123,6 +123,14 @@ class RtUnit
         return completionCycle_;
     }
 
+    /** @return Submitted rays that have not completed yet (the count
+     *  the event-loop error messages report for stuck units). */
+    std::uint64_t
+    outstandingRays() const
+    {
+        return remainingRays_;
+    }
+
     /** Per-ray results indexed by global ray id (valid when finished). */
     const std::vector<RayResult> &
     results() const

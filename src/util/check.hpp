@@ -24,6 +24,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -75,8 +76,13 @@ class InvariantViolation : public std::logic_error
 
 /**
  * The checker object components probe. One checker observes one
- * simulation run on one thread (like TraceSink / TelemetrySampler);
- * checksRun() counts executed probes so tests can assert coverage.
+ * simulation run (like TraceSink / TelemetrySampler); checksRun()
+ * counts executed probes so tests can assert coverage. Probes
+ * themselves are stateless apart from that counter, which is atomic
+ * (relaxed) so the sharded event loop's workers may probe concurrently;
+ * the total stays deterministic because the set of executed probes is
+ * identical at any thread count. setContext stays single-threaded
+ * (the driver installs it before workers start).
  */
 class InvariantChecker
 {
@@ -101,14 +107,14 @@ class InvariantChecker
     std::uint64_t
     checksRun() const
     {
-        return checksRun_;
+        return checksRun_.load(std::memory_order_relaxed);
     }
 
     /** Probe: throw InvariantViolation unless @p cond holds. */
     void
     require(bool cond, const char *component, const char *invariant)
     {
-        ++checksRun_;
+        checksRun_.fetch_add(1, std::memory_order_relaxed);
         if (!cond)
             fail(component, invariant, std::string());
     }
@@ -123,7 +129,7 @@ class InvariantChecker
     require(bool cond, const char *component, const char *invariant,
             DetailFn &&detail)
     {
-        ++checksRun_;
+        checksRun_.fetch_add(1, std::memory_order_relaxed);
         if (!cond)
             fail(component, invariant, detail());
     }
@@ -134,7 +140,7 @@ class InvariantChecker
 
   private:
     std::string context_;
-    std::uint64_t checksRun_ = 0;
+    std::atomic<std::uint64_t> checksRun_{0};
 };
 
 } // namespace rtp

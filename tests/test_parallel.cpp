@@ -21,33 +21,52 @@
 namespace rtp {
 namespace {
 
-/** Scoped RTP_THREADS override. */
-class ThreadsEnv
+/** Scoped override of one environment variable. */
+class ScopedEnv
 {
   public:
-    explicit ThreadsEnv(const char *value)
+    ScopedEnv(const char *name, const char *value) : name_(name)
     {
-        const char *old = std::getenv("RTP_THREADS");
+        const char *old = std::getenv(name);
         had_ = old != nullptr;
         if (had_)
             old_ = old;
         if (value)
-            setenv("RTP_THREADS", value, 1);
+            setenv(name, value, 1);
         else
-            unsetenv("RTP_THREADS");
+            unsetenv(name);
     }
 
-    ~ThreadsEnv()
+    ~ScopedEnv()
     {
         if (had_)
-            setenv("RTP_THREADS", old_.c_str(), 1);
+            setenv(name_.c_str(), old_.c_str(), 1);
         else
-            unsetenv("RTP_THREADS");
+            unsetenv(name_.c_str());
     }
 
   private:
+    std::string name_;
     bool had_ = false;
     std::string old_;
+};
+
+/** Scoped RTP_THREADS override. */
+struct ThreadsEnv : ScopedEnv
+{
+    explicit ThreadsEnv(const char *value)
+        : ScopedEnv("RTP_THREADS", value)
+    {
+    }
+};
+
+/** Scoped RTP_SIM_THREADS override. */
+struct SimThreadsEnv : ScopedEnv
+{
+    explicit SimThreadsEnv(const char *value)
+        : ScopedEnv("RTP_SIM_THREADS", value)
+    {
+    }
 };
 
 TEST(ThreadPool, DefaultThreadCountHonoursEnv)
@@ -57,12 +76,110 @@ TEST(ThreadPool, DefaultThreadCountHonoursEnv)
         EXPECT_EQ(ThreadPool::defaultThreadCount(), 3u);
     }
     {
-        ThreadsEnv env("0"); // nonsense values clamp to 1
-        EXPECT_EQ(ThreadPool::defaultThreadCount(), 1u);
-    }
-    {
         ThreadsEnv env(nullptr);
         EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+    }
+    {
+        // Malformed values must fail loudly, not clamp to a default
+        // that silently changes the benchmark's thread budget.
+        ThreadsEnv env("0");
+        EXPECT_THROW(ThreadPool::defaultThreadCount(),
+                     std::invalid_argument);
+    }
+    {
+        ThreadsEnv env("abc");
+        EXPECT_THROW(ThreadPool::defaultThreadCount(),
+                     std::invalid_argument);
+    }
+}
+
+TEST(ParseThreadCountEnv, AcceptsPlainPositiveIntegers)
+{
+    {
+        ThreadsEnv env("1");
+        EXPECT_EQ(parseThreadCountEnv("RTP_THREADS", 7), 1u);
+    }
+    {
+        ThreadsEnv env("16");
+        EXPECT_EQ(parseThreadCountEnv("RTP_THREADS", 7), 16u);
+    }
+    {
+        ThreadsEnv env(nullptr); // unset -> fallback
+        EXPECT_EQ(parseThreadCountEnv("RTP_THREADS", 7), 7u);
+    }
+}
+
+TEST(ParseThreadCountEnv, RejectsGarbageWithDescriptiveError)
+{
+    const char *bad[] = {"abc", "", "4x", "-2", "+3", " 3",
+                         "3 ",  "0", "0x4", "999999999999"};
+    for (const char *value : bad) {
+        ThreadsEnv env(value);
+        try {
+            parseThreadCountEnv("RTP_THREADS", 1);
+            FAIL() << "expected throw for RTP_THREADS=\"" << value
+                   << "\"";
+        } catch (const std::invalid_argument &e) {
+            // The message must name the variable and echo the value so
+            // a CI log alone identifies the misconfiguration.
+            EXPECT_NE(std::string(e.what()).find("RTP_THREADS"),
+                      std::string::npos)
+                << e.what();
+            EXPECT_NE(std::string(e.what()).find(value),
+                      std::string::npos)
+                << e.what();
+        }
+    }
+}
+
+TEST(ThreadBudget, ComposesSweepAndSimThreads)
+{
+    {
+        // Both set: honour both exactly.
+        ThreadsEnv sweep("3");
+        SimThreadsEnv sim("4");
+        ThreadBudget b = threadBudgetFromEnv(8);
+        EXPECT_EQ(b.sweepThreads, 3u);
+        EXPECT_EQ(b.simThreads, 4u);
+    }
+    {
+        // Only RTP_SIM_THREADS: the sweep pool shrinks so the total
+        // thread count stays near the hardware budget.
+        ThreadsEnv sweep(nullptr);
+        SimThreadsEnv sim("4");
+        ThreadBudget b = threadBudgetFromEnv(8);
+        EXPECT_EQ(b.sweepThreads, 2u);
+        EXPECT_EQ(b.simThreads, 4u);
+    }
+    {
+        // Oversubscribed sim threads still leave one sweep worker.
+        ThreadsEnv sweep(nullptr);
+        SimThreadsEnv sim("16");
+        ThreadBudget b = threadBudgetFromEnv(8);
+        EXPECT_EQ(b.sweepThreads, 1u);
+        EXPECT_EQ(b.simThreads, 16u);
+    }
+    {
+        // Only RTP_THREADS: sequential event loop, as before.
+        ThreadsEnv sweep("5");
+        SimThreadsEnv sim(nullptr);
+        ThreadBudget b = threadBudgetFromEnv(8);
+        EXPECT_EQ(b.sweepThreads, 5u);
+        EXPECT_EQ(b.simThreads, 1u);
+    }
+    {
+        // Neither: all hardware goes to the sweep pool.
+        ThreadsEnv sweep(nullptr);
+        SimThreadsEnv sim(nullptr);
+        ThreadBudget b = threadBudgetFromEnv(8);
+        EXPECT_EQ(b.sweepThreads, 8u);
+        EXPECT_EQ(b.simThreads, 1u);
+    }
+    {
+        // Malformed sim-thread values surface through the budget too.
+        ThreadsEnv sweep(nullptr);
+        SimThreadsEnv sim("two");
+        EXPECT_THROW(threadBudgetFromEnv(8), std::invalid_argument);
     }
 }
 
@@ -233,6 +350,28 @@ TEST(RunSweep, SimulationResultsIdenticalAcrossThreadCounts)
         EXPECT_EQ(serial[i].toJson(), parallel[i].toJson())
             << "point " << i;
     }
+}
+
+TEST(RunSweep, ShardedSimThreadsEnvPreservesResults)
+{
+    // RTP_SIM_THREADS routes every sweep point through the sharded
+    // event loop; the results must stay byte-identical to the
+    // sequential reference regardless of the sweep pool size.
+    std::vector<SimResult> sequential, sharded;
+    {
+        ThreadsEnv sweep("1");
+        SimThreadsEnv sim(nullptr);
+        sequential = runSimPoints(sweepPoints(), nullptr);
+    }
+    {
+        ThreadsEnv sweep("2");
+        SimThreadsEnv sim("2");
+        sharded = runSimPoints(sweepPoints(), nullptr);
+    }
+    ASSERT_EQ(sequential.size(), sharded.size());
+    for (std::size_t i = 0; i < sequential.size(); ++i)
+        EXPECT_EQ(sequential[i].toJson(), sharded[i].toJson())
+            << "point " << i;
 }
 
 TEST(SimResultJson, DeterministicAndWellFormed)

@@ -6,8 +6,16 @@
  * per-cycle core; docs/performance.md records the methodology and the
  * numbers across revisions.
  *
- * Deliberately single-threaded (one Simulation at a time) so the number
- * is a property of the core, not of the sweep harness's thread pool.
+ * Deliberately single-threaded at the sweep level (one Simulation at a
+ * time) so the number is a property of the core, not of the sweep
+ * harness's thread pool. A second section measures the sharded event
+ * loop (SimConfig::simThreads, docs/performance.md) on an 8-SM
+ * configuration: "<scene>/sharded_t1" runs the sequential reference
+ * loop and "<scene>/sharded_t4" the same workload with 4 event-loop
+ * workers, so the JSON records the intra-simulation speedup under
+ * fixed, machine-independent labels. The sharded cells' cycle counts
+ * are identical by construction (byte-stable contract); only wall
+ * seconds differ.
  *
  * Environment:
  *   RTP_SELFBENCH_REPS  repetitions per (scene, config) cell; the
@@ -111,6 +119,54 @@ main()
                         cell.wallSeconds, cell.raysPerSecond());
             cells.push_back(std::move(cell));
         }
+    }
+
+    // Sharded-loop section: the paper-scale configuration (8 SMs) run
+    // with the sequential loop vs 4 event-loop workers on a scene
+    // subset, so CI tracks the intra-simulation speedup without
+    // doubling the selfbench runtime. Cycle counts of the two cells
+    // are identical (byte-stable contract); rays/s is the payoff.
+    {
+        SimConfig sharded = SimConfig::proposed();
+        sharded.numSms = 8;
+        std::vector<const Workload *> shard_scenes = cache.getAll(
+            {SceneId::Sibenik, SceneId::FireplaceRoom,
+             SceneId::CrytekSponza});
+        double t1_wall = 0.0, t4_wall = 0.0;
+        for (const Workload *w : shard_scenes) {
+            for (unsigned threads : {1u, 4u}) {
+                SimConfig c = sharded;
+                c.simThreads = threads;
+                Simulation sim(c, w->bvh, w->scene.mesh.triangles());
+                Cell cell;
+                cell.label = w->scene.shortName + "/sharded_t" +
+                             std::to_string(threads);
+                cell.rays = w->ao.rays.size();
+                cell.wallSeconds = -1.0;
+                for (int rep = 0; rep < reps; ++rep) {
+                    double t0 = now_seconds();
+                    SimResult r = sim.run(w->ao.rays);
+                    double dt = now_seconds() - t0;
+                    cell.cycles = r.cycles;
+                    if (cell.wallSeconds < 0.0 ||
+                        dt < cell.wallSeconds)
+                        cell.wallSeconds = dt;
+                }
+                (threads == 1 ? t1_wall : t4_wall) +=
+                    cell.wallSeconds;
+                total_rays += cell.rays;
+                total_wall += cell.wallSeconds;
+                std::printf("%-22s %10zu %12.4f %14.0f\n",
+                            cell.label.c_str(), cell.rays,
+                            cell.wallSeconds, cell.raysPerSecond());
+                cells.push_back(std::move(cell));
+            }
+        }
+        if (t4_wall > 0.0)
+            std::fprintf(stderr,
+                         "[rtp-selfbench] sharded-loop speedup "
+                         "(RTP_SIM_THREADS=4 vs sequential): %.2fx\n",
+                         t1_wall / t4_wall);
     }
 
     double total_rps = total_wall > 0.0 ? total_rays / total_wall : 0.0;

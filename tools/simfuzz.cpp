@@ -10,16 +10,25 @@
  * oracle attached to both, plus the on/off visibility comparison. Any
  * InvariantViolation (or other exception) fails the seed.
  *
+ * With --sharded the differential changes target: each seed runs the
+ * derived point with the sequential event loop (simThreads = 1) and
+ * with the sharded loop at 2 and 4 workers, all under the invariant
+ * checker, and byte-compares the SimResult JSON plus the number of
+ * checker probes. Any divergence — or any exception — fails the seed,
+ * fuzzing the sharded loop's byte-identical contract
+ * (docs/performance.md) across the whole randomised config space.
+ *
  * On failure the tool prints an exact reproducer — the seed plus the
  * derived configuration as JSON — greedily shrinks the failing ray set
  * (chunk removal), and optionally writes the reproducer to a JSON file
  * (--repro-out; CI uploads it as an artifact). Everything is derived
- * from the seed, so `simfuzz --repro <seed>` rebuilds the failing
- * point exactly.
+ * from the seed, so `simfuzz --repro <seed>` (plus --sharded when the
+ * failure came from the sharded mode) rebuilds the failing point
+ * exactly.
  *
  * Usage:
  *   simfuzz [--seeds N] [--base-seed B] [--repro SEED]
- *           [--repro-out PATH]
+ *           [--repro-out PATH] [--sharded]
  */
 
 #include <cstdint>
@@ -33,6 +42,7 @@
 
 #include "bvh/builder.hpp"
 #include "gpu/differential.hpp"
+#include "gpu/simulator.hpp"
 #include "rays/raygen.hpp"
 #include "scene/registry.hpp"
 #include "util/check.hpp"
@@ -184,13 +194,66 @@ runPoint(const SimConfig &config, const FuzzScene &fs,
 }
 
 /**
+ * Sequential-vs-sharded differential (--sharded): run the point with
+ * the sequential event loop and with 2 and 4 sharded workers (worker
+ * count clamps to numSms inside the simulator), all under the
+ * invariant checker, and byte-compare the SimResult JSON and the
+ * checker-probe count. @return The failure message, or empty.
+ */
+std::string
+runShardedPoint(const SimConfig &config, const FuzzScene &fs,
+                const std::vector<Ray> &rays)
+{
+    try {
+        auto run_at = [&](std::uint32_t threads,
+                          std::uint64_t &checks_run) {
+            InvariantChecker check;
+            SimConfig c = config;
+            c.check = &check;
+            c.simThreads = threads;
+            std::string json =
+                Simulation(c, fs.bvh, fs.scene.mesh.triangles())
+                    .run(rays)
+                    .toJson();
+            checks_run = check.checksRun();
+            return json;
+        };
+        std::uint64_t ref_checks = 0;
+        const std::string ref = run_at(1, ref_checks);
+        for (std::uint32_t threads : {2u, 4u}) {
+            std::uint64_t got_checks = 0;
+            const std::string got = run_at(threads, got_checks);
+            if (got != ref)
+                return "sharded loop (simThreads=" +
+                       std::to_string(threads) +
+                       ") diverged from the sequential reference "
+                       "SimResult JSON";
+            if (got_checks != ref_checks)
+                return "sharded loop (simThreads=" +
+                       std::to_string(threads) + ") ran " +
+                       std::to_string(got_checks) +
+                       " checker probes vs " +
+                       std::to_string(ref_checks) + " sequentially";
+        }
+        return std::string();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+}
+
+/** Signature shared by runPoint / runShardedPoint. */
+using PointRunner = std::string (*)(const SimConfig &,
+                                    const FuzzScene &,
+                                    const std::vector<Ray> &);
+
+/**
  * Greedy chunk-removal shrink (ddmin-lite): repeatedly try dropping
  * contiguous chunks of the failing ray set, keeping any reduction that
  * still fails, halving the chunk size until single rays were tried.
  */
 std::vector<Ray>
-shrinkRays(const SimConfig &config, const FuzzScene &fs,
-           std::vector<Ray> rays)
+shrinkRays(PointRunner run, const SimConfig &config,
+           const FuzzScene &fs, std::vector<Ray> rays)
 {
     std::size_t chunk = rays.size() / 2;
     while (chunk >= 1) {
@@ -203,7 +266,7 @@ shrinkRays(const SimConfig &config, const FuzzScene &fs,
                              rays.begin() + start);
             candidate.insert(candidate.end(),
                              rays.begin() + start + chunk, rays.end());
-            if (!runPoint(config, fs, candidate).empty()) {
+            if (!run(config, fs, candidate).empty()) {
                 rays = std::move(candidate);
                 reduced = true;
                 // Re-test the same start: the next chunk slid into it.
@@ -260,6 +323,7 @@ main(int argc, char **argv)
     std::uint64_t num_seeds = 64;
     std::uint64_t base_seed = 1;
     bool repro_mode = false;
+    bool sharded_mode = false;
     std::uint64_t repro_seed = 0;
     const char *repro_out = nullptr;
 
@@ -283,10 +347,13 @@ main(int argc, char **argv)
             repro_seed = std::strtoull(v, nullptr, 10);
         } else if (const char *v = arg_value("--repro-out")) {
             repro_out = v;
+        } else if (std::strcmp(argv[i], "--sharded") == 0) {
+            sharded_mode = true;
         } else {
             std::fprintf(stderr,
                          "usage: simfuzz [--seeds N] [--base-seed B] "
-                         "[--repro SEED] [--repro-out PATH]\n");
+                         "[--repro SEED] [--repro-out PATH] "
+                         "[--sharded]\n");
             return 2;
         }
     }
@@ -300,6 +367,10 @@ main(int argc, char **argv)
     std::uint64_t first = repro_mode ? repro_seed : base_seed;
     std::uint64_t count = repro_mode ? 1 : num_seeds;
     std::uint64_t failures = 0;
+    const PointRunner run = sharded_mode ? runShardedPoint : runPoint;
+    if (sharded_mode)
+        std::printf("simfuzz: sharded differential mode (sequential "
+                    "vs simThreads 2 and 4)\n");
 
     for (std::uint64_t s = 0; s < count; ++s) {
         std::uint64_t seed = first + s;
@@ -309,7 +380,7 @@ main(int argc, char **argv)
         SimConfig config = deriveConfig(rng, fs.bvh);
         std::vector<Ray> rays = deriveRays(rng, fs);
 
-        std::string error = runPoint(config, fs, rays);
+        std::string error = run(config, fs, rays);
         if (error.empty()) {
             std::printf("seed %llu: ok (%s, %zu rays)\n",
                         static_cast<unsigned long long>(seed),
@@ -322,7 +393,7 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(seed),
                     fs.scene.shortName.c_str(), rays.size(),
                     error.c_str());
-        std::vector<Ray> shrunk = shrinkRays(config, fs, rays);
+        std::vector<Ray> shrunk = shrinkRays(run, config, fs, rays);
         std::string repro = reproducerJson(
             seed, fs, config, rays.size(), shrunk.size(), error);
         std::printf("reproducer (rerun with --repro %llu; shrunk to "
