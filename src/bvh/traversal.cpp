@@ -298,6 +298,243 @@ traverseAnyHitRestartTrail(const Bvh &bvh,
     }
 }
 
+BvhTraversal::BvhTraversal(const Bvh &bvh,
+                           const std::vector<Triangle> &triangles,
+                           KernelKind kernel, const TriangleSoA *tri_soa)
+    : bvh_(bvh), triangles_(triangles), kernel_(kernel)
+{
+    if (kernel_ == KernelKind::Soa) {
+        if (tri_soa) {
+            triSoa_ = tri_soa;
+        } else {
+            ownedTriSoa_ = std::make_unique<TriangleSoA>(
+                TriangleSoA::build(triangles_, bvh_.primIndices()));
+            triSoa_ = ownedTriSoa_.get();
+        }
+    }
+    stack_.reserve(64);
+}
+
+void
+BvhTraversal::leafClosest(Ray &r, const BvhNode &node, HitRecord &best,
+                          TraversalStats *stats)
+{
+    if (stats)
+        stats->triTests += node.primCount;
+    if (node.primCount == 0)
+        return;
+    if (kernel_ == KernelKind::Soa) {
+        lanes_.resize(node.primCount);
+        intersectRayTriangleSoa(r.origin, r.dir, *triSoa_,
+                                node.firstPrim, node.primCount, lanes_);
+        // Primitive-order accept with the live interval (see
+        // geometry/intersect_soa.hpp).
+        for (std::uint32_t i = 0; i < node.primCount; ++i) {
+            if (!lanes_.pass[i])
+                continue;
+            float t = lanes_.t[i];
+            if (t <= r.tMin || t >= r.tMax)
+                continue;
+            best.hit = true;
+            best.t = t;
+            best.u = lanes_.u[i];
+            best.v = lanes_.v[i];
+            best.prim = bvh_.primIndices()[node.firstPrim + i];
+            r.tMax = t;
+        }
+        return;
+    }
+    for (std::uint32_t i = 0; i < node.primCount; ++i) {
+        std::uint32_t tri = bvh_.primIndices()[node.firstPrim + i];
+        HitRecord h;
+        if (intersectRayTriangle(r, triangles_[tri], h)) {
+            h.prim = tri;
+            best = h;
+            r.tMax = h.t;
+        }
+    }
+}
+
+bool
+BvhTraversal::leafAny(const Ray &ray, const BvhNode &node,
+                      HitRecord &out, TraversalStats *stats)
+{
+    if (kernel_ == KernelKind::Soa) {
+        if (node.primCount == 0)
+            return false;
+        lanes_.resize(node.primCount);
+        intersectRayTriangleSoa(ray.origin, ray.dir, *triSoa_,
+                                node.firstPrim, node.primCount, lanes_);
+        for (std::uint32_t i = 0; i < node.primCount; ++i) {
+            if (stats)
+                stats->triTests++;
+            if (!lanes_.pass[i])
+                continue;
+            float t = lanes_.t[i];
+            if (t <= ray.tMin || t >= ray.tMax)
+                continue;
+            out.hit = true;
+            out.t = t;
+            out.u = lanes_.u[i];
+            out.v = lanes_.v[i];
+            out.prim = bvh_.primIndices()[node.firstPrim + i];
+            return true; // any-hit: first intersection terminates
+        }
+        return false;
+    }
+    for (std::uint32_t i = 0; i < node.primCount; ++i) {
+        std::uint32_t tri = bvh_.primIndices()[node.firstPrim + i];
+        if (stats)
+            stats->triTests++;
+        HitRecord h;
+        if (intersectRayTriangle(ray, triangles_[tri], h)) {
+            h.prim = tri;
+            out = h;
+            return true;
+        }
+    }
+    return false;
+}
+
+HitRecord
+BvhTraversal::closestHit(const Ray &ray, TraversalStats *stats,
+                         std::uint32_t start_node)
+{
+    HitRecord best;
+    Ray r = ray; // tMax shrinks as candidates are found
+    RayBoxPrecomp pre(r);
+    stack_.clear();
+
+    float t_entry;
+    if (stats)
+        stats->boxTests++;
+    if (!intersectRayAabb(r, pre, bvh_.node(start_node).box, t_entry))
+        return best;
+    stack_.push_back(start_node);
+
+    while (!stack_.empty()) {
+        if (stats) {
+            stats->maxStackDepth = std::max(
+                stats->maxStackDepth,
+                static_cast<std::uint32_t>(stack_.size()));
+        }
+        std::uint32_t node_idx = stack_.back();
+        stack_.pop_back();
+        const BvhNode &node = bvh_.node(node_idx);
+
+        // Re-check against the shrunken interval before fetching.
+        float t_dummy;
+        if (!intersectRayAabb(r, pre, node.box, t_dummy))
+            continue;
+        noteFetch(stats, bvh_, node_idx);
+
+        if (node.isLeaf()) {
+            leafClosest(r, node, best, stats);
+        } else {
+            auto l = static_cast<std::uint32_t>(node.left);
+            auto rr = static_cast<std::uint32_t>(node.right);
+            float tl, tr;
+            if (stats)
+                stats->boxTests += 2;
+            bool hit_l =
+                intersectRayAabb(r, pre, bvh_.node(l).box, tl);
+            bool hit_r =
+                intersectRayAabb(r, pre, bvh_.node(rr).box, tr);
+            if (hit_l && hit_r) {
+                if (tl <= tr) {
+                    stack_.push_back(rr);
+                    stack_.push_back(l);
+                } else {
+                    stack_.push_back(l);
+                    stack_.push_back(rr);
+                }
+            } else if (hit_l) {
+                stack_.push_back(l);
+            } else if (hit_r) {
+                stack_.push_back(rr);
+            }
+        }
+    }
+    return best;
+}
+
+HitRecord
+BvhTraversal::anyHit(const Ray &ray, TraversalStats *stats,
+                     std::uint32_t start_node)
+{
+    HitRecord rec;
+    RayBoxPrecomp pre(ray);
+    stack_.clear();
+
+    float t_entry;
+    if (stats)
+        stats->boxTests++;
+    if (!intersectRayAabb(ray, pre, bvh_.node(start_node).box, t_entry))
+        return rec;
+    stack_.push_back(start_node);
+
+    while (!stack_.empty()) {
+        if (stats) {
+            stats->maxStackDepth = std::max(
+                stats->maxStackDepth,
+                static_cast<std::uint32_t>(stack_.size()));
+        }
+        std::uint32_t node_idx = stack_.back();
+        stack_.pop_back();
+        const BvhNode &node = bvh_.node(node_idx);
+        noteFetch(stats, bvh_, node_idx);
+
+        if (node.isLeaf()) {
+            if (leafAny(ray, node, rec, stats))
+                return rec;
+        } else {
+            auto l = static_cast<std::uint32_t>(node.left);
+            auto r = static_cast<std::uint32_t>(node.right);
+            float tl, tr;
+            if (stats)
+                stats->boxTests += 2;
+            bool hit_l =
+                intersectRayAabb(ray, pre, bvh_.node(l).box, tl);
+            bool hit_r =
+                intersectRayAabb(ray, pre, bvh_.node(r).box, tr);
+            if (hit_l && hit_r) {
+                if (tl <= tr) {
+                    stack_.push_back(r);
+                    stack_.push_back(l);
+                } else {
+                    stack_.push_back(l);
+                    stack_.push_back(r);
+                }
+            } else if (hit_l) {
+                stack_.push_back(l);
+            } else if (hit_r) {
+                stack_.push_back(r);
+            }
+        }
+    }
+    return rec;
+}
+
+void
+BvhTraversal::closestHitBatch(const std::vector<Ray> &rays,
+                              std::vector<HitRecord> &out,
+                              TraversalStats *stats)
+{
+    out.resize(rays.size());
+    for (std::size_t i = 0; i < rays.size(); ++i)
+        out[i] = closestHit(rays[i], stats);
+}
+
+void
+BvhTraversal::anyHitBatch(const std::vector<Ray> &rays,
+                          std::vector<std::uint8_t> &out,
+                          TraversalStats *stats)
+{
+    out.resize(rays.size());
+    for (std::size_t i = 0; i < rays.size(); ++i)
+        out[i] = anyHit(rays[i], stats).hit ? 1 : 0;
+}
+
 bool
 bruteForceAnyHit(const std::vector<Triangle> &triangles, const Ray &ray)
 {

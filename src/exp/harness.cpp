@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <memory>
 #include <sstream>
+#include <stdexcept>
 #include <system_error>
 #include <utility>
 
@@ -26,6 +27,30 @@ pointIndexFromEnv(const char *env, std::size_t num_points)
     if (const char *p = std::getenv(env))
         idx = static_cast<std::size_t>(std::strtoull(p, nullptr, 10));
     return idx < num_points ? idx : num_points - 1;
+}
+
+/**
+ * RTP_KERNEL=scalar|soa: intersection-kernel selection for every sweep
+ * point of the process. Parsed once (the value is a host execution knob
+ * like RTP_SIM_THREADS: results are byte-identical either way, so
+ * mid-process changes have nothing observable to change). Malformed
+ * values throw, same convention as parseThreadCountEnv.
+ */
+KernelKind
+kernelFromEnv()
+{
+    static const KernelKind kind = [] {
+        const char *p = std::getenv("RTP_KERNEL");
+        if (!p || !*p)
+            return KernelKind::Scalar;
+        KernelKind parsed;
+        if (!parseKernelName(p, parsed))
+            throw std::invalid_argument(
+                "RTP_KERNEL must be \"scalar\" or \"soa\", got \"" +
+                std::string(p) + "\"");
+        return parsed;
+    }();
+    return kind;
 }
 
 /** Escape a string for embedding in a JSON document. */
@@ -88,10 +113,13 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     // vary the env between calls. Malformed values throw here, before
     // any simulation starts.
     const ThreadBudget budget = threadBudgetFromEnv();
-    auto run = [&budget](const SimPoint &p) {
+    const KernelKind kernel = kernelFromEnv();
+    auto run = [&budget, kernel](const SimPoint &p) {
         SimConfig config = p.config;
         if (config.simThreads <= 1)
             config.simThreads = budget.simThreads;
+        if (kernel != KernelKind::Scalar)
+            config.rt.kernel = kernel;
         if (check_enabled) {
             InvariantChecker check;
             config.check = &check;

@@ -8,24 +8,27 @@ bool
 intersectRayAabb(const Ray &ray, const RayBoxPrecomp &pre, const Aabb &box,
                  float &tEntry)
 {
-    // Classic slab test; IEEE inf semantics handle axis-parallel rays.
+    // Robust slab test: safeInv guarantees a finite invDir, so no
+    // product below can be NaN, and the branchless kernelMin/kernelMax
+    // selects match the SIMD min/max semantics of the SoA kernel
+    // operation-for-operation (bitwise scalar/SoA equivalence).
     float t0 = (box.lo.x - ray.origin.x) * pre.invDir.x;
     float t1 = (box.hi.x - ray.origin.x) * pre.invDir.x;
-    float tmin = std::fmin(t0, t1);
-    float tmax = std::fmax(t0, t1);
+    float tmin = kernelMin(t0, t1);
+    float tmax = kernelMax(t0, t1);
 
     t0 = (box.lo.y - ray.origin.y) * pre.invDir.y;
     t1 = (box.hi.y - ray.origin.y) * pre.invDir.y;
-    tmin = std::fmax(tmin, std::fmin(t0, t1));
-    tmax = std::fmin(tmax, std::fmax(t0, t1));
+    tmin = kernelMax(tmin, kernelMin(t0, t1));
+    tmax = kernelMin(tmax, kernelMax(t0, t1));
 
     t0 = (box.lo.z - ray.origin.z) * pre.invDir.z;
     t1 = (box.hi.z - ray.origin.z) * pre.invDir.z;
-    tmin = std::fmax(tmin, std::fmin(t0, t1));
-    tmax = std::fmin(tmax, std::fmax(t0, t1));
+    tmin = kernelMax(tmin, kernelMin(t0, t1));
+    tmax = kernelMin(tmax, kernelMax(t0, t1));
 
-    tmin = std::fmax(tmin, ray.tMin);
-    tmax = std::fmin(tmax, ray.tMax);
+    tmin = kernelMax(tmin, ray.tMin);
+    tmax = kernelMin(tmax, ray.tMax);
 
     if (tmin <= tmax) {
         tEntry = tmin;
@@ -43,16 +46,25 @@ intersectRayAabb(const Ray &ray, const Aabb &box, float &tEntry)
 bool
 intersectRayTriangle(const Ray &ray, const Triangle &tri, HitRecord &rec)
 {
-    constexpr float epsilon = 1e-9f;
-
     Vec3 e1 = tri.v1 - tri.v0;
     Vec3 e2 = tri.v2 - tri.v0;
     Vec3 pvec = cross(ray.dir, e2);
     float det = dot(e1, pvec);
 
-    // Cull near-degenerate configurations; we do not backface-cull because
-    // occlusion rays must detect hits from either side.
-    if (std::fabs(det) < epsilon)
+    // Cull near-degenerate configurations with a threshold relative to
+    // the operand magnitudes (a fixed absolute epsilon is
+    // scale-dependent: near-degenerate triangles in large-coordinate
+    // scenes would pass it and produce a huge inv_det). The bound is
+    // the sum of the absolute dot-product terms — the quantity against
+    // which catastrophic cancellation in det is actually measured — so
+    // it is scale-invariant without needing square roots. <= (not <) so
+    // fully degenerate triangles (eps == det == 0) are still culled.
+    // We do not backface-cull because occlusion rays must detect hits
+    // from either side.
+    float eps = kTriDetEpsRel * (std::fabs(e1.x * pvec.x) +
+                                 std::fabs(e1.y * pvec.y) +
+                                 std::fabs(e1.z * pvec.z));
+    if (std::fabs(det) <= eps)
         return false;
 
     float inv_det = 1.0f / det;

@@ -9,11 +9,47 @@
 
 #pragma once
 
+#include <cmath>
+
 #include "geometry/aabb.hpp"
 #include "geometry/ray.hpp"
 #include "geometry/triangle.hpp"
 
 namespace rtp {
+
+/**
+ * Branchless minimum, (a < b ? a : b). This is the exact semantics of
+ * the SIMD min instructions (SSE minps, NEON fmin with the same operand
+ * order), unlike std::fmin, whose NaN- and signed-zero-handling depends
+ * on operand order. The scalar and SoA slab kernels share these helpers
+ * so their selects are identical operation-for-operation — a
+ * precondition of the bitwise scalar/SoA equivalence contract.
+ */
+inline float
+kernelMin(float a, float b)
+{
+    return a < b ? a : b;
+}
+
+/** Branchless maximum, (a > b ? a : b); see kernelMin. */
+inline float
+kernelMax(float a, float b)
+{
+    return a > b ? a : b;
+}
+
+/**
+ * Relative determinant-cull threshold for the Möller–Trumbore test.
+ * det = dot(e1, cross(dir, e2)) is culled when
+ * |det| <= kTriDetEpsRel * sum_i |e1_i * pvec_i| — i.e. when the
+ * determinant is within ~8 float ulps of the magnitude of the terms it
+ * was summed from, which is exactly when catastrophic cancellation
+ * makes det rounding noise and 1/det would amplify garbage. Unlike a
+ * fixed absolute epsilon, the cull is invariant under uniform scene
+ * scaling; unlike a |e1|*|pvec| bound it needs no square roots, so the
+ * SoA kernels can evaluate it with the identical operation sequence.
+ */
+constexpr float kTriDetEpsRel = 1e-6f;
 
 /** Precomputed reciprocal direction for repeated slab tests on one ray. */
 struct RayBoxPrecomp
@@ -21,18 +57,40 @@ struct RayBoxPrecomp
     Vec3 invDir;
 
     /**
-     * A zero direction component maps to a huge finite reciprocal
-     * instead of infinity: 0 * inf = NaN would poison the slab test
-     * when the ray origin lies exactly on a box plane (common with
-     * axis-aligned architectural geometry), producing false misses.
-     * With a finite value, 0 * huge = 0 keeps the interval correct.
+     * Always-finite reciprocal of a direction component.
+     *
+     * A zero component maps to a huge finite reciprocal instead of
+     * infinity: 0 * inf = NaN would poison the slab test when the ray
+     * origin lies exactly on a box plane (common with axis-aligned
+     * architectural geometry), and fmin/fmax NaN propagation would then
+     * make hit/miss depend on operand order. Three cases:
+     *
+     *  - d == 0 (either sign of zero): +huge. Canonicalising -0.0f to
+     *    the *positive* huge value keeps the precompute bit-identical
+     *    between rays whose dir differs only in a zero's sign, so
+     *    tEntry ties — and therefore traversal order and predictor
+     *    training — cannot diverge between kernel paths.
+     *  - denormal d: 1/d overflows to inf even though d != 0; clamp to
+     *    +-huge with d's sign so no later product can produce NaN.
+     *  - normal d: the exact reciprocal.
+     *
+     * With invDir always finite, (box - origin) * invDir is never NaN
+     * (finite * finite), so the slab min/max network needs no NaN
+     * handling at all — nanort-style robustness.
      */
     static float
     safeInv(float d)
     {
         constexpr float huge = 1e30f;
-        return d != 0.0f ? 1.0f / d : huge;
+        if (d == 0.0f)
+            return huge;
+        float inv = 1.0f / d;
+        if (std::isinf(inv))
+            return std::copysign(huge, d);
+        return inv;
     }
+
+    RayBoxPrecomp() = default;
 
     explicit RayBoxPrecomp(const Ray &ray)
         : invDir(safeInv(ray.dir.x), safeInv(ray.dir.y),

@@ -1,0 +1,378 @@
+#include "geometry/intersect_soa.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace rtp {
+
+const char *
+kernelName(KernelKind kind)
+{
+    return kind == KernelKind::Soa ? "soa" : "scalar";
+}
+
+bool
+parseKernelName(const std::string &name, KernelKind &out)
+{
+    if (name == "scalar") {
+        out = KernelKind::Scalar;
+        return true;
+    }
+    if (name == "soa") {
+        out = KernelKind::Soa;
+        return true;
+    }
+    return false;
+}
+
+TriangleSoA
+TriangleSoA::build(const std::vector<Triangle> &triangles,
+                   const std::vector<std::uint32_t> &slot_to_tri)
+{
+    TriangleSoA s;
+    const std::size_t n = slot_to_tri.size();
+    s.v0x.resize(n);
+    s.v0y.resize(n);
+    s.v0z.resize(n);
+    s.e1x.resize(n);
+    s.e1y.resize(n);
+    s.e1z.resize(n);
+    s.e2x.resize(n);
+    s.e2y.resize(n);
+    s.e2z.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Triangle &t = triangles[slot_to_tri[i]];
+        Vec3 e1 = t.v1 - t.v0;
+        Vec3 e2 = t.v2 - t.v0;
+        s.v0x[i] = t.v0.x;
+        s.v0y[i] = t.v0.y;
+        s.v0z[i] = t.v0.z;
+        s.e1x[i] = e1.x;
+        s.e1y[i] = e1.y;
+        s.e1z[i] = e1.z;
+        s.e2x[i] = e2.x;
+        s.e2y[i] = e2.y;
+        s.e2z[i] = e2.z;
+    }
+    return s;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Single-lane steps. These repeat the exact scalar operation sequence of
+// geometry/intersect.cpp (the comparison against which the equivalence
+// tests bit-compare), and serve as the SIMD remainder tail and as the
+// whole implementation on compilers without vector extensions.
+// ---------------------------------------------------------------------
+
+inline void
+boxLane1(const RayLanes &rays, std::uint32_t i, const Aabb &box,
+         float *t_entry, std::uint8_t *hit)
+{
+    float t0 = (box.lo.x - rays.ox[i]) * rays.ix[i];
+    float t1 = (box.hi.x - rays.ox[i]) * rays.ix[i];
+    float tmin = kernelMin(t0, t1);
+    float tmax = kernelMax(t0, t1);
+
+    t0 = (box.lo.y - rays.oy[i]) * rays.iy[i];
+    t1 = (box.hi.y - rays.oy[i]) * rays.iy[i];
+    tmin = kernelMax(tmin, kernelMin(t0, t1));
+    tmax = kernelMin(tmax, kernelMax(t0, t1));
+
+    t0 = (box.lo.z - rays.oz[i]) * rays.iz[i];
+    t1 = (box.hi.z - rays.oz[i]) * rays.iz[i];
+    tmin = kernelMax(tmin, kernelMin(t0, t1));
+    tmax = kernelMin(tmax, kernelMax(t0, t1));
+
+    tmin = kernelMax(tmin, rays.tmin[i]);
+    tmax = kernelMin(tmax, rays.tmax[i]);
+
+    *t_entry = tmin;
+    *hit = tmin <= tmax ? 1 : 0;
+}
+
+inline void
+triLane1(const Vec3 &origin, const Vec3 &dir, const TriangleSoA &tris,
+         std::uint32_t slot, TriLaneHits &out, std::uint32_t idx)
+{
+    float e1x = tris.e1x[slot], e1y = tris.e1y[slot], e1z = tris.e1z[slot];
+    float e2x = tris.e2x[slot], e2y = tris.e2y[slot], e2z = tris.e2z[slot];
+
+    // pvec = cross(dir, e2)
+    float px = dir.y * e2z - dir.z * e2y;
+    float py = dir.z * e2x - dir.x * e2z;
+    float pz = dir.x * e2y - dir.y * e2x;
+    float det = e1x * px + e1y * py + e1z * pz;
+    float eps = kTriDetEpsRel * (std::fabs(e1x * px) +
+                                 std::fabs(e1y * py) +
+                                 std::fabs(e1z * pz));
+    bool rej = std::fabs(det) <= eps;
+
+    float inv = 1.0f / det;
+    float tvx = origin.x - tris.v0x[slot];
+    float tvy = origin.y - tris.v0y[slot];
+    float tvz = origin.z - tris.v0z[slot];
+    float u = (tvx * px + tvy * py + tvz * pz) * inv;
+    rej = rej || u < 0.0f || u > 1.0f;
+
+    // qvec = cross(tvec, e1)
+    float qx = tvy * e1z - tvz * e1y;
+    float qy = tvz * e1x - tvx * e1z;
+    float qz = tvx * e1y - tvy * e1x;
+    float v = (dir.x * qx + dir.y * qy + dir.z * qz) * inv;
+    rej = rej || v < 0.0f || u + v > 1.0f;
+
+    out.t[idx] = (e2x * qx + e2y * qy + e2z * qz) * inv;
+    out.u[idx] = u;
+    out.v[idx] = v;
+    out.pass[idx] = rej ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------
+// SIMD steps via GCC/Clang vector extensions: portable to any target
+// (pairs of SSE ops on baseline x86-64, NEON on ARM) without -march
+// flags, which also guarantees no FMA contraction can split the scalar
+// and vector rounding behaviour.
+// ---------------------------------------------------------------------
+
+#if defined(__GNUC__) || defined(__clang__)
+#define RTP_SOA_SIMD 1
+
+// Without a native 8-lane unit (AVX / SVE), GCC's generic-vector
+// lowering decomposes 32-byte vectors into hundreds of scalar ops —
+// measurably slower than the scalar kernel. The 8-lane entry points
+// then run two clean 16-byte (SSE/NEON) steps instead; results are
+// identical either way, lane order included.
+#if defined(__AVX__)
+#define RTP_SOA_NATIVE8 1
+typedef float F32x8 __attribute__((vector_size(32)));
+#endif
+typedef float F32x4 __attribute__((vector_size(16)));
+
+template <typename V>
+inline V
+loadu(const float *p)
+{
+    V v;
+    std::memcpy(&v, p, sizeof(V));
+    return v;
+}
+
+template <typename V>
+inline V
+splat(float x)
+{
+    constexpr int n = static_cast<int>(sizeof(V) / sizeof(float));
+    float tmp[n];
+    for (int i = 0; i < n; ++i)
+        tmp[i] = x;
+    V v;
+    std::memcpy(&v, tmp, sizeof(V));
+    return v;
+}
+
+// Element-wise (a < b ? a : b) / (a > b ? a : b): the same select
+// semantics as kernelMin/kernelMax, which is the point.
+template <typename V>
+inline V
+vmin(V a, V b)
+{
+    return a < b ? a : b;
+}
+
+template <typename V>
+inline V
+vmax(V a, V b)
+{
+    return a > b ? a : b;
+}
+
+template <typename V>
+inline V
+vabs(V a)
+{
+    return a < splat<V>(0.0f) ? -a : a;
+}
+
+template <typename V, int N>
+inline void
+boxStep(const RayLanes &rays, std::uint32_t first, const Aabb &box,
+        float *t_entry, std::uint8_t *hit)
+{
+    V ox = loadu<V>(rays.ox + first);
+    V oy = loadu<V>(rays.oy + first);
+    V oz = loadu<V>(rays.oz + first);
+    V ix = loadu<V>(rays.ix + first);
+    V iy = loadu<V>(rays.iy + first);
+    V iz = loadu<V>(rays.iz + first);
+
+    V t0 = (splat<V>(box.lo.x) - ox) * ix;
+    V t1 = (splat<V>(box.hi.x) - ox) * ix;
+    V tmin = vmin(t0, t1);
+    V tmax = vmax(t0, t1);
+
+    t0 = (splat<V>(box.lo.y) - oy) * iy;
+    t1 = (splat<V>(box.hi.y) - oy) * iy;
+    tmin = vmax(tmin, vmin(t0, t1));
+    tmax = vmin(tmax, vmax(t0, t1));
+
+    t0 = (splat<V>(box.lo.z) - oz) * iz;
+    t1 = (splat<V>(box.hi.z) - oz) * iz;
+    tmin = vmax(tmin, vmin(t0, t1));
+    tmax = vmin(tmax, vmax(t0, t1));
+
+    tmin = vmax(tmin, loadu<V>(rays.tmin + first));
+    tmax = vmin(tmax, loadu<V>(rays.tmax + first));
+
+    auto m = tmin <= tmax;
+    std::int32_t mi[N];
+    std::memcpy(mi, &m, sizeof(m));
+    std::memcpy(t_entry, &tmin, sizeof(tmin));
+    for (int i = 0; i < N; ++i)
+        hit[i] = mi[i] ? 1 : 0;
+}
+
+template <typename V, int N>
+inline void
+triStep(const Vec3 &origin, const Vec3 &dir, const TriangleSoA &tris,
+        std::uint32_t first, TriLaneHits &out, std::uint32_t base)
+{
+    V dx = splat<V>(dir.x), dy = splat<V>(dir.y), dz = splat<V>(dir.z);
+    V e1x = loadu<V>(tris.e1x.data() + first);
+    V e1y = loadu<V>(tris.e1y.data() + first);
+    V e1z = loadu<V>(tris.e1z.data() + first);
+    V e2x = loadu<V>(tris.e2x.data() + first);
+    V e2y = loadu<V>(tris.e2y.data() + first);
+    V e2z = loadu<V>(tris.e2z.data() + first);
+
+    // pvec = cross(dir, e2)
+    V px = dy * e2z - dz * e2y;
+    V py = dz * e2x - dx * e2z;
+    V pz = dx * e2y - dy * e2x;
+    V det = e1x * px + e1y * py + e1z * pz;
+    V eps = splat<V>(kTriDetEpsRel) *
+            (vabs(e1x * px) + vabs(e1y * py) + vabs(e1z * pz));
+    auto rej = vabs(det) <= eps;
+
+    V inv = splat<V>(1.0f) / det;
+    V tvx = splat<V>(origin.x) - loadu<V>(tris.v0x.data() + first);
+    V tvy = splat<V>(origin.y) - loadu<V>(tris.v0y.data() + first);
+    V tvz = splat<V>(origin.z) - loadu<V>(tris.v0z.data() + first);
+    V u = (tvx * px + tvy * py + tvz * pz) * inv;
+    rej |= (u < splat<V>(0.0f)) | (u > splat<V>(1.0f));
+
+    // qvec = cross(tvec, e1)
+    V qx = tvy * e1z - tvz * e1y;
+    V qy = tvz * e1x - tvx * e1z;
+    V qz = tvx * e1y - tvy * e1x;
+    V v = (dx * qx + dy * qy + dz * qz) * inv;
+    rej |= (v < splat<V>(0.0f)) | (u + v > splat<V>(1.0f));
+
+    V t = (e2x * qx + e2y * qy + e2z * qz) * inv;
+
+    std::int32_t mi[N];
+    std::memcpy(mi, &rej, sizeof(rej));
+    std::memcpy(out.t.data() + base, &t, sizeof(t));
+    std::memcpy(out.u.data() + base, &u, sizeof(u));
+    std::memcpy(out.v.data() + base, &v, sizeof(v));
+    for (int i = 0; i < N; ++i)
+        out.pass[base + i] = mi[i] ? 0 : 1;
+}
+
+#endif // vector extensions
+
+} // namespace
+
+void
+intersectRayAabb8(const RayLanes &rays, std::uint32_t first,
+                  const Aabb &box, float *t_entry, std::uint8_t *hit)
+{
+#if defined(RTP_SOA_NATIVE8)
+    boxStep<F32x8, 8>(rays, first, box, t_entry, hit);
+#elif defined(RTP_SOA_SIMD)
+    boxStep<F32x4, 4>(rays, first, box, t_entry, hit);
+    boxStep<F32x4, 4>(rays, first + 4, box, t_entry + 4, hit + 4);
+#else
+    for (std::uint32_t i = 0; i < 8; ++i)
+        boxLane1(rays, first + i, box, t_entry + i, hit + i);
+#endif
+}
+
+void
+intersectRayAabb4(const RayLanes &rays, std::uint32_t first,
+                  const Aabb &box, float *t_entry, std::uint8_t *hit)
+{
+#ifdef RTP_SOA_SIMD
+    boxStep<F32x4, 4>(rays, first, box, t_entry, hit);
+#else
+    for (std::uint32_t i = 0; i < 4; ++i)
+        boxLane1(rays, first + i, box, t_entry + i, hit + i);
+#endif
+}
+
+void
+intersectRayAabbSoa(const RayLanes &rays, std::uint32_t count,
+                    const Aabb &box, float *t_entry, std::uint8_t *hit)
+{
+    std::uint32_t i = 0;
+#ifdef RTP_SOA_SIMD
+    for (; i + 8 <= count; i += 8)
+        intersectRayAabb8(rays, i, box, t_entry + i, hit + i);
+    if (i + 4 <= count) {
+        intersectRayAabb4(rays, i, box, t_entry + i, hit + i);
+        i += 4;
+    }
+#endif
+    for (; i < count; ++i)
+        boxLane1(rays, i, box, t_entry + i, hit + i);
+}
+
+void
+intersectRayTriangle8(const Vec3 &origin, const Vec3 &dir,
+                      const TriangleSoA &tris, std::uint32_t first,
+                      TriLaneHits &out, std::uint32_t out_base)
+{
+#if defined(RTP_SOA_NATIVE8)
+    triStep<F32x8, 8>(origin, dir, tris, first, out, out_base);
+#elif defined(RTP_SOA_SIMD)
+    triStep<F32x4, 4>(origin, dir, tris, first, out, out_base);
+    triStep<F32x4, 4>(origin, dir, tris, first + 4, out, out_base + 4);
+#else
+    for (std::uint32_t i = 0; i < 8; ++i)
+        triLane1(origin, dir, tris, first + i, out, out_base + i);
+#endif
+}
+
+void
+intersectRayTriangle4(const Vec3 &origin, const Vec3 &dir,
+                      const TriangleSoA &tris, std::uint32_t first,
+                      TriLaneHits &out, std::uint32_t out_base)
+{
+#ifdef RTP_SOA_SIMD
+    triStep<F32x4, 4>(origin, dir, tris, first, out, out_base);
+#else
+    for (std::uint32_t i = 0; i < 4; ++i)
+        triLane1(origin, dir, tris, first + i, out, out_base + i);
+#endif
+}
+
+void
+intersectRayTriangleSoa(const Vec3 &origin, const Vec3 &dir,
+                        const TriangleSoA &tris, std::uint32_t first,
+                        std::uint32_t count, TriLaneHits &out)
+{
+    std::uint32_t i = 0;
+#ifdef RTP_SOA_SIMD
+    for (; i + 8 <= count; i += 8)
+        intersectRayTriangle8(origin, dir, tris, first + i, out, i);
+    if (i + 4 <= count) {
+        intersectRayTriangle4(origin, dir, tris, first + i, out, i);
+        i += 4;
+    }
+#endif
+    for (; i < count; ++i)
+        triLane1(origin, dir, tris, first + i, out, i);
+}
+
+} // namespace rtp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Batched (structure-of-arrays) intersection kernels.
+ *
+ * Two vectorisation shapes, chosen to fit where the RT unit actually
+ * spends kernel time:
+ *
+ *  - ray-lane slab kernels (intersectRayAabb4/8 and the
+ *    intersectRayAabbSoa driver): N rays against one box. The RT unit's
+ *    intra-warp request merge already groups rays of a warp on the same
+ *    BVH node, so the lanes come for free.
+ *  - triangle-lane Möller–Trumbore kernels (intersectRayTriangle4/8 and
+ *    intersectRayTriangleSoa): one ray against N consecutive leaf
+ *    triangles from a TriangleSoA (BVH primIndices slot order, so a
+ *    leaf's primitives are contiguous lanes).
+ *
+ * Equivalence contract: every lane performs bit-for-bit the same IEEE
+ * operation sequence as the scalar kernels in geometry/intersect.hpp
+ * (same formulas, shared kernelMin/kernelMax select semantics, shared
+ * kTriDetEpsRel cull, reject-form predicates so NaN comparisons resolve
+ * identically, no FMA contraction because the build never enables it).
+ * HitRecord.t values and hit flags are therefore bitwise identical
+ * between KernelKind::Scalar and KernelKind::Soa — only wall-clock
+ * differs. tests/test_kernel_equiv.cpp locks this in.
+ *
+ * The SIMD path uses GCC/Clang vector extensions (portable across
+ * x86/ARM without -march flags); other compilers fall back to a scalar
+ * loop with the identical operation sequence.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/aabb.hpp"
+#include "geometry/intersect.hpp"
+#include "geometry/triangle.hpp"
+#include "geometry/vec3.hpp"
+
+namespace rtp {
+
+/**
+ * Which intersection-kernel implementation the RT unit uses. A host
+ * execution knob like SimConfig::simThreads: results are byte-identical
+ * for every value, so it is deliberately excluded from configToJson.
+ * Selectable via RTP_KERNEL=scalar|soa through the bench harness.
+ */
+enum class KernelKind : std::uint8_t
+{
+    Scalar, //!< per-call scalar kernels (geometry/intersect.cpp)
+    Soa,    //!< batched SoA kernels (this module)
+};
+
+/** @return "scalar" or "soa". */
+const char *kernelName(KernelKind kind);
+
+/**
+ * Parse a kernel name ("scalar" or "soa").
+ * @retval true on success (@p out is set), false for anything else.
+ */
+bool parseKernelName(const std::string &name, KernelKind &out);
+
+/**
+ * Triangles in structure-of-arrays layout, one lane per BVH
+ * primIndices() slot, with the Möller–Trumbore edge vectors
+ * precomputed. Slot order means a leaf's primitives occupy the
+ * contiguous lane range [firstPrim, firstPrim + primCount) — exactly
+ * what the triangle-lane kernels consume. e1/e2 are v1-v0 / v2-v0,
+ * the same subtractions the scalar kernel performs per call, so the
+ * precompute cannot change a single result bit.
+ */
+struct TriangleSoA
+{
+    std::vector<float> v0x, v0y, v0z;
+    std::vector<float> e1x, e1y, e1z;
+    std::vector<float> e2x, e2y, e2z;
+
+    std::size_t
+    size() const
+    {
+        return v0x.size();
+    }
+
+    /**
+     * Build from the original triangle array and a slot-to-triangle
+     * permutation (a BVH's primIndices()).
+     */
+    static TriangleSoA build(const std::vector<Triangle> &triangles,
+                             const std::vector<std::uint32_t> &slot_to_tri);
+};
+
+/**
+ * Per-lane outputs of a batched triangle test. pass applies the
+ * determinant cull and the u/v windows only; the caller applies the
+ * (tMin, tMax) interval *in primitive order* so closest-hit tMax
+ * shrinking within one leaf matches the scalar loop exactly.
+ */
+struct TriLaneHits
+{
+    std::vector<float> t, u, v;
+    std::vector<std::uint8_t> pass;
+
+    void
+    resize(std::size_t n)
+    {
+        t.resize(n);
+        u.resize(n);
+        v.resize(n);
+        pass.resize(n);
+    }
+};
+
+/**
+ * Gathered ray lanes for the ray-lane slab kernels: origins, inverse
+ * directions (RayBoxPrecomp::safeInv), and the [tMin, tMax] interval of
+ * up to kMax rays. Callers gather warp rays sharing a BVH node into
+ * consecutive lanes (rays/ray_soa.hpp does the gathering).
+ */
+struct RayLanes
+{
+    static constexpr std::uint32_t kMax = 64;
+    alignas(32) float ox[kMax], oy[kMax], oz[kMax];
+    alignas(32) float ix[kMax], iy[kMax], iz[kMax];
+    alignas(32) float tmin[kMax], tmax[kMax];
+};
+
+/**
+ * Slab-test @p count gathered rays (count <= RayLanes::kMax) against
+ * one box. t_entry[i] receives the entry distance (valid when hit[i]);
+ * hit[i] is 1 when ray i's [tMin, tMax] interval overlaps the box.
+ * Bitwise identical to calling intersectRayAabb per lane.
+ */
+void intersectRayAabbSoa(const RayLanes &rays, std::uint32_t count,
+                         const Aabb &box, float *t_entry,
+                         std::uint8_t *hit);
+
+/** Fixed-width ray-lane slab step: exactly 8 lanes starting at @p first. */
+void intersectRayAabb8(const RayLanes &rays, std::uint32_t first,
+                       const Aabb &box, float *t_entry, std::uint8_t *hit);
+
+/** Fixed-width ray-lane slab step: exactly 4 lanes starting at @p first. */
+void intersectRayAabb4(const RayLanes &rays, std::uint32_t first,
+                       const Aabb &box, float *t_entry, std::uint8_t *hit);
+
+/**
+ * Möller–Trumbore test of one ray against @p count consecutive
+ * TriangleSoA lanes starting at slot @p first. Fills out.t/u/v/pass for
+ * lanes [0, count); see TriLaneHits for the division of labour with the
+ * caller. Bitwise identical to calling intersectRayTriangle per lane
+ * (for the lanes that pass; rejected lanes short-circuit in the scalar
+ * kernel and carry unspecified t/u/v here).
+ */
+void intersectRayTriangleSoa(const Vec3 &origin, const Vec3 &dir,
+                             const TriangleSoA &tris, std::uint32_t first,
+                             std::uint32_t count, TriLaneHits &out);
+
+/** Fixed-width triangle-lane MT step: exactly 8 lanes. Outputs are
+ *  written at out.t[out_base + i] for lane i of slot first + i. */
+void intersectRayTriangle8(const Vec3 &origin, const Vec3 &dir,
+                           const TriangleSoA &tris, std::uint32_t first,
+                           TriLaneHits &out, std::uint32_t out_base);
+
+/** Fixed-width triangle-lane MT step: exactly 4 lanes. */
+void intersectRayTriangle4(const Vec3 &origin, const Vec3 &dir,
+                           const TriangleSoA &tris, std::uint32_t first,
+                           TriLaneHits &out, std::uint32_t out_base);
+
+} // namespace rtp

@@ -1,0 +1,28 @@
+#include "rays/ray_soa.hpp"
+
+namespace rtp {
+
+void
+RayBatchSoA::resize(std::uint32_t capacity)
+{
+    ox_.assign(capacity, 0.0f);
+    oy_.assign(capacity, 0.0f);
+    oz_.assign(capacity, 0.0f);
+    ix_.assign(capacity, 0.0f);
+    iy_.assign(capacity, 0.0f);
+    iz_.assign(capacity, 0.0f);
+    tmin_.assign(capacity, 0.0f);
+    tmax_.assign(capacity, 0.0f);
+}
+
+RayBatchSoA
+RayBatchSoA::fromRays(const std::vector<Ray> &rays)
+{
+    RayBatchSoA batch;
+    batch.resize(static_cast<std::uint32_t>(rays.size()));
+    for (std::uint32_t i = 0; i < rays.size(); ++i)
+        batch.setLane(i, rays[i], RayBoxPrecomp(rays[i]));
+    return batch;
+}
+
+} // namespace rtp

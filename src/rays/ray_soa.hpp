@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Structure-of-arrays ray storage for the batched intersection kernels.
+ *
+ * A RayBatchSoA mirrors a set of rays (a ray buffer's resident slots,
+ * or a raygen batch) as eight parallel float arrays — origins, safeInv
+ * reciprocal directions, and the [tMin, tMax] interval — so grouped
+ * slab tests can gather contiguous SIMD lanes instead of strided Ray
+ * structs. Lanes are written once when a ray enters (setLane) and the
+ * tMax lane is the only field that changes afterwards (setTMax on
+ * closest-hit shrink), matching how RayEntry::ray evolves in the RT
+ * unit.
+ *
+ * The reciprocal lanes use RayBoxPrecomp::safeInv — the same
+ * precompute the scalar path caches per entry — so a gathered lane and
+ * a scalar slab test see bit-identical operands.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/intersect.hpp"
+#include "geometry/intersect_soa.hpp"
+#include "geometry/ray.hpp"
+
+namespace rtp {
+
+/** Slot-indexed SoA mirror of a ray population. */
+class RayBatchSoA
+{
+  public:
+    RayBatchSoA() = default;
+
+    /** Size for @p capacity slots (also clears previous contents). */
+    void resize(std::uint32_t capacity);
+
+    std::uint32_t
+    capacity() const
+    {
+        return static_cast<std::uint32_t>(ox_.size());
+    }
+
+    /** Mirror @p ray into slot @p slot with its cached precompute. */
+    void
+    setLane(std::uint32_t slot, const Ray &ray, const RayBoxPrecomp &pre)
+    {
+        ox_[slot] = ray.origin.x;
+        oy_[slot] = ray.origin.y;
+        oz_[slot] = ray.origin.z;
+        ix_[slot] = pre.invDir.x;
+        iy_[slot] = pre.invDir.y;
+        iz_[slot] = pre.invDir.z;
+        tmin_[slot] = ray.tMin;
+        tmax_[slot] = ray.tMax;
+    }
+
+    /** Track a closest-hit tMax shrink of slot @p slot. */
+    void
+    setTMax(std::uint32_t slot, float t_max)
+    {
+        tmax_[slot] = t_max;
+    }
+
+    /**
+     * Gather @p count slots (count <= RayLanes::kMax) into consecutive
+     * lanes of @p out for a grouped slab test.
+     */
+    void
+    gather(const std::uint32_t *slots, std::uint32_t count,
+           RayLanes &out) const
+    {
+        for (std::uint32_t i = 0; i < count; ++i) {
+            std::uint32_t s = slots[i];
+            out.ox[i] = ox_[s];
+            out.oy[i] = oy_[s];
+            out.oz[i] = oz_[s];
+            out.ix[i] = ix_[s];
+            out.iy[i] = iy_[s];
+            out.iz[i] = iz_[s];
+            out.tmin[i] = tmin_[s];
+            out.tmax[i] = tmax_[s];
+        }
+    }
+
+    /** Build a dense batch from @p rays (lane i = rays[i]). */
+    static RayBatchSoA fromRays(const std::vector<Ray> &rays);
+
+  private:
+    std::vector<float> ox_, oy_, oz_;
+    std::vector<float> ix_, iy_, iz_;
+    std::vector<float> tmin_, tmax_;
+};
+
+} // namespace rtp

@@ -52,6 +52,7 @@ generateAoRays(const Scene &scene, const Bvh &bvh,
     RayBatch batch;
     Rng rng(config.seed, 17);
     const auto &tris = scene.mesh.triangles();
+    BvhTraversal trav(bvh, tris); // reused stack: no per-pixel allocation
     float diag = bvh.sceneBounds().diagonal();
     float aspect = static_cast<float>(config.width) / config.height;
 
@@ -63,7 +64,7 @@ generateAoRays(const Scene &scene, const Bvh &bvh,
                                   config.viewportFraction;
             Ray primary = scene.camera.generateRay(sx, sy, aspect);
             batch.primaryRays++;
-            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            HitRecord rec = trav.closestHit(primary);
             if (!rec.hit)
                 continue;
             batch.primaryHits++;
@@ -95,6 +96,7 @@ generateGiRays(const Scene &scene, const Bvh &bvh,
     RayBatch batch;
     Rng rng(config.seed, 29);
     const auto &tris = scene.mesh.triangles();
+    BvhTraversal trav(bvh, tris); // reused stack: no per-pixel allocation
     float diag = bvh.sceneBounds().diagonal();
     float aspect = static_cast<float>(config.width) / config.height;
 
@@ -106,7 +108,7 @@ generateGiRays(const Scene &scene, const Bvh &bvh,
                                   config.viewportFraction;
             Ray ray = scene.camera.generateRay(sx, sy, aspect);
             batch.primaryRays++;
-            HitRecord rec = traverseClosestHit(bvh, tris, ray);
+            HitRecord rec = trav.closestHit(ray);
             if (!rec.hit)
                 continue;
             batch.primaryHits++;
@@ -127,7 +129,7 @@ generateGiRays(const Scene &scene, const Bvh &bvh,
                 bounce.kind = RayKind::Secondary;
                 batch.rays.push_back(bounce);
 
-                rec = traverseClosestHit(bvh, tris, bounce);
+                rec = trav.closestHit(bounce);
                 if (!rec.hit)
                     break;
                 ray = bounce;
@@ -143,6 +145,7 @@ generateShadowRays(const Scene &scene, const Bvh &bvh,
 {
     RayBatch batch;
     const auto &tris = scene.mesh.triangles();
+    BvhTraversal trav(bvh, tris); // reused stack: no per-pixel allocation
     float diag = bvh.sceneBounds().diagonal();
     float aspect = static_cast<float>(config.width) / config.height;
 
@@ -161,7 +164,7 @@ generateShadowRays(const Scene &scene, const Bvh &bvh,
                                   config.viewportFraction;
             Ray primary = scene.camera.generateRay(sx, sy, aspect);
             batch.primaryRays++;
-            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            HitRecord rec = trav.closestHit(primary);
             if (!rec.hit)
                 continue;
             batch.primaryHits++;
@@ -190,6 +193,7 @@ generateReflectionRays(const Scene &scene, const Bvh &bvh,
 {
     RayBatch batch;
     const auto &tris = scene.mesh.triangles();
+    BvhTraversal trav(bvh, tris); // reused stack: no per-pixel allocation
     float diag = bvh.sceneBounds().diagonal();
     float aspect = static_cast<float>(config.width) / config.height;
 
@@ -201,7 +205,7 @@ generateReflectionRays(const Scene &scene, const Bvh &bvh,
                                   config.viewportFraction;
             Ray primary = scene.camera.generateRay(sx, sy, aspect);
             batch.primaryRays++;
-            HitRecord rec = traverseClosestHit(bvh, tris, primary);
+            HitRecord rec = trav.closestHit(primary);
             if (!rec.hit)
                 continue;
             batch.primaryHits++;

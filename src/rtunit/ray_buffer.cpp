@@ -37,6 +37,9 @@ RayBuffer::allocate(const Ray &ray, std::uint32_t global_id,
     // heap traffic.
     RayEntry &e = slots_[idx];
     e.ray = ray;
+    // The direction never changes while a ray is resident, so the slab
+    // reciprocal is computed once here instead of per node visit.
+    e.pre = RayBoxPrecomp(ray);
     e.globalId = global_id;
     e.phase = RayPhase::Lookup;
     e.stack.reset(stack_entries);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "geometry/intersect.hpp"
 #include "geometry/ray.hpp"
 #include "mem/cache.hpp" // Cycle
 #include "rtunit/traversal_stack.hpp"
@@ -35,6 +36,7 @@ enum class RayPhase : std::uint8_t
 struct RayEntry
 {
     Ray ray;                    //!< current ray (tMax shrinks, GI trim)
+    RayBoxPrecomp pre;          //!< safeInv reciprocal, cached at entry
     std::uint32_t globalId = 0; //!< index into the submitted ray array
     RayPhase phase = RayPhase::Lookup;
     TraversalStack stack;

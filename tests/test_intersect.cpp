@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+
 #include "geometry/intersect.hpp"
 #include "util/rng.hpp"
 
@@ -178,6 +181,169 @@ TEST(Intersect, BoxTestIsConservativeProperty)
         }
     }
     EXPECT_GT(hits, 10); // the sample must actually exercise hits
+}
+
+// --- Robust-slab regression suite: the historical NaN failure was an
+// --- origin exactly on a slab plane with an axis-parallel direction
+// --- (0 * inf = NaN), so these pin the safeInv formulation.
+
+TEST(RayBox, OriginOnSlabPlaneAxisParallel)
+{
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    // Origin exactly on the x = -1 plane, direction parallel to that
+    // plane: (lo.x - o.x) * invDir.x used to be 0 * inf = NaN.
+    EXPECT_TRUE(intersectRayAabb(
+        makeRay({-1.0f, -5.0f, 0.0f}, {0, 1, 0}), box, t));
+    EXPECT_TRUE(std::isfinite(t));
+    // Same configuration but sliding along the plane outside the box.
+    EXPECT_FALSE(intersectRayAabb(
+        makeRay({-1.0f, -5.0f, 3.0f}, {0, 1, 0}), box, t));
+    // Origin on the hi plane, negative-parallel direction: safeInv's
+    // positive-canonicalised reciprocal makes containment along a
+    // zero-direction axis half-open, [lo, hi) — a deterministic
+    // tie-break (like the rasteriser top-left rule) so a point on the
+    // plane shared by two adjacent boxes counts in exactly one of
+    // them. On the hi plane that is a miss, and never a NaN.
+    EXPECT_FALSE(intersectRayAabb(
+        makeRay({1.0f, 5.0f, 0.0f}, {0, -1, 0}), box, t));
+    // Aimed into the box from the hi plane it is an ordinary hit.
+    EXPECT_TRUE(intersectRayAabb(
+        makeRay({1.0f, 0.0f, 0.0f}, {-1.0f, 0.0f, 0.0f}), box, t));
+    EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(RayBox, NegativeZeroDirectionMatchesPositiveZero)
+{
+    // -0.0f passes d != 0.0f checks in naive formulations and flips
+    // the slab roles via 1/-0 = -inf. safeInv canonicalises both zero
+    // signs to the same positive reciprocal, so the precompute — and
+    // therefore every tEntry, including ties — is bit-identical.
+    Ray pos = makeRay({0.5f, -5.0f, 0.25f}, {0.0f, 1.0f, 0.0f});
+    Ray neg = makeRay({0.5f, -5.0f, 0.25f}, {-0.0f, 1.0f, -0.0f});
+    RayBoxPrecomp ppos(pos), pneg(neg);
+    EXPECT_EQ(std::memcmp(&ppos, &pneg, sizeof(ppos)), 0);
+
+    Aabb box{{0, 0, 0}, {1, 1, 1}};
+    float tp = 0, tn = 0;
+    bool hp = intersectRayAabb(pos, ppos, box, tp);
+    bool hn = intersectRayAabb(neg, pneg, box, tn);
+    EXPECT_EQ(hp, hn);
+    std::uint32_t bp, bn;
+    std::memcpy(&bp, &tp, 4);
+    std::memcpy(&bn, &tn, 4);
+    EXPECT_EQ(bp, bn);
+}
+
+TEST(RayBox, DenormalDirectionComponentIsFinite)
+{
+    // A denormal component is != 0 but 1/d overflows to inf; safeInv
+    // clamps to a signed huge value so slab products stay finite.
+    float denorm = 1e-42f;
+    ASSERT_GT(denorm, 0.0f);
+    ASSERT_TRUE(std::isinf(1.0f / denorm));
+    EXPECT_TRUE(std::isfinite(RayBoxPrecomp::safeInv(denorm)));
+    EXPECT_TRUE(std::isfinite(RayBoxPrecomp::safeInv(-denorm)));
+    EXPECT_LT(RayBoxPrecomp::safeInv(-denorm), 0.0f);
+
+    Aabb box{{-1, -1, -1}, {1, 1, 1}};
+    float t;
+    Ray r = makeRay({0.0f, -5.0f, 0.0f}, {denorm, 1.0f, 0.0f});
+    EXPECT_TRUE(intersectRayAabb(r, box, t));
+    EXPECT_TRUE(std::isfinite(t));
+}
+
+TEST(RayBox, DegenerateFlatBox)
+{
+    // Zero-extent (flat) AABBs arise from axis-aligned geometry. Under
+    // the half-open [lo, hi) zero-direction rule a ray exactly in the
+    // plane of a zero-extent sheet misses (the interval is empty) —
+    // which is safe, because every triangle inside a flat box is
+    // coplanar with such a ray and the Möller–Trumbore determinant
+    // cull rejects it anyway. The important property is no NaN: the
+    // answer must be a deterministic miss, not operand-order luck.
+    Aabb flat{{-1.0f, 0.5f, -1.0f}, {1.0f, 0.5f, 1.0f}};
+    float t;
+    EXPECT_FALSE(intersectRayAabb(
+        makeRay({0.0f, 0.5f, -5.0f}, {0, 0, 1}), flat, t));
+    EXPECT_FALSE(intersectRayAabb(
+        makeRay({0.0f, 0.75f, -5.0f}, {0, 0, 1}), flat, t));
+    // Perpendicular crossing through the sheet.
+    EXPECT_TRUE(intersectRayAabb(
+        makeRay({0.0f, -5.0f, 0.0f}, {0, 1, 0}), flat, t));
+    EXPECT_NEAR(t, 5.5f, 1e-5f);
+    // Point box (all extents zero).
+    Aabb point{{2, 2, 2}, {2, 2, 2}};
+    EXPECT_TRUE(intersectRayAabb(
+        makeRay({0, 0, 0}, {1, 1, 1}), point, t));
+    EXPECT_NEAR(t, 2.0f, 1e-5f);
+}
+
+// --- Determinant-cull regression suite: the fixed epsilon = 1e-9 cull
+// --- was scale-dependent (sliver triangles in large-coordinate scenes
+// --- passed it; healthy micro-triangles in small scenes were culled).
+
+TEST(RayTriangle, ScaleInvariantHit)
+{
+    // The same well-conditioned configuration must hit at any uniform
+    // scale; a fixed absolute det cull rejected the small end.
+    for (float scale : {1e-4f, 1e-2f, 1.0f, 1e2f, 1e4f}) {
+        Triangle tri{{0, 0, 5.0f * scale},
+                     {2.0f * scale, 0, 5.0f * scale},
+                     {0, 2.0f * scale, 5.0f * scale}};
+        HitRecord rec;
+        EXPECT_TRUE(intersectRayTriangle(
+            makeRay({0.5f * scale, 0.5f * scale, 0}, {0, 0, scale}),
+            tri, rec))
+            << "scale " << scale;
+        EXPECT_NEAR(rec.t, 5.0f, 1e-3f) << "scale " << scale;
+    }
+}
+
+TEST(RayTriangle, FullyDegenerateTriangleCulled)
+{
+    HitRecord rec;
+    // All three vertices identical: det == eps == 0; the <= cull must
+    // reject instead of dividing by zero and accepting a NaN t.
+    Triangle point{{1, 1, 5}, {1, 1, 5}, {1, 1, 5}};
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({1, 1, 0}, {0, 0, 1}), point, rec));
+    // Collinear vertices (zero-area sliver collapsed to a segment).
+    Triangle seg{{0, 0, 5}, {1, 0, 5}, {2, 0, 5}};
+    EXPECT_FALSE(intersectRayTriangle(
+        makeRay({1, 0, 0}, {0, 0, 1}), seg, rec));
+}
+
+TEST(RayTriangle, SliverTrianglesMatchOracleProperty)
+{
+    // Near-degenerate slivers across coordinate scales: whenever the
+    // kernel reports a hit, the reconstructed point must lie on the
+    // triangle plane (no garbage from an ill-conditioned 1/det), and
+    // clear geometric hits must not be lost to the cull.
+    Rng rng(41);
+    int hits = 0;
+    for (int i = 0; i < 2000; ++i) {
+        float scale = std::pow(10.0f, rng.nextRange(-3.0f, 3.0f));
+        float sliver = std::pow(10.0f, rng.nextRange(-6.0f, -1.0f));
+        // Long thin triangle: base along x, apex barely off-axis.
+        Triangle tri{{-scale, 0, 5 * scale},
+                     {scale, 0, 5 * scale},
+                     {rng.nextRange(-0.5f, 0.5f) * scale,
+                      sliver * scale, 5 * scale}};
+        Ray ray = makeRay({rng.nextRange(-1.0f, 1.0f) * scale,
+                           sliver * scale * 0.25f, 0},
+                          {0, 0, scale});
+        HitRecord rec;
+        if (intersectRayTriangle(ray, tri, rec)) {
+            hits++;
+            ASSERT_TRUE(std::isfinite(rec.t));
+            Vec3 p = ray.at(rec.t);
+            EXPECT_NEAR(p.z / scale, 5.0f, 1e-2f);
+            EXPECT_GE(rec.u, 0.0f);
+            EXPECT_LE(rec.u + rec.v, 1.0f);
+        }
+    }
+    EXPECT_GT(hits, 50); // the sample must actually exercise hits
 }
 
 TEST(RayBoxPrecompTest, MatchesUncachedOverload)

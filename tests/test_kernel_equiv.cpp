@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Scalar vs SoA intersection-kernel equivalence tests
+ * (geometry/intersect_soa.hpp): RTP_KERNEL=soa must be byte-identical
+ * to the scalar kernels in every observable output — per-lane kernel
+ * results, BvhTraversal hit records, SimResult JSON, Chrome-trace
+ * bytes, and telemetry timelines — on every bundled scene. The SoA
+ * path is a host-throughput optimisation only; a single differing bit
+ * anywhere is a bug.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bvh/traversal.hpp"
+#include "exp/workload.hpp"
+#include "geometry/intersect.hpp"
+#include "geometry/intersect_soa.hpp"
+#include "gpu/simulator.hpp"
+#include "rays/ray_soa.hpp"
+#include "scene/registry.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/telemetry.hpp"
+#include "util/trace.hpp"
+
+namespace rtp {
+namespace {
+
+/** Small shared workload set: every bundled scene at low detail. */
+WorkloadCache &
+cache()
+{
+    static WorkloadCache *c = [] {
+        WorkloadConfig wc;
+        wc.detail = 0.05f;
+        wc.raygen.width = 24;
+        wc.raygen.height = 24;
+        wc.raygen.samplesPerPixel = 1;
+        wc.raygen.viewportFraction = 0.3f;
+        return new WorkloadCache(wc);
+    }();
+    return *c;
+}
+
+std::uint32_t
+bits(float f)
+{
+    std::uint32_t b;
+    std::memcpy(&b, &f, 4);
+    return b;
+}
+
+/** Exact comparison of two hit records, including t/u/v bit patterns. */
+void
+expectBitIdentical(const HitRecord &a, const HitRecord &b,
+                   const char *what, std::size_t i)
+{
+    ASSERT_EQ(a.hit, b.hit) << what << " ray " << i;
+    if (!a.hit)
+        return;
+    EXPECT_EQ(a.prim, b.prim) << what << " ray " << i;
+    EXPECT_EQ(bits(a.t), bits(b.t)) << what << " ray " << i;
+    EXPECT_EQ(bits(a.u), bits(b.u)) << what << " ray " << i;
+    EXPECT_EQ(bits(a.v), bits(b.v)) << what << " ray " << i;
+}
+
+std::string
+runPlain(const Workload &w, SimConfig config, KernelKind kernel)
+{
+    config.rt.kernel = kernel;
+    return Simulation(config, w.bvh, w.scene.mesh.triangles())
+        .run(w.ao.rays)
+        .toJson();
+}
+
+// ---------------------------------------------------------------------
+// Kernel level: batched lanes vs per-call scalar kernels, bit for bit.
+// ---------------------------------------------------------------------
+
+TEST(KernelEquiv, BoxLanesMatchScalarBitwiseProperty)
+{
+    Rng rng(23);
+    for (int iter = 0; iter < 200; ++iter) {
+        Aabb box;
+        box.extend(Vec3{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                        rng.nextRange(-5, 5)});
+        box.extend(Vec3{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+                        rng.nextRange(-5, 5)});
+
+        std::vector<Ray> rays;
+        for (std::uint32_t i = 0; i < 13; ++i) {
+            Ray r;
+            r.origin = {rng.nextRange(-10, 10), rng.nextRange(-10, 10),
+                        rng.nextRange(-10, 10)};
+            r.dir = {rng.nextRange(-1, 1), rng.nextRange(-1, 1),
+                     rng.nextRange(-1, 1)};
+            // Mix in the historical failure modes: axis-parallel
+            // directions (zero components, both signs) and origins on
+            // slab planes.
+            if (i % 4 == 0)
+                r.dir.x = (i % 8 == 0) ? 0.0f : -0.0f;
+            if (i % 5 == 0)
+                r.origin.x = box.lo.x;
+            r.tMax = rng.nextRange(1.0f, 40.0f);
+            rays.push_back(r);
+        }
+
+        RayBatchSoA batch = RayBatchSoA::fromRays(rays);
+        std::vector<std::uint32_t> slots;
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(rays.size()); ++i)
+            slots.push_back(i);
+        RayLanes lanes;
+        batch.gather(slots.data(),
+                     static_cast<std::uint32_t>(slots.size()), lanes);
+
+        float t_soa[RayLanes::kMax];
+        std::uint8_t hit_soa[RayLanes::kMax];
+        intersectRayAabbSoa(lanes,
+                            static_cast<std::uint32_t>(rays.size()),
+                            box, t_soa, hit_soa);
+
+        for (std::size_t i = 0; i < rays.size(); ++i) {
+            RayBoxPrecomp pre(rays[i]);
+            float t_scalar = 0;
+            bool hit_scalar =
+                intersectRayAabb(rays[i], pre, box, t_scalar);
+            ASSERT_EQ(hit_scalar, hit_soa[i] != 0)
+                << "iter " << iter << " lane " << i;
+            if (hit_scalar)
+                EXPECT_EQ(bits(t_scalar), bits(t_soa[i]))
+                    << "iter " << iter << " lane " << i;
+        }
+    }
+}
+
+TEST(KernelEquiv, TriangleLanesMatchScalarBitwiseProperty)
+{
+    Rng rng(29);
+    std::vector<Triangle> tris;
+    for (int i = 0; i < 64; ++i) {
+        float scale = std::pow(10.0f, rng.nextRange(-2.0f, 2.0f));
+        tris.push_back(Triangle{
+            {rng.nextRange(-3, 3) * scale, rng.nextRange(-3, 3) * scale,
+             rng.nextRange(2, 8) * scale},
+            {rng.nextRange(-3, 3) * scale, rng.nextRange(-3, 3) * scale,
+             rng.nextRange(2, 8) * scale},
+            {rng.nextRange(-3, 3) * scale, rng.nextRange(-3, 3) * scale,
+             rng.nextRange(2, 8) * scale}});
+    }
+    // Identity slot order plus a degenerate lane to exercise the cull.
+    tris[7] = Triangle{{1, 1, 5}, {1, 1, 5}, {1, 1, 5}};
+    std::vector<std::uint32_t> slot_to_tri;
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(tris.size()); ++i)
+        slot_to_tri.push_back(i);
+    TriangleSoA soa = TriangleSoA::build(tris, slot_to_tri);
+
+    TriLaneHits out;
+    for (int iter = 0; iter < 100; ++iter) {
+        Ray ray;
+        ray.origin = {rng.nextRange(-2, 2), rng.nextRange(-2, 2),
+                      rng.nextRange(-30, 0)};
+        ray.dir = {rng.nextRange(-0.3f, 0.3f),
+                   rng.nextRange(-0.3f, 0.3f), 1.0f};
+        ray.tMax = 1e30f;
+
+        out.resize(tris.size());
+        intersectRayTriangleSoa(
+            ray.origin, ray.dir, soa, 0,
+            static_cast<std::uint32_t>(tris.size()), out);
+
+        for (std::size_t i = 0; i < tris.size(); ++i) {
+            HitRecord h;
+            bool hit_scalar = intersectRayTriangle(ray, tris[i], h);
+            bool hit_soa =
+                out.pass[i] != 0 && out.t[i] > ray.tMin &&
+                out.t[i] < ray.tMax;
+            ASSERT_EQ(hit_scalar, hit_soa)
+                << "iter " << iter << " lane " << i;
+            if (hit_scalar) {
+                EXPECT_EQ(bits(h.t), bits(out.t[i])) << "lane " << i;
+                EXPECT_EQ(bits(h.u), bits(out.u[i])) << "lane " << i;
+                EXPECT_EQ(bits(h.v), bits(out.v[i])) << "lane " << i;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Traversal level: BvhTraversal in both kernel modes vs the free-
+// function reference, on every bundled scene.
+// ---------------------------------------------------------------------
+
+TEST(KernelEquiv, TraversalBitIdenticalOnEveryScene)
+{
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache().get(id);
+        const auto &tris = w.scene.mesh.triangles();
+        BvhTraversal scalar_ctx(w.bvh, tris, KernelKind::Scalar);
+        BvhTraversal soa_ctx(w.bvh, tris, KernelKind::Soa);
+
+        for (std::size_t i = 0; i < w.ao.rays.size(); ++i) {
+            const Ray &ray = w.ao.rays[i];
+            HitRecord ref = traverseClosestHit(w.bvh, tris, ray);
+            HitRecord a = scalar_ctx.closestHit(ray);
+            HitRecord b = soa_ctx.closestHit(ray);
+            expectBitIdentical(ref, a, w.scene.shortName.c_str(), i);
+            expectBitIdentical(a, b, w.scene.shortName.c_str(), i);
+
+            HitRecord ref_any = traverseAnyHit(w.bvh, tris, ray);
+            HitRecord a_any = scalar_ctx.anyHit(ray);
+            HitRecord b_any = soa_ctx.anyHit(ray);
+            expectBitIdentical(ref_any, a_any,
+                               w.scene.shortName.c_str(), i);
+            expectBitIdentical(a_any, b_any,
+                               w.scene.shortName.c_str(), i);
+        }
+    }
+}
+
+TEST(KernelEquiv, TraversalBatchMatchesPerRayCalls)
+{
+    const Workload &w = cache().get(SceneId::Sibenik);
+    const auto &tris = w.scene.mesh.triangles();
+    BvhTraversal ctx(w.bvh, tris, KernelKind::Soa);
+
+    std::vector<HitRecord> batch;
+    ctx.closestHitBatch(w.ao.rays, batch);
+    ASSERT_EQ(batch.size(), w.ao.rays.size());
+    std::vector<std::uint8_t> any;
+    ctx.anyHitBatch(w.ao.rays, any);
+    ASSERT_EQ(any.size(), w.ao.rays.size());
+
+    for (std::size_t i = 0; i < w.ao.rays.size(); ++i) {
+        HitRecord one = ctx.closestHit(w.ao.rays[i]);
+        expectBitIdentical(one, batch[i], "batch", i);
+        EXPECT_EQ(ctx.anyHit(w.ao.rays[i]).hit, any[i] != 0)
+            << "ray " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation level: the cycle model's byte-identity contract.
+// ---------------------------------------------------------------------
+
+TEST(KernelEquiv, EverySceneSimResultByteIdentical)
+{
+    SimConfig config = SimConfig::proposed();
+    for (SceneId id : allSceneIds()) {
+        const Workload &w = cache().get(id);
+        EXPECT_EQ(runPlain(w, config, KernelKind::Scalar),
+                  runPlain(w, config, KernelKind::Soa))
+            << w.scene.shortName;
+    }
+}
+
+TEST(KernelEquiv, BaselineConfigByteIdentical)
+{
+    // Predictor-off baseline exercises plain root-down traversal (no
+    // PredEval phase, no repacking) through the same kernel seam.
+    SimConfig config = SimConfig::baseline();
+    const Workload &w = cache().get(SceneId::FireplaceRoom);
+    EXPECT_EQ(runPlain(w, config, KernelKind::Scalar),
+              runPlain(w, config, KernelKind::Soa));
+}
+
+TEST(KernelEquiv, ObserversByteIdenticalAcrossKernels)
+{
+    // Trace, telemetry, and the invariant checker attached: every
+    // observer's bytes and the probe count must match across kernels.
+    const Workload &w = cache().get(SceneId::CrytekSponza);
+    struct Out
+    {
+        std::string result, trace, telemetry;
+        std::uint64_t checks = 0;
+    };
+    auto run = [&](KernelKind kernel) {
+        SimConfig config = SimConfig::proposed();
+        config.rt.kernel = kernel;
+        TraceSink sink(1u << 16);
+        TelemetrySampler sampler(128);
+        InvariantChecker check;
+        config.trace = &sink;
+        config.telemetry = &sampler;
+        config.check = &check;
+        Out out;
+        out.result = Simulation(config, w.bvh,
+                                w.scene.mesh.triangles())
+                         .run(w.ao.rays)
+                         .toJson();
+        std::ostringstream trace_os;
+        sink.writeChromeTrace(trace_os);
+        out.trace = trace_os.str();
+        std::ostringstream telemetry_os;
+        sampler.writeJson(telemetry_os);
+        out.telemetry = telemetry_os.str();
+        out.checks = check.checksRun();
+        return out;
+    };
+    const Out scalar = run(KernelKind::Scalar);
+    const Out soa = run(KernelKind::Soa);
+    EXPECT_EQ(scalar.result, soa.result);
+    EXPECT_EQ(scalar.trace, soa.trace);
+    EXPECT_EQ(scalar.telemetry, soa.telemetry);
+    EXPECT_EQ(scalar.checks, soa.checks);
+}
+
+TEST(KernelEquiv, KernelNameRoundTrip)
+{
+    EXPECT_STREQ(kernelName(KernelKind::Scalar), "scalar");
+    EXPECT_STREQ(kernelName(KernelKind::Soa), "soa");
+    KernelKind k;
+    EXPECT_TRUE(parseKernelName("scalar", k));
+    EXPECT_EQ(k, KernelKind::Scalar);
+    EXPECT_TRUE(parseKernelName("soa", k));
+    EXPECT_EQ(k, KernelKind::Soa);
+    EXPECT_FALSE(parseKernelName("", k));
+    EXPECT_FALSE(parseKernelName("SOA", k));
+    EXPECT_FALSE(parseKernelName("avx", k));
+}
+
+} // namespace
+} // namespace rtp

@@ -18,6 +18,14 @@
  * fuzzing the sharded loop's byte-identical contract
  * (docs/performance.md) across the whole randomised config space.
  *
+ * With --kernel the differential instead fuzzes the intersection-kernel
+ * seam: each seed runs the derived point with the scalar kernels
+ * (KernelKind::Scalar) and with the SoA kernels (KernelKind::Soa),
+ * both under the invariant checker, and byte-compares the SimResult
+ * JSON plus the number of checker probes — the bitwise scalar/SoA
+ * equivalence contract (geometry/intersect_soa.hpp) across the
+ * randomised config space.
+ *
  * On failure the tool prints an exact reproducer — the seed plus the
  * derived configuration as JSON — greedily shrinks the failing ray set
  * (chunk removal), and optionally writes the reproducer to a JSON file
@@ -28,7 +36,7 @@
  *
  * Usage:
  *   simfuzz [--seeds N] [--base-seed B] [--repro SEED]
- *           [--repro-out PATH] [--sharded]
+ *           [--repro-out PATH] [--sharded] [--kernel]
  */
 
 #include <cstdint>
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "bvh/builder.hpp"
+#include "geometry/intersect_soa.hpp"
 #include "gpu/differential.hpp"
 #include "gpu/simulator.hpp"
 #include "rays/raygen.hpp"
@@ -241,7 +250,48 @@ runShardedPoint(const SimConfig &config, const FuzzScene &fs,
     }
 }
 
-/** Signature shared by runPoint / runShardedPoint. */
+/**
+ * Scalar-vs-SoA kernel differential (--kernel): run the point with
+ * each KernelKind under the invariant checker and byte-compare the
+ * SimResult JSON and the checker-probe count. @return The failure
+ * message, or empty.
+ */
+std::string
+runKernelPoint(const SimConfig &config, const FuzzScene &fs,
+               const std::vector<Ray> &rays)
+{
+    try {
+        auto run_with = [&](KernelKind kernel,
+                            std::uint64_t &checks_run) {
+            InvariantChecker check;
+            SimConfig c = config;
+            c.check = &check;
+            c.rt.kernel = kernel;
+            std::string json =
+                Simulation(c, fs.bvh, fs.scene.mesh.triangles())
+                    .run(rays)
+                    .toJson();
+            checks_run = check.checksRun();
+            return json;
+        };
+        std::uint64_t ref_checks = 0, soa_checks = 0;
+        const std::string ref =
+            run_with(KernelKind::Scalar, ref_checks);
+        const std::string soa = run_with(KernelKind::Soa, soa_checks);
+        if (soa != ref)
+            return "SoA kernels diverged from the scalar reference "
+                   "SimResult JSON";
+        if (soa_checks != ref_checks)
+            return "SoA kernels ran " + std::to_string(soa_checks) +
+                   " checker probes vs " + std::to_string(ref_checks) +
+                   " scalar";
+        return std::string();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+}
+
+/** Signature shared by runPoint / runShardedPoint / runKernelPoint. */
 using PointRunner = std::string (*)(const SimConfig &,
                                     const FuzzScene &,
                                     const std::vector<Ray> &);
@@ -324,6 +374,7 @@ main(int argc, char **argv)
     std::uint64_t base_seed = 1;
     bool repro_mode = false;
     bool sharded_mode = false;
+    bool kernel_mode = false;
     std::uint64_t repro_seed = 0;
     const char *repro_out = nullptr;
 
@@ -349,11 +400,13 @@ main(int argc, char **argv)
             repro_out = v;
         } else if (std::strcmp(argv[i], "--sharded") == 0) {
             sharded_mode = true;
+        } else if (std::strcmp(argv[i], "--kernel") == 0) {
+            kernel_mode = true;
         } else {
             std::fprintf(stderr,
                          "usage: simfuzz [--seeds N] [--base-seed B] "
                          "[--repro SEED] [--repro-out PATH] "
-                         "[--sharded]\n");
+                         "[--sharded] [--kernel]\n");
             return 2;
         }
     }
@@ -367,10 +420,21 @@ main(int argc, char **argv)
     std::uint64_t first = repro_mode ? repro_seed : base_seed;
     std::uint64_t count = repro_mode ? 1 : num_seeds;
     std::uint64_t failures = 0;
-    const PointRunner run = sharded_mode ? runShardedPoint : runPoint;
+    if (sharded_mode && kernel_mode) {
+        std::fprintf(stderr,
+                     "simfuzz: --sharded and --kernel are separate "
+                     "differential targets; pick one\n");
+        return 2;
+    }
+    const PointRunner run = sharded_mode  ? runShardedPoint
+                            : kernel_mode ? runKernelPoint
+                                          : runPoint;
     if (sharded_mode)
         std::printf("simfuzz: sharded differential mode (sequential "
                     "vs simThreads 2 and 4)\n");
+    if (kernel_mode)
+        std::printf("simfuzz: kernel differential mode (scalar vs "
+                    "SoA intersection kernels)\n");
 
     for (std::uint64_t s = 0; s < count; ++s) {
         std::uint64_t seed = first + s;
