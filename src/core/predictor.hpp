@@ -143,6 +143,18 @@ class RayPredictor
      */
     void checkFinalState(InvariantChecker &check) const;
 
+    /**
+     * Drop the trace sink and invariant checker. Copies made for
+     * cross-request cloning (PredictorSet::clone) call this so two
+     * jobs never share one observer.
+     */
+    void
+    detachObservers()
+    {
+        trace_ = nullptr;
+        check_ = nullptr;
+    }
+
     const PredictorConfig &
     config() const
     {

@@ -222,4 +222,14 @@ PredictorTable::reset()
     }
 }
 
+std::size_t
+PredictorTable::validEntries() const
+{
+    std::size_t valid = 0;
+    for (const auto &set : sets_)
+        for (const auto &e : set)
+            valid += e.valid ? 1 : 0;
+    return valid;
+}
+
 } // namespace rtp

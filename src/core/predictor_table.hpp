@@ -121,6 +121,21 @@ class PredictorTable
     /** Invalidate all entries. */
     void reset();
 
+    /**
+     * @return Number of valid (trained) entries across all sets — the
+     * warm-state occupancy a service reports as predictor warmth at
+     * job admission.
+     */
+    std::size_t validEntries() const;
+
+    /** @return Total entry capacity (sets x ways). */
+    std::size_t
+    capacity() const
+    {
+        std::uint32_t ways = config_.ways == 0 ? 1 : config_.ways;
+        return static_cast<std::size_t>(numSets_) * ways;
+    }
+
   private:
     struct NodeSlot
     {

@@ -11,7 +11,10 @@
 #include <system_error>
 #include <utility>
 
+#include "exp/env_config.hpp"
+#include "service/sim_service.hpp"
 #include "util/check.hpp"
+#include "util/schema.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -19,38 +22,78 @@ namespace rtp {
 
 namespace {
 
-/** Read a sweep-point index from @p env, clamped to the sweep size. */
+/** Clamp a parsed sweep-point index to the sweep size. */
 std::size_t
-pointIndexFromEnv(const char *env, std::size_t num_points)
+clampPointIndex(std::size_t idx, std::size_t num_points)
 {
-    std::size_t idx = 0;
-    if (const char *p = std::getenv(env))
-        idx = static_cast<std::size_t>(std::strtoull(p, nullptr, 10));
     return idx < num_points ? idx : num_points - 1;
 }
 
 /**
- * RTP_KERNEL=scalar|soa: intersection-kernel selection for every sweep
- * point of the process. Parsed once (the value is a host execution knob
- * like RTP_SIM_THREADS: results are byte-identical either way, so
- * mid-process changes have nothing observable to change). Malformed
- * values throw, same convention as parseThreadCountEnv.
+ * RTP_SERVICE=1: run the sweep through a SimService job server instead
+ * of the runSweep thread pool — same thread budget (service workers =
+ * sweep threads, per-job sharded-loop threads = sim threads), same
+ * submission-order results, byte-identical output. Sweep points have no
+ * cross-run predictor state, so jobs opt out of warm sharing; the point
+ * of the mode is exercising the admission/scheduling machinery under
+ * every bench workload. The first failed job's original exception is
+ * rethrown in submission order, matching runSweep.
  */
-KernelKind
-kernelFromEnv()
+std::vector<SimResult>
+runPointsViaService(const std::vector<SimPoint> &points,
+                    const EnvConfig &env, const char *label)
 {
-    static const KernelKind kind = [] {
-        const char *p = std::getenv("RTP_KERNEL");
-        if (!p || !*p)
-            return KernelKind::Scalar;
-        KernelKind parsed;
-        if (!parseKernelName(p, parsed))
-            throw std::invalid_argument(
-                "RTP_KERNEL must be \"scalar\" or \"soa\", got \"" +
-                std::string(p) + "\"");
-        return parsed;
-    }();
-    return kind;
+    ServiceConfig sc;
+    sc.workers = env.budget.sweepThreads;
+    sc.simThreads = env.budget.simThreads;
+    sc.maxQueued = points.size() + 1;
+    SimService service(sc);
+
+    // One checker per point, alive until the job is collected (the
+    // same single-threaded-checker contract the pool path keeps with
+    // stack-local checkers).
+    std::vector<std::unique_ptr<InvariantChecker>> checkers;
+    std::vector<JobId> ids;
+    ids.reserve(points.size());
+    for (const SimPoint &p : points) {
+        JobRequest req;
+        req.tenant = "harness";
+        req.bvh = p.bvh;
+        req.triangles = p.triangles;
+        req.rays = p.rays;
+        req.config = p.config;
+        if (env.kernel != KernelKind::Scalar)
+            req.config.rt.kernel = env.kernel;
+        if (env.check) {
+            checkers.push_back(std::make_unique<InvariantChecker>());
+            req.config.check = checkers.back().get();
+        }
+        req.shareWarmState = false;
+        Admission adm = service.submit(req);
+        if (!adm.accepted)
+            throw std::runtime_error(
+                "RTP_SERVICE harness submit rejected: " + adm.reason);
+        ids.push_back(adm.id);
+    }
+
+    std::vector<SimResult> results;
+    results.reserve(ids.size());
+    std::exception_ptr first_error;
+    for (JobId id : ids) {
+        JobOutcome out = service.wait(id);
+        if (out.state == JobState::Failed && !first_error)
+            first_error = out.exception;
+        results.push_back(std::move(out.result));
+    }
+    service.shutdown();
+    if (first_error)
+        std::rethrow_exception(first_error);
+    if (label)
+        std::fprintf(stderr,
+                     "[rtp-harness] %s: %zu points via SimService "
+                     "(%u workers)\n",
+                     label, points.size(), service.workerCount());
+    return results;
 }
 
 /** Escape a string for embedding in a JSON document. */
@@ -95,7 +138,13 @@ makePoint(const Workload &w, const SimConfig &config, bool sorted)
 std::vector<SimResult>
 runSimPoints(const std::vector<SimPoint> &points, const char *label)
 {
-    // RTP_CHECK=1: run every sweep point under the invariant checker
+    // All RTP_* knobs come from the unified env layer
+    // (exp/env_config.hpp): thread budget, kernel, checker flag,
+    // observer paths, service routing. Re-read per sweep (not cached)
+    // so tests can vary the environment between calls; malformed
+    // values throw here, before any simulation starts.
+    //
+    // RTP_CHECK=1 runs every sweep point under the invariant checker
     // and the per-ray reference oracle (util/check.hpp,
     // docs/validation.md). One stack-local checker per point keeps the
     // single-threaded checker contract under the parallel sweep. A
@@ -103,24 +152,15 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     // point of the flag is that CI fails loudly, so no recovery is
     // attempted. Checked results are byte-identical to unchecked ones;
     // only wall-clock time changes.
-    static const bool check_enabled = [] {
-        const char *c = std::getenv("RTP_CHECK");
-        return c && *c && std::strcmp(c, "0") != 0;
-    }();
-    // RTP_SIM_THREADS composes with RTP_THREADS through the thread
-    // budget (exp/parallel.hpp): sweep-level pool size x per-simulation
-    // sharded-loop workers. Re-read per sweep (not cached) so tests can
-    // vary the env between calls. Malformed values throw here, before
-    // any simulation starts.
-    const ThreadBudget budget = threadBudgetFromEnv();
-    const KernelKind kernel = kernelFromEnv();
-    auto run = [&budget, kernel](const SimPoint &p) {
+    const EnvConfig env = EnvConfig::fromEnvironment();
+    const ThreadBudget budget = env.budget;
+    auto run = [&env, &budget](const SimPoint &p) {
         SimConfig config = p.config;
         if (config.simThreads <= 1)
             config.simThreads = budget.simThreads;
-        if (kernel != KernelKind::Scalar)
-            config.rt.kernel = kernel;
-        if (check_enabled) {
+        if (env.kernel != KernelKind::Scalar)
+            config.rt.kernel = env.kernel;
+        if (env.check) {
             InvariantChecker check;
             config.check = &check;
             return Simulation(config, *p.bvh, *p.triangles)
@@ -141,22 +181,23 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     // bench output is byte-identical with or without them.
     static bool traceConsumed = false;
     static bool telemetryConsumed = false;
-    const char *trace_path = std::getenv("RTP_TRACE");
-    const char *telemetry_path = std::getenv("RTP_TELEMETRY");
-    bool want_trace = trace_path && *trace_path && !traceConsumed &&
+    bool want_trace = !env.tracePath.empty() && !traceConsumed &&
                       !points.empty();
-    bool want_telemetry = telemetry_path && *telemetry_path &&
+    bool want_telemetry = !env.telemetryPath.empty() &&
                           !telemetryConsumed && !points.empty();
-    if (!want_trace && !want_telemetry)
+    if (!want_trace && !want_telemetry) {
+        if (env.service)
+            return runPointsViaService(points, env, label);
         return runSweep(points, run, label, nullptr,
                         budget.sweepThreads);
+    }
 
     std::vector<SimPoint> observed = points;
     TraceSink sink;
     std::size_t trace_idx = 0;
     if (want_trace) {
         traceConsumed = true;
-        trace_idx = pointIndexFromEnv("RTP_TRACE_POINT", points.size());
+        trace_idx = clampPointIndex(env.tracePoint, points.size());
         observed[trace_idx].config.trace = &sink;
     }
 
@@ -165,47 +206,41 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     if (want_telemetry) {
         telemetryConsumed = true;
         telemetry_idx =
-            pointIndexFromEnv("RTP_TELEMETRY_POINT", points.size());
-        // RTP_TELEMETRY_PERIOD: sampling period in simulated cycles.
-        // 256 resolves predictor warm-up on the bundled workloads while
-        // keeping timelines to a few thousand records.
-        Cycle period = 256;
-        if (const char *p = std::getenv("RTP_TELEMETRY_PERIOD")) {
-            Cycle parsed = std::strtoull(p, nullptr, 10);
-            if (parsed == 0)
-                std::fprintf(stderr,
-                             "[rtp-harness] RTP_TELEMETRY_PERIOD must "
-                             "be >= 1; using %llu\n",
-                             static_cast<unsigned long long>(period));
-            else
-                period = parsed;
-        }
-        sampler = std::make_unique<TelemetrySampler>(period);
+            clampPointIndex(env.telemetryPoint, points.size());
+        // RTP_TELEMETRY_PERIOD (strict, >= 1): sampling period in
+        // simulated cycles. 256 resolves predictor warm-up on the
+        // bundled workloads while keeping timelines to a few thousand
+        // records.
+        sampler = std::make_unique<TelemetrySampler>(
+            env.telemetryPeriod);
         observed[telemetry_idx].config.telemetry = sampler.get();
     }
 
     std::vector<SimResult> results =
-        runSweep(observed, run, label, nullptr, budget.sweepThreads);
+        env.service
+            ? runPointsViaService(observed, env, label)
+            : runSweep(observed, run, label, nullptr,
+                       budget.sweepThreads);
 
     if (want_trace) {
-        if (ensureParentDir(trace_path) &&
-            sink.writeChromeTrace(trace_path))
+        if (ensureParentDir(env.tracePath) &&
+            sink.writeChromeTrace(env.tracePath))
             std::fprintf(stderr,
                          "[rtp-harness] wrote trace %s "
                          "(%zu events, %llu dropped, point %zu)\n",
-                         trace_path, sink.size(),
+                         env.tracePath.c_str(), sink.size(),
                          static_cast<unsigned long long>(
                              sink.dropped()),
                          trace_idx);
         else
             std::fprintf(stderr,
                          "[rtp-harness] cannot write trace %s\n",
-                         trace_path);
+                         env.tracePath.c_str());
     }
     if (want_telemetry) {
         // Extension picks the format: .csv = long-format CSV,
         // everything else = the JSON timeline object.
-        std::string path = telemetry_path;
+        const std::string &path = env.telemetryPath;
         bool csv = path.size() >= 4 &&
                    path.compare(path.size() - 4, 4, ".csv") == 0;
         bool ok = ensureParentDir(path) &&
@@ -295,9 +330,9 @@ runOne(const Workload &w, const SimConfig &config, bool sorted)
 
 JsonResultSink::JsonResultSink(std::string name) : name_(std::move(name))
 {
-    const char *dir = std::getenv("RTP_JSON_DIR");
-    path_ = dir && *dir ? std::string(dir) + "/" + name_ + ".json"
-                        : name_ + ".json";
+    const std::string dir = envString("RTP_JSON_DIR");
+    path_ = !dir.empty() ? dir + "/" + name_ + ".json"
+                         : name_ + ".json";
 }
 
 JsonResultSink::~JsonResultSink()
@@ -332,7 +367,8 @@ JsonResultSink::close()
     closed_ = true;
 
     std::ostringstream os;
-    os << "{\"bench\":\"" << jsonEscape(name_) << "\"";
+    os << "{\"schema_version\":" << kResultSchemaVersion
+       << ",\"bench\":\"" << jsonEscape(name_) << "\"";
     if (!timingJson_.empty())
         os << ",\"timing\":" << timingJson_;
     os << ",\"results\":{";

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "exp/env_config.hpp"
 #include "exp/parallel.hpp"
 #include "rays/sorting.hpp"
 
@@ -12,14 +13,11 @@ WorkloadConfig
 WorkloadConfig::fromEnvironment()
 {
     WorkloadConfig c;
-    int scale = 1;
-    if (const char *env = std::getenv("RTP_SCALE")) {
-        scale = std::atoi(env);
-        if (scale < 1)
-            scale = 1;
-        if (scale > 16)
-            scale = 16;
-    }
+    // Strict parsing via the unified env layer: garbage or
+    // non-positive values throw (they used to be silently clamped to
+    // 1, hiding typos); values above 16 are still clamped.
+    std::uint64_t parsed = parseEnvPositive("RTP_SCALE", 1);
+    int scale = parsed > 16 ? 16 : static_cast<int>(parsed);
     // Scale 1: detail 0.12, 96x96 viewport, 4 spp (fast default).
     // Each +1 doubles the ray count and raises geometric detail toward
     // the paper's full-resolution setup.

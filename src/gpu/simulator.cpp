@@ -3,6 +3,7 @@
 #include "gpu/differential.hpp"
 #include "gpu/shard.hpp"
 #include "util/check.hpp"
+#include "util/schema.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -65,7 +66,8 @@ SimResult::toJson(std::ostream &os) const
         std::snprintf(buf, sizeof(buf), "%.17g", v);
         os << buf;
     };
-    os << "{\"cycles\":" << cycles;
+    os << "{\"schema_version\":" << kResultSchemaVersion;
+    os << ",\"cycles\":" << cycles;
     os << ",\"rays\":" << rayResults.size();
     os << ",\"predicted_rate\":";
     num(predictedRate());
@@ -633,6 +635,43 @@ PredictorSet::resetTables()
 {
     for (auto &p : predictors_)
         p->resetTable();
+}
+
+PredictorSet
+PredictorSet::clone() const
+{
+    PredictorSet out;
+    out.predictors_.reserve(predictors_.size());
+    for (const auto &p : predictors_) {
+        auto copy = std::make_unique<RayPredictor>(*p);
+        // Observers (trace sink, invariant checker) are per-run
+        // attachments; a clone sharing them would interleave two jobs'
+        // events in one sink.
+        copy->detachObservers();
+        out.predictors_.push_back(std::move(copy));
+    }
+    return out;
+}
+
+void
+PredictorSet::reset()
+{
+    for (auto &p : predictors_) {
+        p->resetTable();
+        p->clearStats();
+    }
+}
+
+PredictorSetStats
+PredictorSet::snapshotStats() const
+{
+    PredictorSetStats s;
+    s.numSms = predictors_.size();
+    for (const auto &p : predictors_) {
+        s.validEntries += p->table().validEntries();
+        s.capacity += p->table().capacity();
+    }
+    return s;
 }
 
 std::vector<RayPredictor *>

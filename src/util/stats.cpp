@@ -1,5 +1,7 @@
 #include "util/stats.hpp"
 
+#include "util/schema.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
@@ -412,7 +414,8 @@ Histogram::toJson(std::ostream &os) const
 void
 StatGroup::toJson(std::ostream &os) const
 {
-    os << "{\"counters\":{";
+    os << "{\"schema_version\":" << kResultSchemaVersion
+       << ",\"counters\":{";
     bool first = true;
     for (const auto &kv : counters()) {
         if (!first)

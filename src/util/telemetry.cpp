@@ -7,6 +7,7 @@
 
 #include "mem/memory_system.hpp"
 #include "rtunit/rt_unit.hpp"
+#include "util/schema.hpp"
 
 namespace rtp {
 
@@ -132,7 +133,8 @@ TelemetrySampler::takeSample(Cycle at)
 void
 TelemetrySampler::writeJson(std::ostream &os) const
 {
-    os << "{\"telemetry\":{\"period\":" << period_
+    os << "{\"schema_version\":" << kResultSchemaVersion
+       << ",\"telemetry\":{\"period\":" << period_
        << ",\"num_sms\":" << numSms_
        << ",\"dropped_records\":" << droppedRecords_
        << ",\"samples\":[";

@@ -1,5 +1,7 @@
 #include "util/trace.hpp"
 
+#include "util/schema.hpp"
+
 #include <cstdio>
 #include <fstream>
 
@@ -257,6 +259,7 @@ TraceSink::writeChromeTrace(std::ostream &os) const
         os << "}";
     }
     os << "],\"displayTimeUnit\":\"ns\",\"otherData\":{"
+       << "\"schema_version\":" << kResultSchemaVersion << ","
        << "\"clock\":\"1 ts = 1 simulated cycle\","
        << "\"buffered_events\":" << size_
        << ",\"dropped_events\":" << dropped_

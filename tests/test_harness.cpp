@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 
 #include "exp/harness.hpp"
 #include "gpu/config.hpp"
@@ -40,9 +41,14 @@ TEST(WorkloadConfig, EnvironmentScaling)
     WorkloadConfig big = WorkloadConfig::fromEnvironment();
     EXPECT_LE(big.detail, 1.0f);
 
-    setenv("RTP_SCALE", "-3", 1); // clamped up
-    WorkloadConfig neg = WorkloadConfig::fromEnvironment();
-    EXPECT_NEAR(neg.detail, base.detail, 1e-5f);
+    // Strict parsing (exp/env_config.hpp): non-positive or garbage
+    // values throw instead of being silently clamped to the default.
+    setenv("RTP_SCALE", "-3", 1);
+    EXPECT_THROW(WorkloadConfig::fromEnvironment(),
+                 std::invalid_argument);
+    setenv("RTP_SCALE", "4x", 1);
+    EXPECT_THROW(WorkloadConfig::fromEnvironment(),
+                 std::invalid_argument);
     unsetenv("RTP_SCALE");
 }
 

@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for SimService (src/service/): the multi-tenant job server's
+ * determinism contract (results byte-identical to direct
+ * Simulation::run, including warm shared-state sequences), admission
+ * control, fair scheduling, cancellation, shutdown, warm-state
+ * eviction, and the PredictorSet clone/reset/snapshot lifecycle the
+ * warm registry is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bvh/builder.hpp"
+#include "rays/raygen.hpp"
+#include "scene/registry.hpp"
+#include "service/sim_service.hpp"
+
+namespace rtp {
+namespace {
+
+struct Rig
+{
+    Scene scene;
+    Bvh bvh;
+    RayBatch ao;
+
+    Rig() : scene(makeScene(SceneId::FireplaceRoom, 0.05f))
+    {
+        bvh = BvhBuilder().build(scene.mesh.triangles());
+        RayGenConfig cfg;
+        cfg.width = 32;
+        cfg.height = 32;
+        cfg.samplesPerPixel = 2;
+        cfg.viewportFraction = 0.3f;
+        ao = generateAoRays(scene, bvh, cfg);
+    }
+};
+
+Rig &
+rig()
+{
+    static Rig r;
+    return r;
+}
+
+/** A request against the shared rig; warm sharing on by default. */
+JobRequest
+makeRequest(const std::string &tenant = "t")
+{
+    JobRequest req;
+    req.tenant = tenant;
+    req.sceneKey = "rig/FR";
+    req.bvh = &rig().bvh;
+    req.triangles = &rig().scene.mesh.triangles();
+    req.rays = &rig().ao.rays;
+    req.config = SimConfig::proposed();
+    return req;
+}
+
+/** Single-worker, single-sim-thread config (deterministic & fast). */
+ServiceConfig
+smallService(bool paused = false, std::size_t max_queued = 64)
+{
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.simThreads = 1;
+    sc.maxQueued = max_queued;
+    sc.startPaused = paused;
+    return sc;
+}
+
+// --- Determinism contract ------------------------------------------------
+
+TEST(Service, ColdResultMatchesDirectRun)
+{
+    SimResult direct = Simulation(SimConfig::proposed(), rig().bvh,
+                                  rig().scene.mesh.triangles())
+                           .run(rig().ao.rays);
+
+    SimService service(smallService());
+    JobRequest req = makeRequest();
+    req.shareWarmState = false;
+    Admission adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted) << adm.reason;
+    JobOutcome out = service.wait(adm.id);
+
+    ASSERT_EQ(out.state, JobState::Done) << out.error;
+    EXPECT_EQ(out.result.toJson(), direct.toJson());
+    EXPECT_FALSE(out.warmShared);
+    EXPECT_EQ(out.startSeq, 1u);
+    EXPECT_GE(out.serviceSeconds, 0.0);
+}
+
+TEST(Service, WarmSequenceMatchesSequentialBindRunLoop)
+{
+    // The canonical cross-frame pattern the warm registry models: one
+    // PredictorSet carried across frames with preserved tables.
+    constexpr int kJobs = 3;
+    SimConfig cfg = SimConfig::proposed();
+    std::vector<std::string> direct;
+    {
+        PredictorSet set;
+        for (int i = 0; i < kJobs; ++i) {
+            set.bind(cfg.predictor, cfg.numSms, rig().bvh,
+                     /*preserve_state=*/true);
+            direct.push_back(
+                Simulation(cfg, rig().bvh,
+                           rig().scene.mesh.triangles(), set)
+                    .run(rig().ao.rays)
+                    .toJson());
+        }
+    }
+    // Trained state must actually matter, or this test proves nothing.
+    ASSERT_NE(direct[0], direct[1]);
+
+    SimService service(smallService());
+    std::vector<JobId> ids;
+    for (int i = 0; i < kJobs; ++i) {
+        Admission adm = service.submit(makeRequest());
+        ASSERT_TRUE(adm.accepted) << adm.reason;
+        ids.push_back(adm.id);
+    }
+    for (int i = 0; i < kJobs; ++i) {
+        JobOutcome out = service.wait(ids[static_cast<size_t>(i)]);
+        ASSERT_EQ(out.state, JobState::Done) << out.error;
+        EXPECT_EQ(out.result.toJson(), direct[static_cast<size_t>(i)])
+            << "job " << i;
+        EXPECT_TRUE(out.warmShared);
+        EXPECT_EQ(out.warmHit, i > 0);
+        if (i == 0)
+            EXPECT_EQ(out.warmth, 0.0);
+        else
+            EXPECT_GT(out.warmth, 0.0);
+    }
+    ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.warm.misses, 1u);
+    EXPECT_EQ(stats.warm.hits, static_cast<std::uint64_t>(kJobs - 1));
+}
+
+TEST(Service, ConcurrentSameKeyJobsMatchSequential)
+{
+    // Many workers, one tenant, one warm key: the exclusive per-key
+    // lease plus per-tenant FIFO must serialise the jobs into exactly
+    // the sequential order, byte for byte, no matter how many workers
+    // race for them.
+    constexpr int kJobs = 4;
+    SimConfig cfg = SimConfig::proposed();
+    std::vector<std::string> direct;
+    {
+        PredictorSet set;
+        for (int i = 0; i < kJobs; ++i) {
+            set.bind(cfg.predictor, cfg.numSms, rig().bvh,
+                     /*preserve_state=*/true);
+            direct.push_back(
+                Simulation(cfg, rig().bvh,
+                           rig().scene.mesh.triangles(), set)
+                    .run(rig().ao.rays)
+                    .toJson());
+        }
+    }
+
+    ServiceConfig sc;
+    sc.workers = 4;
+    sc.simThreads = 1;
+    sc.startPaused = true; // queue everything, then release at once
+    SimService service(sc);
+    std::vector<JobId> ids;
+    for (int i = 0; i < kJobs; ++i) {
+        Admission adm = service.submit(makeRequest());
+        ASSERT_TRUE(adm.accepted) << adm.reason;
+        ids.push_back(adm.id);
+    }
+    service.resume();
+    for (int i = 0; i < kJobs; ++i) {
+        JobOutcome out = service.wait(ids[static_cast<size_t>(i)]);
+        ASSERT_EQ(out.state, JobState::Done) << out.error;
+        EXPECT_EQ(out.result.toJson(), direct[static_cast<size_t>(i)])
+            << "job " << i;
+    }
+}
+
+// --- Admission control ---------------------------------------------------
+
+TEST(Service, QueueFullRejectsWithReason)
+{
+    SimService service(smallService(/*paused=*/true,
+                                    /*max_queued=*/2));
+    Admission a = service.submit(makeRequest());
+    Admission b = service.submit(makeRequest());
+    Admission c = service.submit(makeRequest());
+    ASSERT_TRUE(a.accepted);
+    ASSERT_TRUE(b.accepted);
+    EXPECT_FALSE(c.accepted);
+    EXPECT_NE(c.reason.find("queue full"), std::string::npos)
+        << c.reason;
+    EXPECT_EQ(service.stats().rejected, 1u);
+
+    service.resume();
+    EXPECT_EQ(service.wait(a.id).state, JobState::Done);
+    EXPECT_EQ(service.wait(b.id).state, JobState::Done);
+}
+
+TEST(Service, MalformedAndShutDownSubmitsAreRejected)
+{
+    SimService service(smallService());
+    JobRequest req = makeRequest();
+    req.rays = nullptr;
+    Admission adm = service.submit(req);
+    EXPECT_FALSE(adm.accepted);
+    EXPECT_NE(adm.reason.find("malformed"), std::string::npos)
+        << adm.reason;
+
+    JobRequest bad = makeRequest();
+    bad.config.numSms = 0; // fails SimConfig::validate
+    Admission adm2 = service.submit(bad);
+    EXPECT_FALSE(adm2.accepted);
+    EXPECT_NE(adm2.reason.find("invalid config"), std::string::npos)
+        << adm2.reason;
+
+    service.shutdown();
+    Admission adm3 = service.submit(makeRequest());
+    EXPECT_FALSE(adm3.accepted);
+    EXPECT_NE(adm3.reason.find("shut down"), std::string::npos)
+        << adm3.reason;
+    EXPECT_EQ(service.stats().rejected, 3u);
+}
+
+// --- Scheduling ----------------------------------------------------------
+
+TEST(Service, RoundRobinInterleavesTenants)
+{
+    SimService service(smallService(/*paused=*/true));
+    std::vector<JobId> ids;
+    // Queue a1 a2 b1 b2; round-robin must dispatch a1 b1 a2 b2.
+    for (const char *tenant : {"a", "a", "b", "b"}) {
+        JobRequest req = makeRequest(tenant);
+        req.shareWarmState = false;
+        Admission adm = service.submit(req);
+        ASSERT_TRUE(adm.accepted) << adm.reason;
+        ids.push_back(adm.id);
+    }
+    service.resume();
+    std::vector<std::uint64_t> seq;
+    for (JobId id : ids) {
+        JobOutcome out = service.wait(id);
+        ASSERT_EQ(out.state, JobState::Done) << out.error;
+        seq.push_back(out.startSeq);
+    }
+    EXPECT_EQ(seq, (std::vector<std::uint64_t>{1, 3, 2, 4}));
+}
+
+// --- Cancellation and shutdown -------------------------------------------
+
+TEST(Service, CancelQueuedJobAndDrain)
+{
+    SimService service(smallService(/*paused=*/true));
+    Admission a = service.submit(makeRequest());
+    Admission b = service.submit(makeRequest());
+    ASSERT_TRUE(a.accepted && b.accepted);
+
+    EXPECT_TRUE(service.cancel(b.id));
+    EXPECT_FALSE(service.cancel(b.id)); // already cancelled
+    EXPECT_FALSE(service.cancel(9999)); // unknown
+
+    service.resume();
+    service.drain();
+    EXPECT_EQ(service.queuedCount(), 0u);
+    EXPECT_EQ(service.runningCount(), 0u);
+
+    EXPECT_EQ(service.wait(a.id).state, JobState::Done);
+    JobOutcome cancelled = service.wait(b.id);
+    EXPECT_EQ(cancelled.state, JobState::Cancelled);
+    EXPECT_EQ(service.stats().cancelled, 1u);
+    // Cancelling a finished job fails too.
+    EXPECT_FALSE(service.cancel(a.id));
+}
+
+TEST(Service, ShutdownNowCancelsEverythingQueued)
+{
+    SimService service(smallService(/*paused=*/true));
+    std::vector<JobId> ids;
+    for (int i = 0; i < 3; ++i) {
+        Admission adm = service.submit(makeRequest());
+        ASSERT_TRUE(adm.accepted);
+        ids.push_back(adm.id);
+    }
+    service.shutdownNow();
+    for (JobId id : ids)
+        EXPECT_EQ(service.wait(id).state, JobState::Cancelled);
+    EXPECT_EQ(service.stats().cancelled, 3u);
+}
+
+TEST(Service, WaitCollectsExactlyOnce)
+{
+    SimService service(smallService());
+    JobRequest req = makeRequest();
+    req.shareWarmState = false;
+    Admission adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted);
+    EXPECT_EQ(service.wait(adm.id).state, JobState::Done);
+    EXPECT_THROW(service.wait(adm.id), std::invalid_argument);
+    EXPECT_THROW(service.wait(123456), std::invalid_argument);
+}
+
+// --- Warm-state eviction -------------------------------------------------
+
+TEST(Service, EvictionDropsWarmStateForQueuedJob)
+{
+    SimConfig cfg = SimConfig::proposed();
+    SimService service(smallService());
+
+    // Train the key, then evict it while the follow-up job waits in
+    // the paused queue: that job must start cold, not warm.
+    Admission first = service.submit(makeRequest());
+    ASSERT_TRUE(first.accepted);
+    JobOutcome warm1 = service.wait(first.id);
+    ASSERT_EQ(warm1.state, JobState::Done) << warm1.error;
+
+    service.pause();
+    Admission second = service.submit(makeRequest());
+    ASSERT_TRUE(second.accepted);
+    EXPECT_TRUE(service.evictWarm("rig/FR", cfg));
+    EXPECT_FALSE(service.evictWarm("rig/FR", cfg));     // already gone
+    EXPECT_FALSE(service.evictWarm("no-such-key", cfg)); // unknown
+    service.resume();
+
+    JobOutcome out = service.wait(second.id);
+    ASSERT_EQ(out.state, JobState::Done) << out.error;
+    EXPECT_FALSE(out.warmHit); // cold again after eviction
+    EXPECT_EQ(out.result.toJson(), warm1.result.toJson());
+    EXPECT_EQ(service.stats().warm.evictions, 1u);
+}
+
+// --- Job envelope --------------------------------------------------------
+
+TEST(Service, JobEnvelopeJsonIsVersionedAndEmbedsTheResult)
+{
+    SimService service(smallService());
+    JobRequest req = makeRequest();
+    Admission adm = service.submit(req);
+    ASSERT_TRUE(adm.accepted);
+    JobOutcome out = service.wait(adm.id);
+    ASSERT_EQ(out.state, JobState::Done) << out.error;
+
+    std::string json = out.toJson();
+    EXPECT_EQ(json.find("{\"schema_version\":1,\"job_id\":"), 0u)
+        << json;
+    EXPECT_NE(json.find("\"tenant\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"state\":\"done\""), std::string::npos);
+    EXPECT_NE(json.find("\"warm_shared\":true"), std::string::npos);
+    // The embedded result is byte-identical to SimResult::toJson.
+    EXPECT_NE(json.find("\"result\":" + out.result.toJson()),
+              std::string::npos);
+}
+
+// --- PredictorSet lifecycle (what the warm registry is built on) ---------
+
+TEST(PredictorSetLifecycle, SnapshotCloneAndReset)
+{
+    SimConfig cfg = SimConfig::proposed();
+    PredictorSet set;
+    set.bind(cfg.predictor, cfg.numSms, rig().bvh);
+    PredictorSetStats cold = set.snapshotStats();
+    EXPECT_EQ(cold.validEntries, 0u);
+    EXPECT_GT(cold.capacity, 0u);
+    EXPECT_EQ(cold.warmth(), 0.0);
+
+    Simulation(cfg, rig().bvh, rig().scene.mesh.triangles(), set)
+        .run(rig().ao.rays);
+    PredictorSetStats trained = set.snapshotStats();
+    EXPECT_GT(trained.validEntries, 0u);
+    EXPECT_GT(trained.warmth(), 0.0);
+    EXPECT_LE(trained.warmth(), 1.0);
+
+    // clone() is a deep copy: resetting the original must not drain
+    // the clone's tables.
+    PredictorSet copy = set.clone();
+    EXPECT_EQ(copy.snapshotStats().validEntries,
+              trained.validEntries);
+    set.reset();
+    EXPECT_EQ(set.snapshotStats().validEntries, 0u);
+    EXPECT_EQ(copy.snapshotStats().validEntries,
+              trained.validEntries);
+
+    // A cloned set behaves like the original: rebinding with
+    // preserved state and running yields the warm-sequence result.
+    PredictorSet reference;
+    reference.bind(cfg.predictor, cfg.numSms, rig().bvh);
+    Simulation(cfg, rig().bvh, rig().scene.mesh.triangles(),
+               reference)
+        .run(rig().ao.rays);
+    reference.bind(cfg.predictor, cfg.numSms, rig().bvh,
+                   /*preserve_state=*/true);
+    SimResult expect =
+        Simulation(cfg, rig().bvh, rig().scene.mesh.triangles(),
+                   reference)
+            .run(rig().ao.rays);
+    copy.bind(cfg.predictor, cfg.numSms, rig().bvh,
+              /*preserve_state=*/true);
+    SimResult got =
+        Simulation(cfg, rig().bvh, rig().scene.mesh.triangles(), copy)
+            .run(rig().ao.rays);
+    EXPECT_EQ(got.toJson(), expect.toJson());
+}
+
+} // namespace
+} // namespace rtp

@@ -85,10 +85,12 @@ TEST(Stats, ToJsonIsSortedAndStable)
     g.inc("alpha", 1);
     g.set("rate", 0.5);
     EXPECT_EQ(g.toJson(),
-              "{\"counters\":{\"alpha\":1,\"zeta\":2},"
+              "{\"schema_version\":1,"
+              "\"counters\":{\"alpha\":1,\"zeta\":2},"
               "\"scalars\":{\"rate\":0.5}}");
     StatGroup empty;
-    EXPECT_EQ(empty.toJson(), "{\"counters\":{},\"scalars\":{}}");
+    EXPECT_EQ(empty.toJson(),
+              "{\"schema_version\":1,\"counters\":{},\"scalars\":{}}");
 }
 
 TEST(Stats, ClearRemovesEverything)
@@ -297,7 +299,9 @@ TEST(Stats, ToJsonOmitsHistogramsWhenEmpty)
     // field existed, keeping bench JSON byte-identical.
     StatGroup g;
     g.inc("a");
-    EXPECT_EQ(g.toJson(), "{\"counters\":{\"a\":1},\"scalars\":{}}");
+    EXPECT_EQ(g.toJson(),
+              "{\"schema_version\":1,\"counters\":{\"a\":1},"
+              "\"scalars\":{}}");
     g.addSample("lat", 2);
     EXPECT_NE(g.toJson().find("\"histograms\":{\"lat\":{"),
               std::string::npos);

@@ -37,6 +37,7 @@
 
 #include "util/bench_compare.hpp"
 #include "util/json.hpp"
+#include "util/schema.hpp"
 
 namespace {
 
@@ -86,6 +87,21 @@ compareFiles(const std::string &base_path,
     auto cur = loadJson(cur_path);
     if (!base || !cur)
         return 3;
+    // Versioned schema: documents without the key are pre-versioning
+    // output and accepted; an unknown (newer) version warns but still
+    // compares — the producer may have added fields this build does
+    // not know, which the comparison rules already tolerate.
+    if (const JsonValue *ver = cur->find("schema_version")) {
+        if (ver->isNumber() &&
+            !rtp::schemaVersionKnown(
+                static_cast<std::uint64_t>(ver->number)))
+            std::fprintf(stderr,
+                         "bench_diff: warning: %s has schema_version "
+                         "%.0f, newer than supported %u; comparing "
+                         "anyway\n",
+                         cur_path.c_str(), ver->number,
+                         rtp::kResultSchemaVersion);
+    }
     std::vector<BenchViolation> violations =
         rtp::compareBench(*base, *cur, opts);
     if (violations.empty()) {

@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Service load generator: replays a seeded mixed-traffic stream
+ * against SimService (src/service/) and reports latency percentiles
+ * and throughput, gated in CI against bench/baselines/.
+ *
+ * Usage: loadgen [--seed <n>] [--workers <n>] [--queue <n>]
+ *                [--interactive <n>] [--offline <n>]
+ *
+ * Three phases, each against a fresh service instance:
+ *
+ *   1. admission — a paused 1-worker service with a tiny queue bound
+ *      is overfilled; because dispatch is paused the accepted/rejected
+ *      split is exactly the queue bound and therefore deterministic.
+ *   2. fairness — a paused 1-worker service queues jobs from three
+ *      tenants back-to-back, then dispatch is released; the recorded
+ *      startSeq order must be the round-robin interleaving.
+ *   3. traffic — the measured phase: many small interactive ray
+ *      slices (64..512 rays, seeded PCG32 picks) from two interactive
+ *      tenants race a few full-AO offline sweeps over Sibenik and
+ *      Fireplace. Warm-state keys are per (tenant, scene), so every
+ *      tenant's same-key job sequence is FIFO-deterministic and the
+ *      summed cycle count is byte-stable across runs and thread
+ *      counts; only the wall-clock numbers vary.
+ *
+ * Output: bench_loadgen.json (honouring RTP_JSON_DIR) with
+ * deterministic counters (symmetric 2% gate), *_latency_seconds keys
+ * (one-sided higher-only gate) and rays_per_second (one-sided
+ * slower-only gate) — see util/bench_compare.hpp for the rules.
+ *
+ * Exits 0 on success, 1 when a phase misbehaves (fairness violation,
+ * failed job, unexpected admission split), 2 on usage errors.
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/env_config.hpp"
+#include "exp/harness.hpp"
+#include "service/sim_service.hpp"
+#include "util/rng.hpp"
+#include "util/schema.hpp"
+
+using namespace rtp;
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+/** Exact nearest-rank percentile of a sorted sample vector. */
+double
+percentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(sorted.size());
+    std::size_t idx = rank <= 1.0
+                          ? 0
+                          : static_cast<std::size_t>(rank + 0.5) - 1;
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    return sorted[idx];
+}
+
+struct Options
+{
+    std::uint64_t seed = 42;
+    unsigned workers = 0; //!< 0 = thread budget
+    std::size_t queue = 0; //!< 0 = sized to fit the whole stream
+    std::size_t interactive = 24;
+    std::size_t offline = 2;
+};
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--seed <n>] [--workers <n>] "
+                 "[--queue <n>] [--interactive <n>] [--offline <n>]\n",
+                 argv0);
+    return 2;
+}
+
+/** Phase 1: deterministic admission-control split under pause. */
+bool
+runAdmissionPhase(const Workload &w, std::ostringstream &json)
+{
+    constexpr std::size_t kLimit = 4;
+    constexpr std::size_t kOffered = kLimit + 3;
+
+    ServiceConfig sc;
+    sc.workers = 1;
+    sc.maxQueued = kLimit;
+    sc.startPaused = true;
+    SimService service(sc);
+
+    // A tiny slice keeps the phase fast; admission control does not
+    // care about the payload size.
+    std::vector<Ray> slice(w.ao.rays.begin(),
+                           w.ao.rays.begin() +
+                               std::min<std::size_t>(
+                                   64, w.ao.rays.size()));
+
+    JobRequest req;
+    req.tenant = "admission";
+    req.sceneKey = ""; // no warm sharing in this phase
+    req.bvh = &w.bvh;
+    req.triangles = &w.scene.mesh.triangles();
+    req.rays = &slice;
+    req.config = SimConfig::proposed();
+
+    std::size_t accepted = 0, rejected = 0;
+    std::vector<JobId> ids;
+    for (std::size_t i = 0; i < kOffered; ++i) {
+        Admission adm = service.submit(req);
+        if (adm.accepted) {
+            accepted++;
+            ids.push_back(adm.id);
+        } else {
+            rejected++;
+        }
+    }
+    service.resume();
+    bool ok = true;
+    for (JobId id : ids)
+        if (service.wait(id).state != JobState::Done)
+            ok = false;
+    service.shutdown();
+
+    ok = ok && accepted == kLimit && rejected == kOffered - kLimit;
+    std::printf("phase admission: offered=%zu accepted=%zu "
+                "rejected=%zu queue_limit=%zu  %s\n",
+                kOffered, accepted, rejected, kLimit,
+                ok ? "OK" : "FAIL");
+    json << "\"admission\":{\"offered\":" << kOffered
+         << ",\"accepted\":" << accepted
+         << ",\"rejected\":" << rejected
+         << ",\"queue_limit\":" << kLimit << "}";
+    return ok;
+}
+
+/** Phase 2: round-robin dispatch order across tenants. */
+bool
+runFairnessPhase(const Workload &w, std::ostringstream &json)
+{
+    ServiceConfig sc;
+    sc.workers = 1; // single worker => startSeq is the dispatch order
+    sc.maxQueued = 16;
+    sc.startPaused = true;
+    SimService service(sc);
+
+    std::vector<Ray> slice(w.ao.rays.begin(),
+                           w.ao.rays.begin() +
+                               std::min<std::size_t>(
+                                   64, w.ao.rays.size()));
+
+    const char *tenants[] = {"alpha", "beta", "gamma"};
+    constexpr std::size_t kPerTenant = 2;
+    std::vector<JobId> ids;
+    // Queue both of alpha's jobs, then beta's, then gamma's. Strict
+    // FIFO service would run alpha twice before beta ever starts;
+    // round-robin must interleave a1 b1 c1 a2 b2 c2.
+    for (const char *tenant : tenants) {
+        for (std::size_t i = 0; i < kPerTenant; ++i) {
+            JobRequest req;
+            req.tenant = tenant;
+            req.bvh = &w.bvh;
+            req.triangles = &w.scene.mesh.triangles();
+            req.rays = &slice;
+            req.config = SimConfig::proposed();
+            req.shareWarmState = false;
+            Admission adm = service.submit(req);
+            if (!adm.accepted) {
+                std::fprintf(stderr,
+                             "loadgen: fairness submit rejected: %s\n",
+                             adm.reason.c_str());
+                return false;
+            }
+            ids.push_back(adm.id);
+        }
+    }
+    service.resume();
+
+    // ids[] is grouped by tenant (a1 a2 b1 b2 c1 c2); the round-robin
+    // dispatch order by startSeq must be a1 b1 c1 a2 b2 c2.
+    std::vector<std::uint64_t> seq(ids.size(), 0);
+    bool ok = true;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        JobOutcome out = service.wait(ids[i]);
+        if (out.state != JobState::Done)
+            ok = false;
+        seq[i] = out.startSeq;
+    }
+    service.shutdown();
+
+    const std::uint64_t expect[] = {1, 4, 2, 5, 3, 6};
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        if (seq[i] != expect[i])
+            ok = false;
+
+    std::printf("phase fairness: tenants=3 jobs=%zu round_robin=%d  "
+                "%s\n",
+                ids.size(), ok ? 1 : 0, ok ? "OK" : "FAIL");
+    json << "\"fairness\":{\"tenants\":3,\"jobs\":" << ids.size()
+         << ",\"round_robin\":" << (ok ? 1 : 0) << "}";
+    return ok;
+}
+
+/** Phase 3: seeded mixed traffic; the measured phase. */
+bool
+runTrafficPhase(const Options &opts, WorkloadCache &cache,
+                std::ostringstream &json)
+{
+    const Workload *scenes[] = {
+        &cache.get(SceneId::Sibenik),
+        &cache.get(SceneId::FireplaceRoom),
+    };
+
+    const std::size_t total_jobs = opts.interactive + opts.offline;
+    ServiceConfig sc;
+    sc.workers = opts.workers;
+    sc.maxQueued = opts.queue ? opts.queue : total_jobs + 1;
+    SimService service(sc);
+
+    // Slices live in a deque so growth never moves earlier batches —
+    // the service holds raw pointers until each job is collected.
+    std::deque<std::vector<Ray>> slices;
+    Rng rng(opts.seed);
+
+    struct Pending
+    {
+        JobId id = 0;
+        bool interactive = false;
+        std::size_t rays = 0;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(total_jobs);
+
+    auto submit_until_accepted =
+        [&](const JobRequest &req) -> Admission {
+        for (;;) {
+            Admission adm = service.submit(req);
+            if (adm.accepted || opts.queue == 0)
+                return adm;
+            // A bounded queue may be momentarily full; back off so
+            // the job counters stay deterministic.
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+        }
+    };
+
+    double t0 = now_seconds();
+
+    // Offline sweeps first: the big jobs are in flight while the
+    // interactive stream arrives, which is exactly the contention the
+    // round-robin scheduler exists for.
+    for (std::size_t i = 0; i < opts.offline; ++i) {
+        const Workload *w = scenes[i % 2];
+        JobRequest req;
+        req.tenant = "offline";
+        req.sceneKey = "offline/" + w->scene.shortName;
+        req.bvh = &w->bvh;
+        req.triangles = &w->scene.mesh.triangles();
+        req.rays = &w->ao.rays;
+        req.config = SimConfig::proposed();
+        Admission adm = submit_until_accepted(req);
+        if (!adm.accepted) {
+            std::fprintf(stderr,
+                         "loadgen: offline submit rejected: %s\n",
+                         adm.reason.c_str());
+            return false;
+        }
+        pending.push_back({adm.id, false, w->ao.rays.size()});
+    }
+
+    for (std::size_t i = 0; i < opts.interactive; ++i) {
+        const Workload *w = scenes[rng.nextBounded(2)];
+        std::size_t len = 64 + rng.nextBounded(449); // [64, 512]
+        len = std::min(len, w->ao.rays.size());
+        std::size_t off = rng.nextBounded(static_cast<std::uint32_t>(
+            w->ao.rays.size() - len + 1));
+        slices.emplace_back(w->ao.rays.begin() +
+                                static_cast<std::ptrdiff_t>(off),
+                            w->ao.rays.begin() +
+                                static_cast<std::ptrdiff_t>(off + len));
+
+        // Two interactive tenants, so fairness interleaves them with
+        // the offline sweeps. Warm keys are per (tenant, scene):
+        // each tenant's same-key sequence is FIFO-deterministic.
+        JobRequest req;
+        req.tenant = i % 2 ? "interactive-1" : "interactive-0";
+        req.sceneKey = req.tenant + "/" + w->scene.shortName;
+        req.bvh = &w->bvh;
+        req.triangles = &w->scene.mesh.triangles();
+        req.rays = &slices.back();
+        req.config = SimConfig::proposed();
+        Admission adm = submit_until_accepted(req);
+        if (!adm.accepted) {
+            std::fprintf(stderr,
+                         "loadgen: interactive submit rejected: %s\n",
+                         adm.reason.c_str());
+            return false;
+        }
+        pending.push_back({adm.id, true, len});
+    }
+
+    std::vector<double> inter_lat, offline_lat;
+    std::uint64_t total_cycles = 0;
+    std::size_t total_rays = 0;
+    bool ok = true;
+    for (const Pending &p : pending) {
+        JobOutcome out = service.wait(p.id);
+        if (out.state != JobState::Done) {
+            std::fprintf(stderr, "loadgen: job %llu %s: %s\n",
+                         static_cast<unsigned long long>(p.id),
+                         jobStateName(out.state), out.error.c_str());
+            ok = false;
+            continue;
+        }
+        double latency = out.queueSeconds + out.serviceSeconds;
+        (p.interactive ? inter_lat : offline_lat).push_back(latency);
+        total_cycles += out.result.cycles;
+        total_rays += p.rays;
+    }
+    double wall = now_seconds() - t0;
+    ServiceStats stats = service.stats();
+    service.shutdown();
+
+    std::sort(inter_lat.begin(), inter_lat.end());
+    std::sort(offline_lat.begin(), offline_lat.end());
+    double p50 = percentile(inter_lat, 50.0);
+    double p99 = percentile(inter_lat, 99.0);
+    double off_p99 = percentile(offline_lat, 99.0);
+    double rps = wall > 0.0 ? total_rays / wall : 0.0;
+
+    std::printf("phase traffic: jobs=%zu (interactive=%zu "
+                "offline=%zu) workers=%u\n",
+                pending.size(), inter_lat.size(), offline_lat.size(),
+                service.workerCount());
+    std::printf("  rays=%zu cycles=%llu warm_hits=%llu "
+                "warm_misses=%llu\n",
+                total_rays,
+                static_cast<unsigned long long>(total_cycles),
+                static_cast<unsigned long long>(stats.warm.hits),
+                static_cast<unsigned long long>(stats.warm.misses));
+    std::printf("  interactive p50=%.4fs p99=%.4fs  offline "
+                "p99=%.4fs  wall=%.3fs  rays/s=%.0f\n",
+                p50, p99, off_p99, wall, rps);
+
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"traffic\":{\"jobs\":%zu,\"interactive_jobs\":%zu,"
+        "\"offline_jobs\":%zu,\"total_rays\":%zu,"
+        "\"total_cycles\":%llu,\"warm_hits\":%llu,"
+        "\"warm_misses\":%llu,"
+        "\"interactive_p50_latency_seconds\":%.6f,"
+        "\"interactive_p99_latency_seconds\":%.6f,"
+        "\"offline_p99_latency_seconds\":%.6f,"
+        "\"wall_seconds\":%.6f,\"rays_per_second\":%.1f}",
+        pending.size(), inter_lat.size(), offline_lat.size(),
+        total_rays, static_cast<unsigned long long>(total_cycles),
+        static_cast<unsigned long long>(stats.warm.hits),
+        static_cast<unsigned long long>(stats.warm.misses), p50, p99,
+        off_p99, wall, rps);
+    json << buf;
+    return ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next_number = [&](std::uint64_t &out) {
+            if (i + 1 >= argc)
+                return false;
+            char *end = nullptr;
+            errno = 0;
+            unsigned long long v = std::strtoull(argv[++i], &end, 10);
+            if (errno != 0 || !end || *end != '\0')
+                return false;
+            out = v;
+            return true;
+        };
+        std::uint64_t v = 0;
+        if (arg == "--seed" && next_number(v)) {
+            opts.seed = v;
+        } else if (arg == "--workers" && next_number(v)) {
+            opts.workers = static_cast<unsigned>(v);
+        } else if (arg == "--queue" && next_number(v)) {
+            opts.queue = static_cast<std::size_t>(v);
+        } else if (arg == "--interactive" && next_number(v)) {
+            opts.interactive = static_cast<std::size_t>(v);
+        } else if (arg == "--offline" && next_number(v)) {
+            opts.offline = static_cast<std::size_t>(v);
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (opts.interactive == 0 && opts.offline == 0)
+        return usage(argv[0]);
+
+    WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+    printHeader("Service load generator (latency under mixed "
+                "traffic, not a model output)",
+                "n/a — measures this implementation, not the paper",
+                wc);
+    std::printf("seed=%llu workers=%u queue=%zu interactive=%zu "
+                "offline=%zu\n\n",
+                static_cast<unsigned long long>(opts.seed),
+                opts.workers, opts.queue, opts.interactive,
+                opts.offline);
+
+    WorkloadCache cache(wc);
+    const Workload &sibenik = cache.get(SceneId::Sibenik);
+
+    std::ostringstream json;
+    json << "{\"schema_version\":" << kResultSchemaVersion
+         << ",\"bench\":\"loadgen\",\"seed\":" << opts.seed
+         << ",\"results\":{";
+    bool ok = runAdmissionPhase(sibenik, json);
+    json << ",";
+    ok = runFairnessPhase(sibenik, json) && ok;
+    json << ",";
+    ok = runTrafficPhase(opts, cache, json) && ok;
+    json << "}}\n";
+
+    const std::string dir = envString("RTP_JSON_DIR");
+    std::string path = !dir.empty() ? dir + "/bench_loadgen.json"
+                                    : "bench_loadgen.json";
+    if (!ensureParentDir(path)) {
+        std::fprintf(stderr, "[rtp-loadgen] cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+        const std::string body = json.str();
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::fprintf(stderr, "[rtp-loadgen] wrote %s\n", path.c_str());
+    } else {
+        std::fprintf(stderr, "[rtp-loadgen] cannot write %s\n",
+                     path.c_str());
+        return 1;
+    }
+    if (!ok) {
+        std::fprintf(stderr, "[rtp-loadgen] FAILED — see above\n");
+        return 1;
+    }
+    return 0;
+}

@@ -32,8 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "exp/env_config.hpp"
 #include "exp/harness.hpp"
 #include "geometry/intersect.hpp"
+#include "util/schema.hpp"
 #include "geometry/intersect_soa.hpp"
 #include "rays/ray_soa.hpp"
 #include "util/rng.hpp"
@@ -76,9 +78,9 @@ main()
                 "n/a — measures this implementation, not the paper",
                 wc);
 
-    int reps = 3;
-    if (const char *r = std::getenv("RTP_SELFBENCH_REPS"))
-        reps = std::max(1, std::atoi(r));
+    // Strict parsing via the unified env layer (exp/env_config.hpp).
+    int reps = static_cast<int>(
+        parseEnvPositive("RTP_SELFBENCH_REPS", 3));
 
     WorkloadCache cache(wc);
     std::vector<const Workload *> workloads =
@@ -348,7 +350,8 @@ main()
 
     // bench_selfbench.json, honouring RTP_JSON_DIR like every bench.
     std::ostringstream os;
-    os << "{\"bench\":\"selfbench\",\"reps\":" << reps
+    os << "{\"schema_version\":" << kResultSchemaVersion
+       << ",\"bench\":\"selfbench\",\"reps\":" << reps
        << ",\"results\":{";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];
@@ -370,9 +373,9 @@ main()
                   total_rays, total_wall, total_rps);
     os << buf;
 
-    const char *dir = std::getenv("RTP_JSON_DIR");
-    std::string path = dir && *dir
-                           ? std::string(dir) + "/bench_selfbench.json"
+    const std::string dir = envString("RTP_JSON_DIR");
+    std::string path = !dir.empty()
+                           ? dir + "/bench_selfbench.json"
                            : "bench_selfbench.json";
     if (!ensureParentDir(path)) {
         std::fprintf(stderr, "[rtp-selfbench] cannot write %s\n",

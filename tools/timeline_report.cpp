@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/schema.hpp"
 
 namespace {
 
@@ -184,6 +185,20 @@ main(int argc, char **argv)
         std::fprintf(stderr, "timeline_report: %s: invalid JSON: %s\n",
                      argv[1], error.c_str());
         return 1;
+    }
+    // Versioned schema at the document root; files without the key are
+    // pre-versioning output. A newer version warns but still parses —
+    // the telemetry fields this report reads are append-only.
+    if (const JsonValue *ver = root->find("schema_version")) {
+        if (ver->isNumber() &&
+            !rtp::schemaVersionKnown(
+                static_cast<std::uint64_t>(ver->number)))
+            std::fprintf(stderr,
+                         "timeline_report: warning: %s has "
+                         "schema_version %.0f, newer than supported "
+                         "%u; parsing anyway\n",
+                         argv[1], ver->number,
+                         rtp::kResultSchemaVersion);
     }
     const JsonValue *tel = root->find("telemetry");
     if (!tel || !tel->isObject()) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "util/json.hpp"
+#include "util/schema.hpp"
 
 namespace {
 
@@ -101,6 +102,21 @@ main(int argc, char **argv)
         std::fprintf(stderr, "trace_report: %s: root is not an object\n",
                      argv[1]);
         return 1;
+    }
+    // Versioned schema rides in otherData; traces without it are
+    // pre-versioning output. A newer version warns but still parses —
+    // the event fields this report reads are append-only.
+    if (const JsonValue *other0 = root->find("otherData")) {
+        const JsonValue *ver = other0->find("schema_version");
+        if (ver && ver->isNumber() &&
+            !rtp::schemaVersionKnown(
+                static_cast<std::uint64_t>(ver->number)))
+            std::fprintf(stderr,
+                         "trace_report: warning: %s has "
+                         "schema_version %.0f, newer than supported "
+                         "%u; parsing anyway\n",
+                         argv[1], ver->number,
+                         rtp::kResultSchemaVersion);
     }
     const JsonValue *events = root->find("traceEvents");
     if (!events || !events->isArray()) {
