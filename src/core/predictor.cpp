@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -99,6 +100,8 @@ RayPredictor::lookupInto(const Ray &ray, Cycle cycle,
 
     std::uint32_t h = hasher_.hash(ray);
     bool hit = table_.lookupInto(h, nodes);
+    if (profile_)
+        profile_->notePredictorLookup(profUnit_, hit);
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::PredictorLookup,
                       traceUnit_,

@@ -25,6 +25,7 @@ namespace rtp {
 
 struct TelemetrySmSample;
 class InvariantChecker;
+class CycleProfiler;
 
 /** Predictor unit configuration (Table 3 defaults). */
 struct PredictorConfig
@@ -94,6 +95,19 @@ class RayPredictor
     }
 
     /**
+     * Attach a cycle-attribution profiler (nullptr detaches); @p unit
+     * = owning SM. Every timed lookup then bumps the predictor meta
+     * tallies of util/profile.hpp (lookups and table hits), feeding
+     * the cost/benefit section of tools/cycles_report. Pure observer.
+     */
+    void
+    setProfiler(CycleProfiler *profile, std::uint32_t unit)
+    {
+        profile_ = profile;
+        profUnit_ = unit;
+    }
+
+    /**
      * Telemetry probe: copy the cumulative lookup/hit/train counters
      * into the owning SM's sample row (see util/telemetry.hpp). Pure
      * observer; a predictor shared by several SMs reports the same
@@ -153,6 +167,7 @@ class RayPredictor
     {
         trace_ = nullptr;
         check_ = nullptr;
+        profile_ = nullptr;
     }
 
     const PredictorConfig &
@@ -187,6 +202,8 @@ class RayPredictor
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
+    CycleProfiler *profile_ = nullptr;
+    std::uint32_t profUnit_ = 0;
     InvariantChecker *check_ = nullptr;
 };
 

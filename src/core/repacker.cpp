@@ -4,6 +4,7 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -86,6 +87,8 @@ PartialWarpCollector::add(const std::vector<std::uint32_t> &ray_ids,
         emittedIds_ += config_.warpSize;
         warps.push_back(std::move(warp));
         stats_.inc(StatId::FullWarpsFormed);
+        if (profile_)
+            profile_->noteRepackFlush(profUnit_, config_.warpSize);
         if (trace_)
             trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 0, 0, config_.warpSize});
@@ -107,6 +110,9 @@ PartialWarpCollector::flushIfExpired(Cycle cycle)
     pending_.clear();
     emittedIds_ += warp.size();
     stats_.inc(StatId::TimeoutFlushes);
+    if (profile_)
+        profile_->noteRepackFlush(
+            profUnit_, static_cast<std::uint32_t>(warp.size()));
     if (trace_)
         trace_->emit({cycle, 0, TraceEventKind::RepackFlush,
                       traceUnit_, 1, 0, warp.size()});
@@ -129,6 +135,9 @@ PartialWarpCollector::flushAll()
     emittedIds_ += warp.size();
     if (!warp.empty()) {
         stats_.inc(StatId::DrainFlushes);
+        if (profile_)
+            profile_->noteRepackFlush(
+                profUnit_, static_cast<std::uint32_t>(warp.size()));
         if (trace_)
             trace_->emit({at, 0, TraceEventKind::RepackFlush,
                           traceUnit_, 2, 0, warp.size()});

@@ -22,6 +22,7 @@ namespace rtp {
 
 struct TelemetrySmSample;
 class InvariantChecker;
+class CycleProfiler;
 
 /** Collector configuration. */
 struct RepackerConfig
@@ -94,6 +95,18 @@ class PartialWarpCollector
     }
 
     /**
+     * Attach a cycle-attribution profiler (nullptr detaches); @p unit
+     * = owning SM. Every emitted warp (full, timeout, or drain) then
+     * bumps the repack meta tallies of util/profile.hpp. Pure observer.
+     */
+    void
+    setProfiler(CycleProfiler *profile, std::uint32_t unit)
+    {
+        profile_ = profile;
+        profUnit_ = unit;
+    }
+
+    /**
      * Attach an invariant checker (nullptr detaches). Every add/flush
      * then re-verifies ray conservation: IDs in == IDs out + IDs
      * pending, i.e. the repacker neither drops nor duplicates rays.
@@ -139,6 +152,8 @@ class PartialWarpCollector
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
+    CycleProfiler *profile_ = nullptr;
+    std::uint32_t profUnit_ = 0;
     InvariantChecker *check_ = nullptr;
     // Conservation ledger: plain members, not StatGroup counters, so
     // the stats JSON stays byte-identical with checking off (the

@@ -116,6 +116,14 @@ EnvConfig::fromEnvironment()
         parseEnvIndex("RTP_TELEMETRY_POINT", 0));
     env.telemetryPeriod = parseEnvPositive("RTP_TELEMETRY_PERIOD", 256);
 
+    if (const char *p = std::getenv("RTP_PROFILE"))
+        env.profilePath = p;
+    env.profilePoint = static_cast<std::size_t>(
+        parseEnvIndex("RTP_PROFILE_POINT", 0));
+
+    if (const char *p = std::getenv("RTP_METRICS"))
+        env.metricsPath = p;
+
     if (const char *p = std::getenv("RTP_JSON_DIR"))
         env.jsonDir = p;
 

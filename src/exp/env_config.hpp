@@ -28,6 +28,9 @@
  * | RTP_TELEMETRY        | telemetry timeline path (.csv = CSV)     | (off)              |
  * | RTP_TELEMETRY_POINT  | sweep-point index to sample              | 0                  |
  * | RTP_TELEMETRY_PERIOD | sampling period in simulated cycles      | 256                |
+ * | RTP_PROFILE          | cycle-attribution profile JSON path      | (off)              |
+ * | RTP_PROFILE_POINT    | sweep-point index to profile             | 0                  |
+ * | RTP_METRICS          | Prometheus text exposition path          | (off)              |
  * | RTP_JSON_DIR         | directory for bench_*.json sinks         | working directory  |
  * | RTP_SCALE            | workload fidelity 1..16 (clamped high)   | 1                  |
  * | RTP_SELFBENCH_REPS   | selfbench repetitions per cell           | 3                  |
@@ -69,6 +72,13 @@ struct EnvConfig
     std::string telemetryPath;
     std::size_t telemetryPoint = 0;
     std::uint64_t telemetryPeriod = 256;
+
+    /** RTP_PROFILE / RTP_PROFILE_POINT (empty path = profiling off). */
+    std::string profilePath;
+    std::size_t profilePoint = 0;
+
+    /** RTP_METRICS (empty path = metrics exposition off). */
+    std::string metricsPath;
 
     /** RTP_JSON_DIR (empty = working directory). */
     std::string jsonDir;

@@ -11,9 +11,13 @@
 #include <system_error>
 #include <utility>
 
+#include <fstream>
+
 #include "exp/env_config.hpp"
 #include "service/sim_service.hpp"
 #include "util/check.hpp"
+#include "util/metrics.hpp"
+#include "util/profile.hpp"
 #include "util/schema.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
@@ -41,7 +45,8 @@ clampPointIndex(std::size_t idx, std::size_t num_points)
  */
 std::vector<SimResult>
 runPointsViaService(const std::vector<SimPoint> &points,
-                    const EnvConfig &env, const char *label)
+                    const EnvConfig &env, const char *label,
+                    MetricsRegistry *metrics = nullptr)
 {
     ServiceConfig sc;
     sc.workers = env.budget.sweepThreads;
@@ -85,6 +90,11 @@ runPointsViaService(const std::vector<SimPoint> &points,
             first_error = out.exception;
         results.push_back(std::move(out.result));
     }
+    // RTP_METRICS rides on the same service instance: snapshot the
+    // scheduler/admission tallies after every job completed but before
+    // the workers are torn down.
+    if (metrics)
+        service.exportMetrics(*metrics);
     service.shutdown();
     if (first_error)
         std::rethrow_exception(first_error);
@@ -181,11 +191,22 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
     // bench output is byte-identical with or without them.
     static bool traceConsumed = false;
     static bool telemetryConsumed = false;
+    static bool profileConsumed = false;
+    static bool metricsConsumed = false;
     bool want_trace = !env.tracePath.empty() && !traceConsumed &&
                       !points.empty();
     bool want_telemetry = !env.telemetryPath.empty() &&
                           !telemetryConsumed && !points.empty();
-    if (!want_trace && !want_telemetry) {
+    bool want_profile = !env.profilePath.empty() && !profileConsumed &&
+                        !points.empty();
+    // RTP_METRICS=<path>: Prometheus text exposition assembled after
+    // the sweep from the cycle profiler (attached implicitly even
+    // without RTP_PROFILE), the observed point's stat groups, and — in
+    // RTP_SERVICE mode — the job server's scheduler tallies.
+    bool want_metrics = !env.metricsPath.empty() && !metricsConsumed &&
+                        !points.empty();
+    if (!want_trace && !want_telemetry && !want_profile &&
+        !want_metrics) {
         if (env.service)
             return runPointsViaService(points, env, label);
         return runSweep(points, run, label, nullptr,
@@ -216,9 +237,25 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
         observed[telemetry_idx].config.telemetry = sampler.get();
     }
 
+    // One profiler per process, riding on one sweep point
+    // (RTP_PROFILE_POINT, clamped). RTP_METRICS without RTP_PROFILE
+    // still attaches it: the attribution table is the heart of the
+    // exposition and costs nothing when unobserved elsewhere.
+    std::unique_ptr<CycleProfiler> profiler;
+    std::size_t profile_idx = 0;
+    if (want_profile || want_metrics) {
+        profileConsumed = profileConsumed || want_profile;
+        metricsConsumed = metricsConsumed || want_metrics;
+        profile_idx = clampPointIndex(env.profilePoint, points.size());
+        profiler = std::make_unique<CycleProfiler>();
+        observed[profile_idx].config.profile = profiler.get();
+    }
+
+    MetricsRegistry registry;
     std::vector<SimResult> results =
         env.service
-            ? runPointsViaService(observed, env, label)
+            ? runPointsViaService(observed, env, label,
+                                  want_metrics ? &registry : nullptr)
             : runSweep(observed, run, label, nullptr,
                        budget.sweepThreads);
 
@@ -259,6 +296,53 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
         else
             std::fprintf(stderr,
                          "[rtp-harness] cannot write telemetry %s\n",
+                         path.c_str());
+    }
+    if (want_profile) {
+        const std::string &path = env.profilePath;
+        bool ok = ensureParentDir(path);
+        if (ok) {
+            std::ofstream os(path);
+            profiler->writeJson(os);
+            os << "\n";
+            ok = os.good();
+        }
+        if (ok)
+            std::fprintf(
+                stderr,
+                "[rtp-harness] wrote profile %s "
+                "(%u SMs, %llu cycles, point %zu)\n",
+                path.c_str(), profiler->numSms(),
+                static_cast<unsigned long long>(profiler->elapsed()),
+                profile_idx);
+        else
+            std::fprintf(stderr,
+                         "[rtp-harness] cannot write profile %s\n",
+                         path.c_str());
+    }
+    if (want_metrics) {
+        populateFromProfile(registry, *profiler);
+        if (profile_idx < results.size()) {
+            populateFromStats(registry, results[profile_idx].stats);
+            populateFromStats(registry,
+                              results[profile_idx].memStats);
+        }
+        const std::string &path = env.metricsPath;
+        bool ok = ensureParentDir(path);
+        if (ok) {
+            std::ofstream os(path);
+            os << registry.renderProm();
+            ok = os.good();
+        }
+        if (ok)
+            std::fprintf(stderr,
+                         "[rtp-harness] wrote metrics %s "
+                         "(%zu families, point %zu)\n",
+                         path.c_str(), registry.families().size(),
+                         profile_idx);
+        else
+            std::fprintf(stderr,
+                         "[rtp-harness] cannot write metrics %s\n",
                          path.c_str());
     }
     return results;

@@ -18,6 +18,7 @@ namespace rtp {
 class TraceSink;
 class TelemetrySampler;
 class InvariantChecker;
+class CycleProfiler;
 class Bvh;
 
 /** Full simulation configuration. */
@@ -72,6 +73,22 @@ struct SimConfig
      * most one simulate() call per checker at a time.
      */
     InvariantChecker *check = nullptr;
+
+    /**
+     * Optional per-cycle attribution profiler (not owned; nullptr =
+     * profiling off). Attached to the RT units, memory hierarchy,
+     * predictors, and collectors before the event loop runs; every SM
+     * cycle is classified into exactly one exclusive category (see
+     * util/profile.hpp) and the driver asserts the conservation law
+     * through SimConfig::check when both are attached. Same
+     * pure-observer contract as trace/telemetry/check: simulated
+     * cycles, statistics, and per-ray results are byte-identical with
+     * and without a profiler, at any simThreads and either kernel.
+     * Single-threaded driver contract — at most one simulate() call
+     * per profiler at a time (per-SM slices are only touched by the
+     * worker that owns the SM).
+     */
+    CycleProfiler *profile = nullptr;
 
     /** The baseline (Table 2/3) configuration with the predictor on. */
     static SimConfig proposed();

@@ -3,6 +3,7 @@
 #include "gpu/differential.hpp"
 #include "gpu/shard.hpp"
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/schema.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
@@ -554,6 +555,15 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
             probes.push_back(units[s].get());
         telemetry->attach(std::move(probes), &mem);
     }
+    CycleProfiler *profile = config.profile;
+    if (profile)
+        profile->attach(num_sms);
+    // Always propagate (nullptr detaches): external predictors persist
+    // across runs, so a profiled run followed by an unprofiled one must
+    // actively clear the stale probe pointer.
+    mem.setProfiler(profile);
+    for (std::uint32_t s = 0; s < num_sms; ++s)
+        units[s]->setProfiler(profile);
 
     for (std::uint32_t s = 0; s < num_sms; ++s) {
         if (!per_sm_rays[s].empty())
@@ -594,6 +604,13 @@ runEventLoop(std::vector<std::unique_ptr<RtUnit>> &units,
     result.avgBusyBanks = mem.dram().avgBusyBanks();
     if (telemetry)
         telemetry->finish(result.cycles);
+    if (profile) {
+        profile->finish(result.cycles);
+        // Driver-side conservation probe: every simulated cycle of
+        // every SM was attributed to exactly one category.
+        if (check)
+            profile->checkConservation(*check);
+    }
     if (check) {
         // End-of-run accounting sweep, then the per-ray oracle: every
         // completed ray must agree with the recursive reference

@@ -4,9 +4,19 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+void
+CacheModel::noteProfile(bool hit)
+{
+    if (profLevel_ == 1)
+        profile_->noteL1Access(profUnit_, hit);
+    else
+        profile_->noteL2Access(hit);
+}
 
 void
 CacheModel::checkAccess(const CacheAccess &res, Cycle cycle)
@@ -128,6 +138,8 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
             res.hit = true;
             res.readyCycle = cycle + config_.hitLatency;
             stats_.inc(StatId::Hits);
+            if (profile_)
+                noteProfile(true);
             if (trace_)
                 trace_->emit({cycle, 0, TraceEventKind::CacheHit,
                               traceUnit_, traceLevel_, addr,
@@ -145,6 +157,8 @@ CacheModel::access(std::uint64_t addr, Cycle cycle, FillRef fill)
     // already on its way, and the line's ready time gets silently
     // replaced by the new fill's.
     stats_.inc(StatId::Misses);
+    if (profile_)
+        noteProfile(false);
     std::uint32_t victim = kNoWay;
     bool skipped_inflight = false;
     for (std::uint32_t w = set.tail; w != kNoWay; w = set.prev[w]) {

@@ -30,6 +30,7 @@ namespace rtp {
 
 class TraceSink;
 class InvariantChecker;
+class CycleProfiler;
 
 /** Cycle count type used by all timing models. */
 using Cycle = std::uint64_t;
@@ -125,6 +126,23 @@ class CacheModel
         trace_ = sink;
         traceUnit_ = unit;
         traceLevel_ = level;
+    }
+
+    /**
+     * Attach a cycle-attribution profiler (nullptr detaches) for the
+     * hit/miss meta tallies of util/profile.hpp. @p unit and @p level
+     * mirror setTraceSink: an L1 reports its owning SM as the unit
+     * with level 1 (safe for the sharded loop — only that SM's worker
+     * touches it); the shared L2 reports level 2 and is only probed
+     * inside the ShardGate's serialised seam. Pure observer.
+     */
+    void
+    setProfiler(CycleProfiler *profile, std::uint16_t unit,
+                std::uint16_t level)
+    {
+        profile_ = profile;
+        profUnit_ = unit;
+        profLevel_ = level;
     }
 
     /**
@@ -226,10 +244,16 @@ class CacheModel
     std::vector<Set> sets_;
     void checkAccess(const CacheAccess &res, Cycle cycle);
 
+    /** Profiler meta-tally probe at the hit/miss decision sites. */
+    void noteProfile(bool hit);
+
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     std::uint16_t traceUnit_ = 0;
     std::uint16_t traceLevel_ = 0;
+    CycleProfiler *profile_ = nullptr;
+    std::uint16_t profUnit_ = 0;
+    std::uint16_t profLevel_ = 0;
     InvariantChecker *check_ = nullptr;
     std::uint64_t accessesChecked_ = 0; //!< only counted while checking
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/profile.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -42,6 +43,8 @@ DramModel::access(std::uint64_t addr, Cycle cycle)
         row_hit ? config_.rowHitLatency : config_.rowMissLatency;
     stats_.inc(row_hit ? StatId::RowHits : StatId::RowMisses);
     stats_.inc(StatId::Accesses);
+    if (profile_)
+        profile_->noteDramAccess(row_hit);
 
     bank.openRow = row;
     bank.busyUntil = start + config_.burstOccupancy;

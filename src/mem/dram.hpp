@@ -18,6 +18,7 @@
 namespace rtp {
 
 struct TelemetryGlobalSample;
+class CycleProfiler;
 
 /** DRAM timing configuration (cycles in the memory clock domain are
  *  approximated in core cycles for simplicity). */
@@ -60,6 +61,19 @@ class DramModel
         trace_ = sink;
     }
 
+    /**
+     * Attach a cycle-attribution profiler (nullptr detaches) for the
+     * access/row-hit meta tallies of util/profile.hpp. DRAM is shared,
+     * but it is only reached through a true L1 miss, which the sharded
+     * loop serialises through the ShardGate — so the probe never races.
+     * Pure observer.
+     */
+    void
+    setProfiler(CycleProfiler *profile)
+    {
+        profile_ = profile;
+    }
+
     const StatGroup &
     stats() const
     {
@@ -93,6 +107,7 @@ class DramModel
     std::vector<Bank> banks_;
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
+    CycleProfiler *profile_ = nullptr;
     std::uint64_t busySamples_ = 0;
     std::uint64_t busyAccum_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "gpu/shard.hpp"
+#include "util/profile.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
@@ -62,6 +63,11 @@ MemorySystem::access(std::uint32_t sm, std::uint64_t addr, Cycle cycle)
     result.l1MshrMerged = l1_res.merged;
     if (l1_res.merged)
         result.servedBy = MemLevel::L1;
+    if (profile_)
+        profile_->noteMemLevel(
+            sm, result.servedBy == MemLevel::Dram
+                    ? 3
+                    : (result.servedBy == MemLevel::L2 ? 2 : 1));
     return result;
 }
 
@@ -83,6 +89,16 @@ MemorySystem::setShardTraceSinks(std::vector<TraceSink *> sinks)
     for (std::size_t i = 0; i < l1s_.size(); ++i)
         l1s_[i]->setTraceSink(shardSinks_[i],
                               static_cast<std::uint16_t>(i), 1);
+}
+
+void
+MemorySystem::setProfiler(CycleProfiler *profile)
+{
+    profile_ = profile;
+    for (std::size_t i = 0; i < l1s_.size(); ++i)
+        l1s_[i]->setProfiler(profile, static_cast<std::uint16_t>(i), 1);
+    l2_->setProfiler(profile, 0, 2);
+    dram_.setProfiler(profile);
 }
 
 void

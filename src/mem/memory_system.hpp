@@ -18,6 +18,7 @@ namespace rtp {
 struct TelemetryGlobalSample;
 class ShardGate;
 class TraceSink;
+class CycleProfiler;
 
 /** Where a request was ultimately served from. */
 enum class MemLevel : std::uint8_t
@@ -104,6 +105,17 @@ class MemorySystem
     void setChecker(InvariantChecker *check);
 
     /**
+     * Attach a cycle-attribution profiler to every level (nullptr
+     * detaches). Each access then reports the level that served it —
+     * the input of the profiler's L1/L2/DRAM stall classification —
+     * into the issuing SM's slice, and the caches and DRAM feed their
+     * hit/row-hit meta tallies. Pure observer; sharded-loop safe (the
+     * per-SM slice belongs to the issuing worker, and the shared
+     * L2/DRAM probes only fire inside the gated seam).
+     */
+    void setProfiler(CycleProfiler *profile);
+
+    /**
      * Attach the sharded event loop's ordering gate (nullptr detaches).
      * While attached, every true L1 miss — the only path into the
      * shared L2/DRAM — first calls gate->waitTurn(sm), so cross-SM
@@ -158,6 +170,7 @@ class MemorySystem
     DramModel dram_;
     ShardGate *gate_ = nullptr;            //!< sharded loop only
     std::vector<TraceSink *> shardSinks_;  //!< per-SM tagged sinks
+    CycleProfiler *profile_ = nullptr;     //!< attribution probes
 };
 
 } // namespace rtp

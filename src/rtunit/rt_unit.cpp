@@ -7,10 +7,23 @@
 
 #include "geometry/intersect.hpp"
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/telemetry.hpp"
 #include "util/trace.hpp"
 
 namespace rtp {
+
+namespace {
+
+/** Attribution ray type of @p kind (closest-hit folds both kinds). */
+ProfRayType
+profRayType(RayKind kind)
+{
+    return kind == RayKind::Occlusion ? ProfRayType::Occlusion
+                                      : ProfRayType::ClosestHit;
+}
+
+} // namespace
 
 void
 RtUnit::setChecker(InvariantChecker *check)
@@ -19,6 +32,15 @@ RtUnit::setChecker(InvariantChecker *check)
     buffer_.setChecker(check);
     events_.setChecker(check);
     collector_.setChecker(check);
+}
+
+void
+RtUnit::setProfiler(CycleProfiler *profile)
+{
+    profile_ = profile;
+    collector_.setProfiler(profile, smId_);
+    if (predictor_)
+        predictor_->setProfiler(profile, smId_);
 }
 
 void
@@ -171,12 +193,20 @@ RtUnit::step()
             "RtUnit::step: empty event queue (SM " +
             std::to_string(smId_) + ")");
     RtEvent ev = events_.pop();
+    if (profile_)
+        profile_->onEvent(smId_, ev.cycle);
 
     if (ev.kind == RtEventKind::CollectorFlush) {
         auto flushed = collector_.flushIfExpired(ev.cycle);
         if (!flushed.empty())
             dispatchRepacked(flushed, ev.cycle);
         scheduleCollectorFlush();
+        if (profile_) {
+            profile_->noteExec(smId_, CycleCat::RepackWait,
+                               ProfRayType::None);
+            profile_->closeStep(smId_, ev.cycle, true,
+                                collector_.pendingCount() > 0);
+        }
         return;
     }
 
@@ -273,8 +303,14 @@ void
 RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
 {
     Warp &warp = warps_[warp_idx];
-    if (warp.slots.empty())
-        return; // stale event for a retired warp
+    if (warp.slots.empty()) {
+        // Stale event for a retired warp: still a popped event, so the
+        // profiler must close its cycle or attribution would leak.
+        if (profile_)
+            profile_->closeStep(smId_, now, false,
+                                collector_.pendingCount() > 0);
+        return;
+    }
 
     bool any_lookup = false;
     for (std::uint32_t s : warp.slots) {
@@ -295,6 +331,9 @@ RtUnit::stepWarp(std::uint32_t warp_idx, Cycle now)
         lastStallCycle_ = now;
         stallCycles_++;
     }
+    if (profile_)
+        profile_->closeStep(smId_, now, did_work,
+                            collector_.pendingCount() > 0);
 
     // Retire completed rays from the warp (in-place compaction).
     std::size_t live = 0;
@@ -357,6 +396,11 @@ RtUnit::doLookups(Warp &warp, Cycle now)
             continue;
         }
         processed = true;
+        if (profile_)
+            profile_->noteExec(smId_,
+                               predictor_ ? CycleCat::PredLookup
+                                          : CycleCat::WarpIssue,
+                               profRayType(e.ray.kind));
 
         if (!predictor_) {
             e.phase = RayPhase::Normal;
@@ -645,6 +689,18 @@ RtUnit::doTraversal(Warp &warp, Cycle now)
         is.slot = s;
         is.node = *top;
         is.isLeaf = bvh_.node(*top).isLeaf();
+        if (profile_) {
+            // First issue of the step decides the exec category
+            // (kernel-shared: the SoA path sees identical issues).
+            CycleCat cat;
+            if (e.phase == RayPhase::PredEval)
+                cat = CycleCat::PredVerify;
+            else if (e.mispredicted)
+                cat = CycleCat::MispredictRestart;
+            else
+                cat = is.isLeaf ? CycleCat::TriTest : CycleCat::BoxTest;
+            profile_->noteExec(smId_, cat, profRayType(e.ray.kind));
+        }
         is.extraLocalAccesses =
             e.stack.takeSpillEvents() + e.stack.takeRefillEvents();
         issueScratch_.push_back(is);

@@ -47,6 +47,7 @@
 namespace rtp {
 
 struct TelemetrySmSample;
+class CycleProfiler;
 
 /** RT unit configuration (Section 5.1 / Table 2 defaults). */
 struct RtUnitConfig
@@ -203,6 +204,17 @@ class RtUnit
      * pure-observer contract as tracing.
      */
     void setChecker(InvariantChecker *check);
+
+    /**
+     * Attach a cycle-attribution profiler (nullptr detaches), shared
+     * with the partial warp collector and this SM's predictor. Every
+     * event then classifies its own cycle and the wait gap before it
+     * (see util/profile.hpp). Probes live only in kernel-shared code —
+     * never inside processNode/processNodeSoa — so attribution is
+     * byte-identical for either RTP_KERNEL. Same pure-observer
+     * contract as tracing.
+     */
+    void setProfiler(CycleProfiler *profile);
 
     /**
      * End-of-run sweep, called by the driver once every ray completed:
@@ -364,6 +376,7 @@ class RtUnit
     StatGroup stats_;
     TraceSink *trace_ = nullptr;
     InvariantChecker *check_ = nullptr;
+    CycleProfiler *profile_ = nullptr;
     std::uint64_t issueActiveThreads_ = 0;
     std::uint64_t issueSlots_ = 0;
 

@@ -130,6 +130,7 @@ SimService::submit(const JobRequest &request)
     if (!accepting_) {
         adm.reason = "service is shut down";
         stats_.rejected++;
+        tenantStats_[request.tenant].rejected++;
         return adm;
     }
     if (queued_ >= config_.maxQueued) {
@@ -137,12 +138,14 @@ SimService::submit(const JobRequest &request)
                      " jobs queued, limit " +
                      std::to_string(config_.maxQueued) + ")";
         stats_.rejected++;
+        tenantStats_[request.tenant].rejected++;
         return adm;
     }
     if (!request.bvh || !request.triangles || !request.rays) {
         adm.reason = "malformed request: bvh, triangles, and rays are "
                      "all required";
         stats_.rejected++;
+        tenantStats_[request.tenant].rejected++;
         return adm;
     }
     try {
@@ -150,6 +153,7 @@ SimService::submit(const JobRequest &request)
     } catch (const std::exception &e) {
         adm.reason = std::string("invalid config: ") + e.what();
         stats_.rejected++;
+        tenantStats_[request.tenant].rejected++;
         return adm;
     }
 
@@ -172,6 +176,7 @@ SimService::submit(const JobRequest &request)
     jobs_[job->outcome.id] = job;
     queued_++;
     stats_.submitted++;
+    tenantStats_[request.tenant].submitted++;
 
     adm.accepted = true;
     adm.id = job->outcome.id;
@@ -237,6 +242,7 @@ SimService::cancel(JobId id)
     job->outcome.state = JobState::Cancelled;
     queued_--;
     stats_.cancelled++;
+    tenantStats_[job->request.tenant].cancelled++;
     jobDone_.notify_all();
     return true;
 }
@@ -274,6 +280,7 @@ SimService::stopWorkers(bool cancel_queued)
                 for (const JobPtr &job : kv.second) {
                     job->outcome.state = JobState::Cancelled;
                     stats_.cancelled++;
+                    tenantStats_[job->request.tenant].cancelled++;
                 }
                 kv.second.clear();
             }
@@ -336,6 +343,66 @@ SimService::stats() const
     return out;
 }
 
+void
+SimService::exportMetrics(MetricsRegistry &reg) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (const auto &kv : tenantStats_) {
+        MetricLabels tenant{{"tenant", kv.first}};
+        const TenantTallies &t = kv.second;
+        reg.addCounter("rtp_service_jobs_submitted_total",
+                       "Jobs admitted by the service", tenant,
+                       static_cast<double>(t.submitted));
+        reg.addCounter("rtp_service_jobs_completed_total",
+                       "Jobs finished successfully", tenant,
+                       static_cast<double>(t.completed));
+        reg.addCounter("rtp_service_jobs_failed_total",
+                       "Jobs whose simulation threw", tenant,
+                       static_cast<double>(t.failed));
+        reg.addCounter("rtp_service_jobs_cancelled_total",
+                       "Jobs cancelled while queued", tenant,
+                       static_cast<double>(t.cancelled));
+        reg.addCounter("rtp_service_jobs_rejected_total",
+                       "Submissions refused by admission control",
+                       tenant, static_cast<double>(t.rejected));
+        reg.histogram("rtp_service_queue_wait_seconds",
+                      "Submit-to-dispatch wall time", tenant,
+                      t.queueWait.bounds)
+            .merge(t.queueWait);
+        reg.histogram("rtp_service_job_latency_seconds",
+                      "Dispatch-to-completion wall time", tenant,
+                      t.jobLatency.bounds)
+            .merge(t.jobLatency);
+    }
+    for (const auto &kv : tenantQueues_)
+        reg.setGauge("rtp_service_queue_depth",
+                     "Jobs currently queued",
+                     {{"tenant", kv.first}},
+                     static_cast<double>(kv.second.size()));
+    reg.setGauge("rtp_service_running_jobs",
+                 "Jobs currently executing", {},
+                 static_cast<double>(running_));
+    reg.addCounter("rtp_service_lease_contention_total",
+                   "Scheduler passes that skipped a tenant because its "
+                   "head job's warm key was leased",
+                   {}, static_cast<double>(leaseContention_));
+
+    WarmRegistryStats w = warm_.stats();
+    reg.addCounter("rtp_service_warm_acquires_total",
+                   "Warm-state acquisitions by outcome",
+                   {{"outcome", "hit"}}, static_cast<double>(w.hits));
+    reg.addCounter("rtp_service_warm_acquires_total",
+                   "Warm-state acquisitions by outcome",
+                   {{"outcome", "miss"}},
+                   static_cast<double>(w.misses));
+    reg.addCounter("rtp_service_warm_busy_total",
+                   "Warm-state acquire refusals (key leased)", {},
+                   static_cast<double>(w.busy));
+    reg.addCounter("rtp_service_warm_evictions_total",
+                   "Warm-state evictions", {},
+                   static_cast<double>(w.evictions));
+}
+
 std::size_t
 SimService::queuedCount() const
 {
@@ -367,8 +434,10 @@ SimService::nextJobLocked(WarmLease &lease)
             if (!warm_.tryAcquire(job->warmKey,
                                   job->request.config.predictor,
                                   job->request.config.numSms,
-                                  *job->request.bvh, lease))
+                                  *job->request.bvh, lease)) {
+                leaseContention_++;
                 continue;
+            }
             job->outcome.warmHit = lease.warmHit;
             job->outcome.warmth = lease.warmth.warmth();
         }
@@ -405,6 +474,8 @@ SimService::workerLoop()
         job->outcome.queueSeconds =
             std::chrono::duration<double>(dispatch - job->submitted)
                 .count();
+        tenantStats_[job->request.tenant].queueWait.observe(
+            job->outcome.queueSeconds);
         queued_--;
         running_++;
         lk.unlock();
@@ -447,15 +518,19 @@ SimService::workerLoop()
             std::chrono::duration<double>(
                 std::chrono::steady_clock::now() - dispatch)
                 .count();
+        TenantTallies &tallies = tenantStats_[job->request.tenant];
+        tallies.jobLatency.observe(job->outcome.serviceSeconds);
         if (error) {
             job->outcome.state = JobState::Failed;
             job->outcome.error = std::move(what);
             job->outcome.exception = error;
             stats_.failed++;
+            tallies.failed++;
         } else {
             job->outcome.state = JobState::Done;
             job->outcome.result = std::move(result);
             stats_.completed++;
+            tallies.completed++;
         }
         jobDone_.notify_all();
         // A released lease may unblock another tenant's head job.

@@ -57,6 +57,7 @@
 #include "exp/workload.hpp"
 #include "gpu/simulator.hpp"
 #include "service/warm_registry.hpp"
+#include "util/metrics.hpp"
 
 namespace rtp {
 
@@ -240,6 +241,20 @@ class SimService
 
     ServiceStats stats() const;
 
+    /**
+     * Export the service's observability surface into @p reg:
+     * per-tenant job counters (submitted / completed / failed /
+     * cancelled / rejected), instantaneous per-tenant queue depth and
+     * global running-job gauges, the warm-registry cache counters, the
+     * lease-contention counter (scheduler passes that skipped a tenant
+     * because its head job's warm key was leased), and per-tenant
+     * queue-wait and job-latency histograms in seconds. Wall-clock
+     * histograms and gauges are nondeterministic by nature; callers
+     * comparing runs byte-for-byte must restrict themselves to the job
+     * counters.
+     */
+    void exportMetrics(MetricsRegistry &reg) const;
+
     unsigned
     workerCount() const
     {
@@ -264,6 +279,18 @@ class SimService
         std::chrono::steady_clock::time_point submitted;
     };
     using JobPtr = std::shared_ptr<Job>;
+
+    /** Per-tenant observability tallies (mutex_ protects them all). */
+    struct TenantTallies
+    {
+        std::uint64_t submitted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t failed = 0;
+        std::uint64_t cancelled = 0;
+        std::uint64_t rejected = 0;
+        HistogramData queueWait{defaultLatencyBounds()};  //!< seconds
+        HistogramData jobLatency{defaultLatencyBounds()}; //!< seconds
+    };
 
     void workerLoop();
 
@@ -296,6 +323,8 @@ class SimService
     bool stopping_ = false;
     bool joined_ = false;
     ServiceStats stats_;
+    std::map<std::string, TenantTallies> tenantStats_;
+    std::uint64_t leaseContention_ = 0; //!< tenant skips on leased keys
 
     WarmStateRegistry warm_;
     std::vector<std::thread> workers_;

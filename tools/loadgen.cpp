@@ -47,6 +47,7 @@
 #include "exp/env_config.hpp"
 #include "exp/harness.hpp"
 #include "service/sim_service.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/schema.hpp"
 
@@ -340,6 +341,35 @@ runTrafficPhase(const Options &opts, WorkloadCache &cache,
     }
     double wall = now_seconds() - t0;
     ServiceStats stats = service.stats();
+
+    // RTP_METRICS=<path>: snapshot the traffic-phase service's full
+    // observability surface (per-tenant counters, queue-wait and
+    // latency histograms, warm-cache and lease-contention tallies) as
+    // a Prometheus exposition before the workers tear down. CI keeps
+    // the file as an artifact and lints it with cycles_report --lint.
+    const std::string mpath = envString("RTP_METRICS");
+    if (!mpath.empty()) {
+        MetricsRegistry reg;
+        service.exportMetrics(reg);
+        bool wrote = false;
+        if (ensureParentDir(mpath)) {
+            if (std::FILE *f = std::fopen(mpath.c_str(), "w")) {
+                const std::string body = reg.renderProm();
+                wrote = std::fwrite(body.data(), 1, body.size(), f) ==
+                        body.size();
+                wrote = std::fclose(f) == 0 && wrote;
+            }
+        }
+        if (wrote)
+            std::fprintf(stderr,
+                         "[rtp-loadgen] wrote metrics %s "
+                         "(%zu families)\n",
+                         mpath.c_str(), reg.families().size());
+        else
+            std::fprintf(stderr,
+                         "[rtp-loadgen] cannot write metrics %s\n",
+                         mpath.c_str());
+    }
     service.shutdown();
 
     std::sort(inter_lat.begin(), inter_lat.end());
@@ -363,13 +393,15 @@ runTrafficPhase(const Options &opts, WorkloadCache &cache,
                 "p99=%.4fs  wall=%.3fs  rays/s=%.0f\n",
                 p50, p99, off_p99, wall, rps);
 
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "\"traffic\":{\"jobs\":%zu,\"interactive_jobs\":%zu,"
         "\"offline_jobs\":%zu,\"total_rays\":%zu,"
         "\"total_cycles\":%llu,\"warm_hits\":%llu,"
         "\"warm_misses\":%llu,"
+        "\"jobs_submitted\":%llu,\"jobs_completed\":%llu,"
+        "\"jobs_rejected\":%llu,"
         "\"interactive_p50_latency_seconds\":%.6f,"
         "\"interactive_p99_latency_seconds\":%.6f,"
         "\"offline_p99_latency_seconds\":%.6f,"
@@ -377,7 +409,10 @@ runTrafficPhase(const Options &opts, WorkloadCache &cache,
         pending.size(), inter_lat.size(), offline_lat.size(),
         total_rays, static_cast<unsigned long long>(total_cycles),
         static_cast<unsigned long long>(stats.warm.hits),
-        static_cast<unsigned long long>(stats.warm.misses), p50, p99,
+        static_cast<unsigned long long>(stats.warm.misses),
+        static_cast<unsigned long long>(stats.submitted),
+        static_cast<unsigned long long>(stats.completed),
+        static_cast<unsigned long long>(stats.rejected), p50, p99,
         off_p99, wall, rps);
     json << buf;
     return ok;

@@ -35,6 +35,7 @@
 #include "exp/env_config.hpp"
 #include "exp/harness.hpp"
 #include "geometry/intersect.hpp"
+#include "util/profile.hpp"
 #include "util/schema.hpp"
 #include "geometry/intersect_soa.hpp"
 #include "rays/ray_soa.hpp"
@@ -214,6 +215,49 @@ main()
                 cells.push_back(std::move(cell));
             }
         }
+    }
+
+    // Profiler-overhead section: the proposed configuration on one
+    // scene with the cycle-attribution profiler detached vs attached
+    // (RTP_PROFILE, util/profile.hpp). Simulated cycles are identical
+    // (zero-perturbation contract); the wall-clock delta is the
+    // profiler's full observation cost, which must stay marginal
+    // (target < 1%, noise-dominated at these runtimes).
+    {
+        const Workload *w = &cache.get(SceneId::Sibenik);
+        CycleProfiler profiler;
+        double off_wall = 0.0, on_wall = 0.0;
+        for (int attached = 0; attached < 2; ++attached) {
+            SimConfig c = SimConfig::proposed();
+            if (attached)
+                c.profile = &profiler;
+            Simulation sim(c, w->bvh, w->scene.mesh.triangles());
+            Cell cell;
+            cell.label = w->scene.shortName +
+                         (attached ? "/profile_on" : "/profile_off");
+            cell.rays = w->ao.rays.size();
+            cell.wallSeconds = -1.0;
+            for (int rep = 0; rep < reps; ++rep) {
+                double t0 = now_seconds();
+                SimResult r = sim.run(w->ao.rays);
+                double dt = now_seconds() - t0;
+                cell.cycles = r.cycles;
+                if (cell.wallSeconds < 0.0 || dt < cell.wallSeconds)
+                    cell.wallSeconds = dt;
+            }
+            (attached ? on_wall : off_wall) = cell.wallSeconds;
+            total_rays += cell.rays;
+            total_wall += cell.wallSeconds;
+            std::printf("%-22s %10zu %12.4f %14.0f\n",
+                        cell.label.c_str(), cell.rays,
+                        cell.wallSeconds, cell.raysPerSecond());
+            cells.push_back(std::move(cell));
+        }
+        if (off_wall > 0.0)
+            std::fprintf(stderr,
+                         "[rtp-selfbench] profile_overhead: %+.2f%% "
+                         "wall (profiler on vs off)\n",
+                         100.0 * (on_wall - off_wall) / off_wall);
     }
 
     // Kernel-bound microbenchmark: raw intersection-test throughput of

@@ -55,6 +55,7 @@
 #include "rays/raygen.hpp"
 #include "scene/registry.hpp"
 #include "util/check.hpp"
+#include "util/profile.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -192,8 +193,14 @@ runPoint(const SimConfig &config, const FuzzScene &fs,
 {
     try {
         InvariantChecker check;
+        // The profiler rides every checked fuzz run: runEventLoop
+        // re-verifies the cycle-conservation law through the checker,
+        // and the differential's two runs (predictor on + off)
+        // exercise multi-run accumulation on one profiler.
+        CycleProfiler profile;
         SimConfig checked = config;
         checked.check = &check;
+        checked.profile = &profile;
         runDifferential(checked, fs.bvh, fs.scene.mesh.triangles(),
                         rays);
         return std::string();
@@ -215,23 +222,30 @@ runShardedPoint(const SimConfig &config, const FuzzScene &fs,
 {
     try {
         auto run_at = [&](std::uint32_t threads,
-                          std::uint64_t &checks_run) {
+                          std::uint64_t &checks_run,
+                          std::string &profile_json) {
             InvariantChecker check;
+            CycleProfiler profile;
             SimConfig c = config;
             c.check = &check;
+            c.profile = &profile;
             c.simThreads = threads;
             std::string json =
                 Simulation(c, fs.bvh, fs.scene.mesh.triangles())
                     .run(rays)
                     .toJson();
             checks_run = check.checksRun();
+            profile_json = profile.toJson();
             return json;
         };
         std::uint64_t ref_checks = 0;
-        const std::string ref = run_at(1, ref_checks);
+        std::string ref_profile;
+        const std::string ref = run_at(1, ref_checks, ref_profile);
         for (std::uint32_t threads : {2u, 4u}) {
             std::uint64_t got_checks = 0;
-            const std::string got = run_at(threads, got_checks);
+            std::string got_profile;
+            const std::string got =
+                run_at(threads, got_checks, got_profile);
             if (got != ref)
                 return "sharded loop (simThreads=" +
                        std::to_string(threads) +
@@ -243,6 +257,11 @@ runShardedPoint(const SimConfig &config, const FuzzScene &fs,
                        std::to_string(got_checks) +
                        " checker probes vs " +
                        std::to_string(ref_checks) + " sequentially";
+            if (got_profile != ref_profile)
+                return "sharded loop (simThreads=" +
+                       std::to_string(threads) +
+                       ") diverged from the sequential reference "
+                       "cycle-attribution profile JSON";
         }
         return std::string();
     } catch (const std::exception &e) {
@@ -262,22 +281,30 @@ runKernelPoint(const SimConfig &config, const FuzzScene &fs,
 {
     try {
         auto run_with = [&](KernelKind kernel,
-                            std::uint64_t &checks_run) {
+                            std::uint64_t &checks_run,
+                            std::string &profile_json) {
             InvariantChecker check;
+            // Profiler probes live only in kernel-shared code, so the
+            // attribution profile is part of the equivalence contract.
+            CycleProfiler profile;
             SimConfig c = config;
             c.check = &check;
+            c.profile = &profile;
             c.rt.kernel = kernel;
             std::string json =
                 Simulation(c, fs.bvh, fs.scene.mesh.triangles())
                     .run(rays)
                     .toJson();
             checks_run = check.checksRun();
+            profile_json = profile.toJson();
             return json;
         };
         std::uint64_t ref_checks = 0, soa_checks = 0;
+        std::string ref_profile, soa_profile;
         const std::string ref =
-            run_with(KernelKind::Scalar, ref_checks);
-        const std::string soa = run_with(KernelKind::Soa, soa_checks);
+            run_with(KernelKind::Scalar, ref_checks, ref_profile);
+        const std::string soa =
+            run_with(KernelKind::Soa, soa_checks, soa_profile);
         if (soa != ref)
             return "SoA kernels diverged from the scalar reference "
                    "SimResult JSON";
@@ -285,6 +312,9 @@ runKernelPoint(const SimConfig &config, const FuzzScene &fs,
             return "SoA kernels ran " + std::to_string(soa_checks) +
                    " checker probes vs " + std::to_string(ref_checks) +
                    " scalar";
+        if (soa_profile != ref_profile)
+            return "SoA kernels diverged from the scalar reference "
+                   "cycle-attribution profile JSON";
         return std::string();
     } catch (const std::exception &e) {
         return e.what();
