@@ -1,0 +1,237 @@
+#include "core/predictor_backend.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/hash.hpp" // canonicalUnitDirection
+
+namespace rtp {
+
+const char *
+backendName(PredictorBackendKind kind)
+{
+    return kind == PredictorBackendKind::HashTable ? "hash" : "learned";
+}
+
+bool
+parseBackendName(const char *text, PredictorBackendKind &out)
+{
+    if (!text)
+        return false;
+    if (std::strcmp(text, "hash") == 0) {
+        out = PredictorBackendKind::HashTable;
+        return true;
+    }
+    if (std::strcmp(text, "learned") == 0) {
+        out = PredictorBackendKind::Learned;
+        return true;
+    }
+    return false;
+}
+
+namespace {
+
+/** One Q16 unit interval: feature values live in [0, kOne]. */
+constexpr std::int32_t kOne = 1 << 16;
+
+/** Quantise t in [0,1] to 16-bit Q16; NaN and out-of-range clamp. */
+std::int32_t
+q16(float t)
+{
+    float f = t * static_cast<float>(kOne);
+    if (!(f > 0.0f))
+        return 0;
+    if (f >= static_cast<float>(kOne))
+        return kOne - 1;
+    return static_cast<std::int32_t>(f);
+}
+
+} // namespace
+
+LearnedBackend::LearnedBackend(const LearnedBackendConfig &config,
+                               const Aabb &scene_bounds)
+    : config_(config)
+{
+    protos_.resize(std::max(1u, config_.prototypes));
+    rebind(scene_bounds);
+}
+
+void
+LearnedBackend::rebind(const Aabb &scene_bounds)
+{
+    bounds_ = scene_bounds;
+    Vec3 ext = bounds_.extent();
+    invExtent_ = Vec3{ext.x > 0 ? 1.0f / ext.x : 0.0f,
+                      ext.y > 0 ? 1.0f / ext.y : 0.0f,
+                      ext.z > 0 ? 1.0f / ext.z : 0.0f};
+}
+
+void
+LearnedBackend::featuresOf(const Ray &ray,
+                           std::int32_t (&out)[kFeatures]) const
+{
+    // Origin normalised to the scene bounds (the same anchor the grid
+    // hash uses), direction as a canonical unit vector remapped from
+    // [-1,1] to [0,1]. Everything beyond this point is integer math.
+    out[0] = q16((ray.origin.x - bounds_.lo.x) * invExtent_.x);
+    out[1] = q16((ray.origin.y - bounds_.lo.y) * invExtent_.y);
+    out[2] = q16((ray.origin.z - bounds_.lo.z) * invExtent_.z);
+    Vec3 d = canonicalUnitDirection(ray.dir);
+    out[3] = q16(0.5f * (d.x + 1.0f));
+    out[4] = q16(0.5f * (d.y + 1.0f));
+    out[5] = q16(0.5f * (d.z + 1.0f));
+}
+
+int
+LearnedBackend::nearest(const std::int32_t (&feat)[kFeatures],
+                        std::uint64_t &dist) const
+{
+    int best = -1;
+    std::uint64_t best_dist = ~0ull;
+    for (std::size_t i = 0; i < protos_.size(); ++i) {
+        const Prototype &p = protos_[i];
+        if (!p.valid)
+            continue;
+        std::uint64_t d = 0;
+        for (int f = 0; f < kFeatures; ++f)
+            d += static_cast<std::uint64_t>(
+                std::abs(p.feat[f] - feat[f]));
+        // Strict < keeps the earliest of tied prototypes:
+        // deterministic and platform independent.
+        if (d < best_dist) {
+            best_dist = d;
+            best = static_cast<int>(i);
+        }
+    }
+    dist = best_dist;
+    return best;
+}
+
+bool
+LearnedBackend::lookupInto(const Ray &ray, std::uint32_t,
+                           std::vector<std::uint32_t> &out)
+{
+    out.clear();
+    tick_++;
+    stats_.inc(StatId::Lookups);
+    std::int32_t feat[kFeatures];
+    featuresOf(ray, feat);
+    std::uint64_t dist = 0;
+    int idx = nearest(feat, dist);
+    if (idx < 0 || dist > config_.acceptRadius) {
+        stats_.inc(StatId::LookupMisses);
+        return false;
+    }
+    stats_.inc(StatId::LookupHits);
+    Prototype &p = protos_[static_cast<std::size_t>(idx)];
+    p.lastUse = tick_;
+    out.push_back(p.node);
+    return true;
+}
+
+void
+LearnedBackend::train(const Ray &ray, std::uint32_t, std::uint32_t node)
+{
+    tick_++;
+    stats_.inc(StatId::Updates);
+    std::int32_t feat[kFeatures];
+    featuresOf(ray, feat);
+    std::uint64_t dist = 0;
+    int idx = nearest(feat, dist);
+
+    if (idx >= 0 && dist <= config_.acceptRadius) {
+        // Matched an existing prototype: pull its centroid toward the
+        // sample (integer EMA, rate 2^-learnShift) and adopt the node.
+        Prototype &p = protos_[static_cast<std::size_t>(idx)];
+        std::uint32_t shift = std::min(config_.learnShift, 30u);
+        for (int f = 0; f < kFeatures; ++f)
+            p.feat[f] += (feat[f] - p.feat[f]) >> shift;
+        if (p.node != node) {
+            stats_.inc(StatId::NodeEvictions);
+            p.node = node;
+        }
+        p.lastUse = tick_;
+        p.useCount++;
+        return;
+    }
+
+    // Recruit: a free prototype if one exists, else evict the LRU.
+    Prototype *victim = nullptr;
+    for (auto &p : protos_) {
+        if (!p.valid) {
+            victim = &p;
+            break;
+        }
+    }
+    if (!victim) {
+        victim = &protos_[0];
+        for (auto &p : protos_) {
+            if (p.lastUse < victim->lastUse)
+                victim = &p;
+        }
+        stats_.inc(StatId::EntryEvictions);
+    }
+    victim->valid = true;
+    for (int f = 0; f < kFeatures; ++f)
+        victim->feat[f] = feat[f];
+    victim->node = node;
+    victim->lastUse = tick_;
+    victim->useCount = 1;
+}
+
+void
+LearnedBackend::confirm(const Ray &ray, std::uint32_t,
+                        std::uint32_t node)
+{
+    tick_++;
+    std::int32_t feat[kFeatures];
+    featuresOf(ray, feat);
+    std::uint64_t dist = 0;
+    int idx = nearest(feat, dist);
+    if (idx < 0 || dist > config_.acceptRadius)
+        return;
+    Prototype &p = protos_[static_cast<std::size_t>(idx)];
+    if (p.node != node)
+        return;
+    stats_.inc(StatId::Confirms);
+    p.lastUse = tick_;
+    p.useCount++;
+}
+
+void
+LearnedBackend::reset()
+{
+    for (auto &p : protos_)
+        p = Prototype{};
+    tick_ = 0;
+}
+
+BackendOccupancy
+LearnedBackend::snapshotStats() const
+{
+    BackendOccupancy occ;
+    occ.capacity = protos_.size();
+    for (const auto &p : protos_)
+        occ.validEntries += p.valid ? 1 : 0;
+    // Hardware budget: per prototype, 6 Q16 features + the node index
+    // + a valid bit (recency bookkeeping is modelled free, as in the
+    // hash table's accounting).
+    double bits_per =
+        6.0 * 16.0 + static_cast<double>(config_.nodeBits) + 1.0;
+    occ.sizeBytes = static_cast<double>(protos_.size()) * bits_per / 8.0;
+    return occ;
+}
+
+std::unique_ptr<PredictorBackend>
+makePredictorBackend(PredictorBackendKind kind,
+                     const PredictorTableConfig &table,
+                     const LearnedBackendConfig &learned, int tag_bits,
+                     const Aabb &scene_bounds)
+{
+    if (kind == PredictorBackendKind::Learned)
+        return std::make_unique<LearnedBackend>(learned, scene_bounds);
+    return std::make_unique<HashTableBackend>(table, tag_bits);
+}
+
+} // namespace rtp

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Pluggable predictor storage backends.
+ *
+ * The predictor unit (core/predictor.hpp) owns the *timing* model —
+ * ports, latencies, the Go Up Level training rule — and delegates the
+ * *storage and matching* question ("which BVH nodes do we predict for
+ * this ray?") to a PredictorBackend. The paper's set-associative hash
+ * table (Section 4.1) is one backend; alternatives compete on the same
+ * bench matrix behind the same interface (ROADMAP item 1; compare
+ * Demoullin et al.'s hash-based path prediction with learned
+ * approaches like AMD's Neural Intersection Function).
+ *
+ * Interface contract (docs/predictor_backends.md spells this out for
+ * backend authors):
+ *
+ *  - lookupInto/train/confirm receive both the ray and its hash under
+ *    the unit's configured scheme; a backend may key on either (the
+ *    hash table ignores the ray, the learned backend ignores the hash).
+ *  - A backend maintains StatId::Lookups, LookupHits, LookupMisses and
+ *    Updates so that every lookup is exactly one hit or miss — the
+ *    invariant checker's end-of-run sweep (RayPredictor::checkFinalState)
+ *    enforces it for any backend.
+ *  - All state and arithmetic must be deterministic (integer or exact
+ *    float) — simulation output must be byte-identical across runs and
+ *    platforms.
+ *  - clone() deep-copies trained state (cross-request warm cloning,
+ *    PredictorSet::clone); rebind() re-anchors scene-derived features
+ *    after a BVH refit without dropping trained state.
+ *  - Backends never touch simulated time: the unit schedules ports and
+ *    latencies before consulting the backend.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/predictor_table.hpp"
+#include "geometry/aabb.hpp"
+#include "geometry/ray.hpp"
+#include "util/stats.hpp"
+
+namespace rtp {
+
+/** Which storage backend the predictor unit uses. */
+enum class PredictorBackendKind : std::uint8_t
+{
+    HashTable, //!< the paper's set-associative table (default)
+    Learned,   //!< fixed-point nearest-prototype model (NIF-spirit)
+};
+
+/** @return Canonical lowercase name ("hash" / "learned"). */
+const char *backendName(PredictorBackendKind kind);
+
+/**
+ * Parse a backend name ("hash" or "learned", exact). @return false on
+ * anything else; @p out is untouched then.
+ */
+bool parseBackendName(const char *text, PredictorBackendKind &out);
+
+/**
+ * Configuration for the learned (nearest-prototype) backend: a tiny
+ * fixed-point model in the spirit of learned intersection predictors.
+ * It quantises each ray to a Q16 feature vector (origin normalised to
+ * the scene bounds, plus the unit direction) and keeps a pool of
+ * prototypes, each associating a feature centroid with one predicted
+ * BVH node. Lookup returns the nearest prototype within an L1 accept
+ * radius; training moves the matched centroid toward the sample by a
+ * power-of-two learning rate (an integer EMA) or recruits / evicts the
+ * least-recently-used prototype. All arithmetic is integer, so the
+ * model is deterministic.
+ */
+struct LearnedBackendConfig
+{
+    std::uint32_t prototypes = 256;   //!< pool size (capacity)
+    /**
+     * L1 accept radius in Q16 feature units, summed over the 6
+     * feature dimensions. The default corresponds to roughly one
+     * 32-cell grid step per dimension (6 * 65536/32).
+     */
+    std::uint32_t acceptRadius = 12288;
+    std::uint32_t learnShift = 2;     //!< EMA rate = 2^-learnShift
+    std::uint32_t nodeBits = 27;      //!< bits per stored node (sizing)
+};
+
+/** Occupancy snapshot a backend reports (predictor warmth). */
+struct BackendOccupancy
+{
+    std::size_t validEntries = 0; //!< trained entries / prototypes
+    std::size_t capacity = 0;     //!< total entry capacity
+    double sizeBytes = 0.0;       //!< hardware budget accounting
+};
+
+/** Storage backend behind the timed predictor unit (see file docs). */
+class PredictorBackend
+{
+  public:
+    virtual ~PredictorBackend() = default;
+
+    /**
+     * Predict nodes for @p ray (hashed to @p hash by the unit's
+     * scheme). Clears @p out, fills it on a hit. @return true on a hit.
+     * Must count one Lookups and exactly one LookupHits/LookupMisses.
+     */
+    virtual bool lookupInto(const Ray &ray, std::uint32_t hash,
+                            std::vector<std::uint32_t> &out) = 0;
+
+    /** Train: associate @p node with the ray. Counts Updates. */
+    virtual void train(const Ray &ray, std::uint32_t hash,
+                       std::uint32_t node) = 0;
+
+    /**
+     * Credit @p node's storage when a specific prediction was confirmed
+     * used (successful verification traversal). No-op if it is gone.
+     */
+    virtual void confirm(const Ray &ray, std::uint32_t hash,
+                         std::uint32_t node) = 0;
+
+    /** Invalidate all trained state (full BVH rebuild). */
+    virtual void reset() = 0;
+
+    /**
+     * Re-anchor scene-derived feature scaling to (possibly grown)
+     * bounds after a BVH refit, keeping trained state.
+     */
+    virtual void rebind(const Aabb &scene_bounds) = 0;
+
+    /** Occupancy + hardware-size snapshot (job-server warmth). */
+    virtual BackendOccupancy snapshotStats() const = 0;
+
+    virtual const StatGroup &stats() const = 0;
+    virtual void clearStats() = 0;
+
+    /** Deep copy, trained state included (warm cloning). */
+    virtual std::unique_ptr<PredictorBackend> clone() const = 0;
+
+    virtual PredictorBackendKind kind() const = 0;
+};
+
+/**
+ * The default backend: the paper's set-associative PredictorTable,
+ * keyed purely on the ray hash. A thin adapter — accounting and
+ * behaviour are exactly the bare table's, so simulations through this
+ * backend are byte-identical to the pre-interface implementation.
+ */
+class HashTableBackend final : public PredictorBackend
+{
+  public:
+    HashTableBackend(const PredictorTableConfig &config, int tag_bits)
+        : table_(config, tag_bits)
+    {}
+
+    bool
+    lookupInto(const Ray &, std::uint32_t hash,
+               std::vector<std::uint32_t> &out) override
+    {
+        return table_.lookupInto(hash, out);
+    }
+
+    void
+    train(const Ray &, std::uint32_t hash, std::uint32_t node) override
+    {
+        table_.update(hash, node);
+    }
+
+    void
+    confirm(const Ray &, std::uint32_t hash, std::uint32_t node) override
+    {
+        table_.confirm(hash, node);
+    }
+
+    void
+    reset() override
+    {
+        table_.reset();
+    }
+
+    void
+    rebind(const Aabb &) override
+    {
+        // Hash keys come from the unit's hasher, which the unit itself
+        // rebinds; the table stores opaque patterns.
+    }
+
+    BackendOccupancy
+    snapshotStats() const override
+    {
+        return {table_.validEntries(), table_.capacity(),
+                table_.sizeBytes()};
+    }
+
+    const StatGroup &
+    stats() const override
+    {
+        return table_.stats();
+    }
+
+    void
+    clearStats() override
+    {
+        table_.clearStats();
+    }
+
+    std::unique_ptr<PredictorBackend>
+    clone() const override
+    {
+        return std::make_unique<HashTableBackend>(*this);
+    }
+
+    PredictorBackendKind
+    kind() const override
+    {
+        return PredictorBackendKind::HashTable;
+    }
+
+    PredictorTable &
+    table()
+    {
+        return table_;
+    }
+
+    const PredictorTable &
+    table() const
+    {
+        return table_;
+    }
+
+  private:
+    PredictorTable table_;
+};
+
+/** The learned nearest-prototype backend (see LearnedBackendConfig). */
+class LearnedBackend final : public PredictorBackend
+{
+  public:
+    LearnedBackend(const LearnedBackendConfig &config,
+                   const Aabb &scene_bounds);
+
+    bool lookupInto(const Ray &ray, std::uint32_t hash,
+                    std::vector<std::uint32_t> &out) override;
+    void train(const Ray &ray, std::uint32_t hash,
+               std::uint32_t node) override;
+    void confirm(const Ray &ray, std::uint32_t hash,
+                 std::uint32_t node) override;
+    void reset() override;
+    void rebind(const Aabb &scene_bounds) override;
+    BackendOccupancy snapshotStats() const override;
+
+    const StatGroup &
+    stats() const override
+    {
+        return stats_;
+    }
+
+    void
+    clearStats() override
+    {
+        stats_.clear();
+    }
+
+    std::unique_ptr<PredictorBackend>
+    clone() const override
+    {
+        return std::make_unique<LearnedBackend>(*this);
+    }
+
+    PredictorBackendKind
+    kind() const override
+    {
+        return PredictorBackendKind::Learned;
+    }
+
+    /** Q16 feature vector of a ray (exposed for tests). */
+    static constexpr int kFeatures = 6;
+    void featuresOf(const Ray &ray,
+                    std::int32_t (&out)[kFeatures]) const;
+
+  private:
+    struct Prototype
+    {
+        std::int32_t feat[kFeatures] = {};
+        std::uint32_t node = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+        std::uint64_t useCount = 0;
+    };
+
+    /** Index of the nearest valid prototype, or -1; @p dist = its L1. */
+    int nearest(const std::int32_t (&feat)[kFeatures],
+                std::uint64_t &dist) const;
+
+    LearnedBackendConfig config_;
+    Aabb bounds_;
+    Vec3 invExtent_;
+    std::vector<Prototype> protos_;
+    std::uint64_t tick_ = 0;
+    StatGroup stats_;
+};
+
+/**
+ * Build the backend @p kind selects. @p tag_bits is the unit's hash
+ * width (hash-table tag size); @p scene_bounds anchors feature scaling
+ * for the learned backend.
+ */
+std::unique_ptr<PredictorBackend>
+makePredictorBackend(PredictorBackendKind kind,
+                     const PredictorTableConfig &table,
+                     const LearnedBackendConfig &learned, int tag_bits,
+                     const Aabb &scene_bounds);
+
+} // namespace rtp

@@ -102,6 +102,13 @@ EnvConfig::fromEnvironment()
                 std::string(p) + "\"");
     }
 
+    if (const char *p = std::getenv("RTP_BACKEND"); p && *p) {
+        if (!parseBackendName(p, env.backend))
+            throw std::invalid_argument(
+                "RTP_BACKEND must be \"hash\" or \"learned\", got \"" +
+                std::string(p) + "\"");
+    }
+
     env.check = parseEnvFlag("RTP_CHECK");
     env.service = parseEnvFlag("RTP_SERVICE");
 

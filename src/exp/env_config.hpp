@@ -20,6 +20,7 @@
  * | RTP_THREADS          | sweep-level pool size                    | hardware threads   |
  * | RTP_SIM_THREADS      | per-simulation event-loop workers        | 1 (sequential)     |
  * | RTP_KERNEL           | intersection kernels: scalar | soa       | scalar             |
+ * | RTP_BACKEND          | predictor backend: hash | learned        | hash               |
  * | RTP_CHECK            | 1 = invariant checker + oracle on        | 0                  |
  * | RTP_SERVICE          | 1 = route harness sweeps through         | 0                  |
  * |                      | a SimService job server                  |                    |
@@ -44,6 +45,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/predictor_backend.hpp" // PredictorBackendKind
 #include "exp/parallel.hpp"
 #include "geometry/intersect_soa.hpp" // KernelKind
 
@@ -57,6 +59,16 @@ struct EnvConfig
 
     /** RTP_KERNEL: intersection-kernel implementation. */
     KernelKind kernel = KernelKind::Scalar;
+
+    /**
+     * RTP_BACKEND: predictor storage backend. Applied (like
+     * RTP_KERNEL) only when non-default, so benches that pin backends
+     * per cell are overridden uniformly or not at all. A simulated
+     * knob, unlike the rest of this struct: changing it legitimately
+     * changes predictor outcomes and therefore simulated cycles —
+     * but never per-ray visibility results.
+     */
+    PredictorBackendKind backend = PredictorBackendKind::HashTable;
 
     /** RTP_CHECK: invariant checker + reference oracle per sweep point. */
     bool check = false;

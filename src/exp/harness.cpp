@@ -69,6 +69,8 @@ runPointsViaService(const std::vector<SimPoint> &points,
         req.config = p.config;
         if (env.kernel != KernelKind::Scalar)
             req.config.rt.kernel = env.kernel;
+        if (env.backend != PredictorBackendKind::HashTable)
+            req.config.predictor.backend = env.backend;
         if (env.check) {
             checkers.push_back(std::make_unique<InvariantChecker>());
             req.config.check = checkers.back().get();
@@ -170,6 +172,10 @@ runSimPoints(const std::vector<SimPoint> &points, const char *label)
             config.simThreads = budget.simThreads;
         if (env.kernel != KernelKind::Scalar)
             config.rt.kernel = env.kernel;
+        // RTP_BACKEND swaps the predictor storage backend uniformly
+        // across the sweep (non-default only, mirroring RTP_KERNEL).
+        if (env.backend != PredictorBackendKind::HashTable)
+            config.predictor.backend = env.backend;
         if (env.check) {
             InvariantChecker check;
             config.check = &check;

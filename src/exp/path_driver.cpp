@@ -1,0 +1,82 @@
+#include "exp/path_driver.hpp"
+
+#include <utility>
+
+#include "rays/raygen.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+
+PathTraceOutcome
+runPathTrace(const Workload &w, const SimConfig &config,
+             const RayGenConfig &raygen)
+{
+    PathTraceOutcome out;
+    const auto &tris = w.scene.mesh.triangles();
+
+    // Predictor state persists across waves through one PredictorSet:
+    // cold at the camera wave, warm for every bounce. Rebinding with
+    // preserve_state between waves keeps the trained tables but clears
+    // the per-run counters, so merging per-wave stats below never
+    // double-counts a predictor counter.
+    PredictorSet set;
+    const bool warm = config.predictor.enabled;
+    if (warm)
+        set.bind(config.predictor, config.numSms, w.bvh,
+                 /*preserve_state=*/false);
+
+    Rng rng(raygen.seed, 37); // bounce stream, carried across waves
+
+    RayBatch wave = generatePrimaryRays(w.scene, raygen);
+    double eff_weighted = 0.0;
+    double banks_weighted = 0.0;
+    std::uint64_t cycle_sum = 0;
+    for (int depth = 0; depth <= raygen.pathBounces; ++depth) {
+        if (wave.rays.empty())
+            break;
+        if (warm && depth > 0)
+            set.bind(config.predictor, config.numSms, w.bvh,
+                     /*preserve_state=*/true);
+
+        SimResult r;
+        if (warm) {
+            Simulation sim(config, w.bvh, tris, set);
+            r = sim.run(wave.rays);
+        } else {
+            Simulation sim(config, w.bvh, tris);
+            r = sim.run(wave.rays);
+        }
+
+        out.waveRays.push_back(wave.rays.size());
+        out.totalRays += wave.rays.size();
+        out.total.cycles += r.cycles;
+        out.total.stats.merge(r.stats);
+        out.total.memStats.merge(r.memStats);
+        eff_weighted += r.simtEfficiency * static_cast<double>(r.cycles);
+        banks_weighted += r.avgBusyBanks * static_cast<double>(r.cycles);
+        cycle_sum += r.cycles;
+        out.total.rayResults.insert(out.total.rayResults.end(),
+                                    r.rayResults.begin(),
+                                    r.rayResults.end());
+
+        if (depth == raygen.pathBounces)
+            break;
+        std::vector<PathHit> hits;
+        hits.reserve(r.rayResults.size());
+        for (const RayResult &rr : r.rayResults)
+            hits.push_back(PathHit{rr.hit, rr.t, rr.prim});
+        RayBatch next =
+            generatePathBounceRays(w.scene, w.bvh, wave.rays, hits, rng);
+        wave = std::move(next);
+    }
+
+    if (cycle_sum > 0) {
+        out.total.simtEfficiency =
+            eff_weighted / static_cast<double>(cycle_sum);
+        out.total.avgBusyBanks =
+            banks_weighted / static_cast<double>(cycle_sum);
+    }
+    return out;
+}
+
+} // namespace rtp

@@ -34,6 +34,15 @@ WorkloadConfig::fromEnvironment()
     // the viewport shrinks.
     c.raygen.viewportFraction =
         static_cast<float>(c.raygen.width) / 1024.0f;
+    // Incoherent-workload knobs (strict like everything here):
+    // RTP_PHOTONS = photons per photon pass (0 = one per pixel),
+    // RTP_PHOTON_BOUNCES / RTP_PT_BOUNCES = bounce depths.
+    c.raygen.photonCount =
+        static_cast<int>(parseEnvIndex("RTP_PHOTONS", 0));
+    c.raygen.photonBounces =
+        static_cast<int>(parseEnvPositive("RTP_PHOTON_BOUNCES", 2));
+    c.raygen.pathBounces =
+        static_cast<int>(parseEnvPositive("RTP_PT_BOUNCES", 4));
     return c;
 }
 

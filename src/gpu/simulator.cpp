@@ -685,8 +685,9 @@ PredictorSet::snapshotStats() const
     PredictorSetStats s;
     s.numSms = predictors_.size();
     for (const auto &p : predictors_) {
-        s.validEntries += p->table().validEntries();
-        s.capacity += p->table().capacity();
+        BackendOccupancy occ = p->backend().snapshotStats();
+        s.validEntries += occ.validEntries;
+        s.capacity += occ.capacity;
     }
     return s;
 }

@@ -1,5 +1,6 @@
 #include "rays/raygen.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "bvh/traversal.hpp"
@@ -19,6 +20,36 @@ surfaceNormal(const std::vector<Triangle> &tris, const HitRecord &rec,
     if (dot(n, incoming_dir) > 0.0f)
         n = -n;
     return n;
+}
+
+/** Shading normal from a primitive index (PathHit variant). */
+Vec3
+surfaceNormalOf(const std::vector<Triangle> &tris, std::uint32_t prim,
+                const Vec3 &incoming_dir)
+{
+    Vec3 n = normalize(tris[prim].geometricNormal());
+    if (dot(n, incoming_dir) > 0.0f)
+        n = -n;
+    return n;
+}
+
+/** Uniformly distributed unit direction (photon emission). */
+Vec3
+uniformSphereDir(Rng &rng)
+{
+    float z = 1.0f - 2.0f * rng.nextFloat();
+    float phi = 6.28318530717958647692f * rng.nextFloat();
+    float r = std::sqrt(std::max(0.0f, 1.0f - z * z));
+    return Vec3{r * std::cos(phi), r * std::sin(phi), z};
+}
+
+/** The default light generateShadowRays and the photon pass share. */
+Vec3
+defaultLight(const Aabb &bounds)
+{
+    return Vec3{bounds.center().x,
+                bounds.hi.y - 0.05f * bounds.extent().y,
+                bounds.center().z};
 }
 
 } // namespace
@@ -150,11 +181,7 @@ generateShadowRays(const Scene &scene, const Bvh &bvh,
     float aspect = static_cast<float>(config.width) / config.height;
 
     Aabb bounds = bvh.sceneBounds();
-    Vec3 light = light_pos
-                     ? *light_pos
-                     : Vec3{bounds.center().x,
-                            bounds.hi.y - 0.05f * bounds.extent().y,
-                            bounds.center().z};
+    Vec3 light = light_pos ? *light_pos : defaultLight(bounds);
 
     for (int y = 0; y < config.height; ++y) {
         for (int x = 0; x < config.width; ++x) {
@@ -184,6 +211,92 @@ generateShadowRays(const Scene &scene, const Bvh &bvh,
             batch.rays.push_back(shadow);
         }
     }
+    return batch;
+}
+
+RayBatch
+generatePhotonRays(const Scene &scene, const Bvh &bvh,
+                   const RayGenConfig &config, const Vec3 *light_pos)
+{
+    RayBatch batch;
+    Rng rng(config.seed, 41);
+    const auto &tris = scene.mesh.triangles();
+    BvhTraversal trav(bvh, tris); // reused stack: no per-photon allocation
+    float diag = bvh.sceneBounds().diagonal();
+    Vec3 light =
+        light_pos ? *light_pos : defaultLight(bvh.sceneBounds());
+
+    int photons = config.photonCount > 0
+                      ? config.photonCount
+                      : config.width * config.height;
+    for (int i = 0; i < photons; ++i) {
+        Ray ray;
+        ray.origin = light;
+        ray.dir = uniformSphereDir(rng);
+        ray.tMin = 1e-4f;
+        ray.tMax = 1e30f;
+        ray.kind = RayKind::Secondary;
+        batch.rays.push_back(ray);
+        batch.primaryRays++;
+
+        // Diffuse photon flight: bounce off each surface the photon
+        // lands on, up to photonBounces times (the reference traversal
+        // here only steers generation; every segment pushed above and
+        // below is simulated by the consumer).
+        HitRecord rec = trav.closestHit(ray);
+        if (!rec.hit)
+            continue;
+        batch.primaryHits++;
+        for (int b = 0; b < config.photonBounces; ++b) {
+            Vec3 p = ray.at(rec.t);
+            Vec3 n = surfaceNormal(tris, rec, ray.dir);
+            Onb onb(n);
+            Vec3 local = cosineSampleHemisphere(rng.nextFloat(),
+                                                rng.nextFloat());
+            Ray bounce;
+            bounce.origin = p + n * (1e-5f * diag);
+            bounce.dir = onb.toWorld(local);
+            bounce.tMin = 1e-4f;
+            bounce.tMax = 1e30f;
+            bounce.kind = RayKind::Secondary;
+            batch.rays.push_back(bounce);
+
+            rec = trav.closestHit(bounce);
+            if (!rec.hit)
+                break;
+            ray = bounce;
+        }
+    }
+    return batch;
+}
+
+RayBatch
+generatePathBounceRays(const Scene &scene, const Bvh &bvh,
+                       const std::vector<Ray> &prev,
+                       const std::vector<PathHit> &hits, Rng &rng)
+{
+    RayBatch batch;
+    const auto &tris = scene.mesh.triangles();
+    float diag = bvh.sceneBounds().diagonal();
+    for (std::size_t i = 0; i < prev.size() && i < hits.size(); ++i) {
+        if (!hits[i].hit || hits[i].prim >= tris.size())
+            continue;
+        const Ray &ray = prev[i];
+        Vec3 p = ray.at(hits[i].t);
+        Vec3 n = surfaceNormalOf(tris, hits[i].prim, ray.dir);
+        Onb onb(n);
+        Vec3 local =
+            cosineSampleHemisphere(rng.nextFloat(), rng.nextFloat());
+        Ray bounce;
+        bounce.origin = p + n * (1e-5f * diag);
+        bounce.dir = onb.toWorld(local);
+        bounce.tMin = 1e-4f;
+        bounce.tMax = 1e30f;
+        bounce.kind = RayKind::Secondary;
+        batch.rays.push_back(bounce);
+    }
+    batch.primaryRays = prev.size();
+    batch.primaryHits = batch.rays.size();
     return batch;
 }
 

@@ -18,6 +18,7 @@
 #include "geometry/ray.hpp"
 #include "scene/camera.hpp"
 #include "scene/registry.hpp"
+#include "util/rng.hpp"
 
 namespace rtp {
 
@@ -39,6 +40,14 @@ struct RayGenConfig
     float aoMinLengthFrac = 0.25f; //!< min AO length / bbox diagonal
     float aoMaxLengthFrac = 0.40f; //!< max AO length / bbox diagonal
     int giBounces = 3;       //!< GI bounce count (Section 6.4)
+    /**
+     * Photons emitted per photon pass (0 = one per viewport pixel, so
+     * the pass scales with RTP_SCALE like the pixel workloads).
+     * RTP_PHOTONS overrides via WorkloadConfig::fromEnvironment.
+     */
+    int photonCount = 0;
+    int photonBounces = 2;   //!< photon bounce depth (RTP_PHOTON_BOUNCES)
+    int pathBounces = 4;     //!< path-tracing bounce depth (RTP_PT_BOUNCES)
     std::uint64_t seed = 42;
 };
 
@@ -90,5 +99,53 @@ RayBatch generateReflectionRays(const Scene &scene, const Bvh &bvh,
 RayBatch generateShadowRays(const Scene &scene, const Bvh &bvh,
                             const RayGenConfig &config,
                             const Vec3 *light_pos = nullptr);
+
+/**
+ * Generate photon-emission rays (the photon pass of a progressive
+ * photon mapper, the k_sPpmTracer_PhotonPass loop shape): photons
+ * leave the light in uniformly random sphere directions, then bounce
+ * diffusely up to config.photonBounces times; every flight segment is
+ * a closest-hit ray. Light-origin random-direction rays are maximally
+ * incoherent — neighbouring rays in submission order share an origin
+ * cell but scatter across direction buckets, the stress case for the
+ * hash predictor's locality assumption.
+ *
+ * primaryRays counts emitted photons, primaryHits the photons whose
+ * first segment hit the scene. Same seed => byte-identical batches.
+ *
+ * @param light_pos Light position; nullptr = the default top-centre
+ *        light generateShadowRays uses.
+ */
+RayBatch generatePhotonRays(const Scene &scene, const Bvh &bvh,
+                            const RayGenConfig &config,
+                            const Vec3 *light_pos = nullptr);
+
+/**
+ * One completed path segment, as the path-tracing driver
+ * (exp/path_driver.hpp) reads it back from the simulator. Mirrors the
+ * hit fields of the simulator's RayResult without depending on it —
+ * ray generation stays below the simulator in the layering.
+ */
+struct PathHit
+{
+    bool hit = false;
+    float t = 0.0f;
+    std::uint32_t prim = ~0u;
+};
+
+/**
+ * Generate the next path-tracing wave: one diffuse bounce ray per
+ * surviving segment of the previous wave (@p prev and @p hits are
+ * parallel, in submission order). @p rng is carried across waves by
+ * the driver, and is consumed in submission order for every hit
+ * segment, so wave contents are deterministic at any thread count.
+ * Unlike generateGiRays, nothing here traverses the BVH on the host —
+ * the hits come from simulated traversal (per-bounce emission into
+ * the simulator, not trace-time reference traversal).
+ */
+RayBatch generatePathBounceRays(const Scene &scene, const Bvh &bvh,
+                                const std::vector<Ray> &prev,
+                                const std::vector<PathHit> &hits,
+                                Rng &rng);
 
 } // namespace rtp

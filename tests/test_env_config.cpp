@@ -10,6 +10,7 @@
 #include <string>
 
 #include "exp/env_config.hpp"
+#include "exp/workload.hpp"
 
 namespace rtp {
 namespace {
@@ -147,6 +148,69 @@ TEST(EnvConfig, FromEnvironmentParsesEverySupportedVar)
     EXPECT_EQ(env.jsonDir, "/tmp");
     EXPECT_EQ(env.scale, 2);
     EXPECT_EQ(env.selfbenchReps, 5);
+}
+
+TEST(EnvConfig, BackendParsesStrictly)
+{
+    {
+        ScopedEnv b("RTP_BACKEND", nullptr);
+        EXPECT_EQ(EnvConfig::fromEnvironment().backend,
+                  PredictorBackendKind::HashTable);
+    }
+    {
+        ScopedEnv b("RTP_BACKEND", "hash");
+        EXPECT_EQ(EnvConfig::fromEnvironment().backend,
+                  PredictorBackendKind::HashTable);
+    }
+    {
+        ScopedEnv b("RTP_BACKEND", "learned");
+        EXPECT_EQ(EnvConfig::fromEnvironment().backend,
+                  PredictorBackendKind::Learned);
+    }
+    for (const char *bad : {"Learned", "table", "nif", "2"}) {
+        ScopedEnv b("RTP_BACKEND", bad);
+        EXPECT_THROW(EnvConfig::fromEnvironment(),
+                     std::invalid_argument)
+            << bad;
+    }
+}
+
+TEST(EnvConfig, WorkloadKnobsParseStrictly)
+{
+    {
+        ScopedEnv sc("RTP_SCALE", nullptr), p("RTP_PHOTONS", nullptr),
+            pb("RTP_PHOTON_BOUNCES", nullptr),
+            tb("RTP_PT_BOUNCES", nullptr);
+        WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+        EXPECT_EQ(wc.raygen.photonCount, 0);
+        EXPECT_EQ(wc.raygen.photonBounces, 2);
+        EXPECT_EQ(wc.raygen.pathBounces, 4);
+    }
+    {
+        ScopedEnv sc("RTP_SCALE", nullptr), p("RTP_PHOTONS", "5000"),
+            pb("RTP_PHOTON_BOUNCES", "3"), tb("RTP_PT_BOUNCES", "6");
+        WorkloadConfig wc = WorkloadConfig::fromEnvironment();
+        EXPECT_EQ(wc.raygen.photonCount, 5000);
+        EXPECT_EQ(wc.raygen.photonBounces, 3);
+        EXPECT_EQ(wc.raygen.pathBounces, 6);
+    }
+    {
+        // Photons may be 0 (per-pixel); bounce depths must be >= 1.
+        ScopedEnv sc("RTP_SCALE", nullptr), p("RTP_PHOTONS", "0");
+        EXPECT_EQ(WorkloadConfig::fromEnvironment().raygen.photonCount,
+                  0);
+    }
+    {
+        ScopedEnv sc("RTP_SCALE", nullptr),
+            pb("RTP_PHOTON_BOUNCES", "0");
+        EXPECT_THROW(WorkloadConfig::fromEnvironment(),
+                     std::invalid_argument);
+    }
+    {
+        ScopedEnv sc("RTP_SCALE", nullptr), tb("RTP_PT_BOUNCES", "x");
+        EXPECT_THROW(WorkloadConfig::fromEnvironment(),
+                     std::invalid_argument);
+    }
 }
 
 TEST(EnvConfig, FromEnvironmentRejectsBadKernelAndClampsScale)

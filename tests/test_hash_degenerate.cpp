@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Degenerate-ray and bit-width hardening tests for the hash layer
+ * (core/hash.hpp): zero/denormal/NaN directions, NaN and huge origins,
+ * the foldHash bit-width contract, and the phi-wrap / theta-pole seam
+ * behaviour of the Grid Spherical function. Run these under UBSan —
+ * before the hardening, several of them executed undefined casts or
+ * oversized shifts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/hash.hpp"
+#include "core/predictor_table.hpp"
+#include "util/rng.hpp"
+
+namespace rtp {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+Aabb
+bounds()
+{
+    return Aabb{{0, 0, 0}, {100, 100, 100}};
+}
+
+Ray
+rawRay(Vec3 o, Vec3 d)
+{
+    Ray r;
+    r.origin = o;
+    r.dir = d; // deliberately NOT normalized
+    return r;
+}
+
+TEST(CanonicalUnitDirection, ZeroAndDenormalFallBack)
+{
+    const Vec3 canon{1.0f, 0.0f, 0.0f};
+    Vec3 z = canonicalUnitDirection({0, 0, 0});
+    EXPECT_EQ(z.x, canon.x);
+    EXPECT_EQ(z.y, canon.y);
+    EXPECT_EQ(z.z, canon.z);
+    // Small enough that the squared length is below FLT_MIN.
+    Vec3 d = canonicalUnitDirection({1e-30f, 0, 0});
+    EXPECT_EQ(d.x, canon.x);
+    EXPECT_EQ(d.y, canon.y);
+    EXPECT_EQ(d.z, canon.z);
+}
+
+TEST(CanonicalUnitDirection, NanAndInfFallBack)
+{
+    for (Vec3 v : {Vec3{kNan, 1, 0}, Vec3{0, kNan, 0}, Vec3{1, 1, kNan},
+                   Vec3{kInf, 0, 0}, Vec3{1e30f, 1e30f, 0}}) {
+        Vec3 d = canonicalUnitDirection(v);
+        EXPECT_EQ(d.x, 1.0f);
+        EXPECT_EQ(d.y, 0.0f);
+        EXPECT_EQ(d.z, 0.0f);
+    }
+}
+
+TEST(CanonicalUnitDirection, MatchesNormalizeForRegularInput)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        Vec3 v{rng.nextRange(-5, 5), rng.nextRange(-5, 5),
+               rng.nextRange(-5, 5)};
+        if (length(v) < 1e-3f)
+            continue;
+        Vec3 a = canonicalUnitDirection(v);
+        Vec3 b = normalize(v);
+        EXPECT_EQ(a.x, b.x);
+        EXPECT_EQ(a.y, b.y);
+        EXPECT_EQ(a.z, b.z);
+    }
+}
+
+/**
+ * Degenerate directions hash to the canonical +x bucket: the same
+ * value a well-formed +x ray from the same origin produces, so stray
+ * rays neither crash nor pollute arbitrary table sets.
+ */
+TEST(DegenerateRays, ZeroDirectionHashesToCanonicalBucket)
+{
+    for (HashFunction fn :
+         {HashFunction::GridSpherical, HashFunction::TwoPoint}) {
+        RayHasher h({fn, 5, 3, 0.15f}, bounds());
+        std::uint32_t canon =
+            h.hash(rawRay({50, 50, 50}, {1, 0, 0}));
+        EXPECT_EQ(h.hash(rawRay({50, 50, 50}, {0, 0, 0})), canon);
+        EXPECT_EQ(h.hash(rawRay({50, 50, 50}, {1e-30f, 0, 0})), canon);
+        EXPECT_EQ(h.hash(rawRay({50, 50, 50}, {kNan, 1, 0})), canon);
+        EXPECT_EQ(h.hash(rawRay({50, 50, 50}, {0, kInf, 0})), canon);
+    }
+}
+
+TEST(DegenerateRays, NanOriginClampsToLowestCell)
+{
+    for (HashFunction fn :
+         {HashFunction::GridSpherical, HashFunction::TwoPoint}) {
+        RayHasher h({fn, 5, 3, 0.15f}, bounds());
+        // NaN coordinates quantise to cell 0 per axis — the same
+        // bucket as an origin at the box's low corner.
+        std::uint32_t lo = h.hash(rawRay({-1e30f, -1e30f, -1e30f},
+                                         {0, 1, 0}));
+        EXPECT_EQ(h.hash(rawRay({kNan, kNan, kNan}, {0, 1, 0})), lo);
+        EXPECT_LT(h.hash(rawRay({kNan, 50, 50}, {0, 1, 0})),
+                  1u << h.hashBits());
+    }
+}
+
+TEST(DegenerateRays, HugeOriginsStayInRange)
+{
+    for (HashFunction fn :
+         {HashFunction::GridSpherical, HashFunction::TwoPoint}) {
+        RayHasher h({fn, 5, 3, 0.15f}, bounds());
+        std::uint32_t width = h.hashBits();
+        for (Vec3 o : {Vec3{1e30f, 1e30f, 1e30f},
+                       Vec3{-1e30f, 50, 1e20f}, Vec3{kInf, 0, 0}}) {
+            std::uint32_t hash = h.hash(rawRay(o, {0, 0, 1}));
+            EXPECT_LT(hash, 1u << width);
+            // Beyond-the-box origins clamp to an edge cell, so the
+            // hash is also stable (same input, same bucket).
+            EXPECT_EQ(h.hash(rawRay(o, {0, 0, 1})), hash);
+        }
+    }
+}
+
+/**
+ * The foldHash bit-width contract (core/hash.hpp): m_bits >= 32
+ * returns the hash unchanged, m_bits <= 0 returns 0, and claimed
+ * input widths past 32 fold the same 32 real bits.
+ */
+TEST(FoldHashContract, WideWidthsAreDefined)
+{
+    EXPECT_EQ(foldHash(0xDEADBEEF, 33, 32), 0xDEADBEEFu);
+    EXPECT_EQ(foldHash(0xDEADBEEF, 64, 40), 0xDEADBEEFu);
+    EXPECT_EQ(foldHash(0xDEADBEEF, 33, -1), 0u);
+    // n_bits past 32 folds exactly the 32 real bits: same result as
+    // claiming 32.
+    for (int m = 1; m <= 31; ++m)
+        EXPECT_EQ(foldHash(0xDEADBEEF, 64, m),
+                  foldHash(0xDEADBEEF, 32, m))
+            << "m_bits=" << m;
+}
+
+/**
+ * Property over the simfuzz configuration space (tools/simfuzz.cpp
+ * deriveConfig: originBits 2..8, directionBits 2..6, both hash
+ * functions, entries {16,64,256,1024}, ways {1,2,4}): for every
+ * config and a mixed bag of well-formed and degenerate rays, the
+ * folded hash stays inside the table's set-index range.
+ */
+TEST(FoldHashContract, FoldedHashesIndexEveryFuzzerTable)
+{
+    const std::uint32_t entries[] = {16, 64, 256, 1024};
+    const std::uint32_t ways[] = {1, 2, 4};
+    Rng rng(99);
+    std::vector<Ray> rays;
+    for (int i = 0; i < 64; ++i)
+        rays.push_back(rawRay({rng.nextRange(-10, 110),
+                               rng.nextRange(-10, 110),
+                               rng.nextRange(-10, 110)},
+                              {rng.nextRange(-1, 1),
+                               rng.nextRange(-1, 1),
+                               rng.nextRange(-1, 1)}));
+    rays.push_back(rawRay({50, 50, 50}, {0, 0, 0}));
+    rays.push_back(rawRay({kNan, 50, 50}, {kNan, 0, 0}));
+    rays.push_back(rawRay({1e30f, -1e30f, 0}, {0, 1, 0}));
+
+    for (HashFunction fn :
+         {HashFunction::GridSpherical, HashFunction::TwoPoint}) {
+        for (int n = 2; n <= 8; ++n) {
+            for (int m = 2; m <= 6; ++m) {
+                RayHasher h({fn, n, m, 0.15f}, bounds());
+                for (std::uint32_t e : entries) {
+                    for (std::uint32_t w : ways) {
+                        std::uint32_t sets = e / w;
+                        int index_bits = 0;
+                        while ((1u << index_bits) < sets)
+                            index_bits++;
+                        for (const Ray &r : rays) {
+                            std::uint32_t folded = foldHash(
+                                h.hash(r), h.hashBits(), index_bits);
+                            ASSERT_LT(folded, sets)
+                                << "fn=" << static_cast<int>(fn)
+                                << " n=" << n << " m=" << m
+                                << " entries=" << e << " ways=" << w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Degenerate rays flow through the full table path without UB. */
+TEST(DegenerateRays, TableLookupAndTrainAreDefined)
+{
+    for (HashFunction fn :
+         {HashFunction::GridSpherical, HashFunction::TwoPoint}) {
+        RayHasher h({fn, 5, 3, 0.15f}, bounds());
+        PredictorTable table({64, 2, 2, NodeReplacement::LRU, 2},
+                             h.hashBits());
+        std::vector<Ray> bad = {
+            rawRay({50, 50, 50}, {0, 0, 0}),
+            rawRay({kNan, kNan, kNan}, {kNan, kNan, kNan}),
+            rawRay({1e30f, 1e30f, 1e30f}, {0, kInf, 0}),
+        };
+        std::vector<std::uint32_t> nodes;
+        for (const Ray &r : bad) {
+            std::uint32_t hash = h.hash(r);
+            table.update(hash, 7);
+            nodes.clear();
+            table.lookupInto(hash, nodes);
+            ASSERT_EQ(nodes.size(), 1u);
+            EXPECT_EQ(nodes[0], 7u);
+        }
+    }
+}
+
+/**
+ * Phi 0/360 wrap: the Grid Spherical hash quantises phi linearly, so
+ * directions an epsilon either side of the +x axis land in the two
+ * END buckets (0 and the top occupied bucket) — the seam diverges by
+ * design rather than wrapping, and this test documents and pins that.
+ * Directions within one bucket of each other on the same side
+ * collide.
+ */
+TEST(SphericalSeams, PhiWrapDivergesToEndBuckets)
+{
+    const int m = 3; // directionBits: phi gets m+1 = 4 key bits
+    RayHasher h({HashFunction::GridSpherical, 5, m, 0.15f}, bounds());
+    const Vec3 o{50, 50, 50};
+    // 1 degree either side of phi = 0 (the +x axis), in the z = 0
+    // equator plane (theta = 90).
+    float e = 3.14159265f / 180.0f;
+    Ray above = rawRay(o, {std::cos(e), std::sin(e), 0});
+    Ray below = rawRay(o, {std::cos(e), -std::sin(e), 0});
+    // Same origin cell, phi buckets 0 vs top: hashes must differ.
+    EXPECT_NE(h.hash(above), h.hash(below));
+    // And both sit where the quantiser puts the seam's end buckets:
+    // phi 1 deg -> bucket 0, phi 359 deg -> bucket 359 >> 5 = 11.
+    std::uint32_t diff = h.hash(above) ^ h.hash(below);
+    EXPECT_EQ(diff, 11u); // phi-key field only; origin/theta agree
+    // A pair on the same side one tenth of a degree apart collides.
+    Ray near1 = rawRay(o, {std::cos(0.5f * e), std::sin(0.5f * e), 0});
+    EXPECT_EQ(h.hash(above), h.hash(near1));
+}
+
+/**
+ * Theta poles: at +z / -z the azimuth is ill-defined; the hash
+ * resolves it as atan2(0, 0) = 0, so exactly-polar directions are
+ * deterministic, and near-polar directions with different phi may
+ * diverge only in the phi field while agreeing on the theta bucket.
+ */
+TEST(SphericalSeams, ThetaPolesAreDeterministic)
+{
+    const int m = 3;
+    RayHasher h({HashFunction::GridSpherical, 5, m, 0.15f}, bounds());
+    const Vec3 o{50, 50, 50};
+    // Exactly polar: repeatable, in range.
+    std::uint32_t up = h.hash(rawRay(o, {0, 0, 1}));
+    std::uint32_t down = h.hash(rawRay(o, {0, 0, -1}));
+    EXPECT_EQ(up, h.hash(rawRay(o, {0, 0, 1})));
+    EXPECT_LT(up, 1u << h.hashBits());
+    EXPECT_LT(down, 1u << h.hashBits());
+    // theta = 180 clamps just below 180, so -z stays in range and in
+    // the top theta bucket rather than overflowing it.
+    EXPECT_NE(up, down);
+
+    // Near-polar pair with opposite azimuths: theta buckets agree
+    // (both ~0), so any divergence lives in the phi field alone.
+    float e = 0.5f * 3.14159265f / 180.0f;
+    std::uint32_t a = h.hash(rawRay(o, {std::sin(e), 0, std::cos(e)}));
+    std::uint32_t b =
+        h.hash(rawRay(o, {-std::sin(e), 0, std::cos(e)}));
+    std::uint32_t phi_field_mask = (1u << (m + 1)) - 1;
+    EXPECT_EQ((a ^ b) & ~phi_field_mask, 0u);
+}
+
+} // namespace
+} // namespace rtp

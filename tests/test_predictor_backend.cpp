@@ -1,0 +1,237 @@
+/**
+ * @file
+ * PredictorBackend interface tests (core/predictor_backend.hpp): name
+ * parsing, the learned backend's lookup/train/stat contract, warm
+ * cloning, and the timed predictor unit running end-of-run invariant
+ * checks over a non-default backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bvh/builder.hpp"
+#include "core/predictor.hpp"
+#include "core/predictor_backend.hpp"
+#include "scene/registry.hpp"
+#include "util/check.hpp"
+
+namespace rtp {
+namespace {
+
+Aabb
+bounds()
+{
+    return Aabb{{0, 0, 0}, {100, 100, 100}};
+}
+
+Ray
+makeRay(Vec3 o, Vec3 d)
+{
+    Ray r;
+    r.origin = o;
+    r.dir = normalize(d);
+    return r;
+}
+
+TEST(BackendName, RoundTripsAndRejectsStrictly)
+{
+    EXPECT_STREQ(backendName(PredictorBackendKind::HashTable), "hash");
+    EXPECT_STREQ(backendName(PredictorBackendKind::Learned), "learned");
+    PredictorBackendKind kind = PredictorBackendKind::HashTable;
+    EXPECT_TRUE(parseBackendName("learned", kind));
+    EXPECT_EQ(kind, PredictorBackendKind::Learned);
+    EXPECT_TRUE(parseBackendName("hash", kind));
+    EXPECT_EQ(kind, PredictorBackendKind::HashTable);
+    for (const char *bad : {"Hash", "LEARNED", "", "learned2", "table"}) {
+        kind = PredictorBackendKind::Learned;
+        EXPECT_FALSE(parseBackendName(bad, kind)) << bad;
+        EXPECT_EQ(kind, PredictorBackendKind::Learned); // untouched
+    }
+}
+
+TEST(BackendFactory, BuildsRequestedKind)
+{
+    PredictorTableConfig table;
+    LearnedBackendConfig learned;
+    auto hash = makePredictorBackend(PredictorBackendKind::HashTable,
+                                     table, learned, 15, bounds());
+    auto model = makePredictorBackend(PredictorBackendKind::Learned,
+                                      table, learned, 15, bounds());
+    EXPECT_EQ(hash->kind(), PredictorBackendKind::HashTable);
+    EXPECT_EQ(model->kind(), PredictorBackendKind::Learned);
+}
+
+TEST(LearnedBackend, ColdMissThenTrainedHit)
+{
+    LearnedBackendConfig cfg;
+    LearnedBackend b(cfg, bounds());
+    Ray ray = makeRay({50, 50, 50}, {0, 0, 1});
+    std::vector<std::uint32_t> nodes;
+
+    EXPECT_FALSE(b.lookupInto(ray, 0, nodes));
+    EXPECT_TRUE(nodes.empty());
+
+    b.train(ray, 0, 42);
+    EXPECT_TRUE(b.lookupInto(ray, 0, nodes));
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], 42u);
+
+    // A nearby ray (same feature cell, well within the accept radius)
+    // generalises to the same prediction — the point of the model.
+    Ray near = makeRay({50.01f, 50.0f, 49.99f}, {0.001f, 0, 1});
+    EXPECT_TRUE(b.lookupInto(near, 0, nodes));
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], 42u);
+
+    // A far ray misses: the radius bounds generalisation.
+    Ray far = makeRay({5, 5, 5}, {0, 1, 0});
+    EXPECT_FALSE(b.lookupInto(far, 0, nodes));
+
+    // Lookup accounting: 4 lookups, 2 hits, 2 misses, 1 update.
+    EXPECT_EQ(b.stats().get("lookups"), 4u);
+    EXPECT_EQ(b.stats().get("lookup_hits"), 2u);
+    EXPECT_EQ(b.stats().get("lookup_misses"), 2u);
+    EXPECT_EQ(b.stats().get("updates"), 1u);
+}
+
+TEST(LearnedBackend, DeterministicAcrossIdenticalRuns)
+{
+    LearnedBackendConfig cfg;
+    cfg.prototypes = 8; // force evictions
+    auto run = [&] {
+        LearnedBackend b(cfg, bounds());
+        std::vector<std::uint32_t> nodes;
+        std::uint64_t signature = 0;
+        for (int i = 0; i < 200; ++i) {
+            float x = 5.0f + (i * 37) % 90;
+            float z = 5.0f + (i * 53) % 90;
+            Ray r = makeRay({x, 50, z}, {0, 1, 0});
+            if (b.lookupInto(r, 0, nodes))
+                signature = signature * 31 + nodes[0] + 1;
+            b.train(r, 0, static_cast<std::uint32_t>(i % 13));
+        }
+        return signature * 1000003 + b.stats().get("lookup_hits");
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(LearnedBackend, CloneIsIndependentAndWarm)
+{
+    LearnedBackendConfig cfg;
+    LearnedBackend b(cfg, bounds());
+    Ray ray = makeRay({50, 50, 50}, {0, 0, 1});
+    b.train(ray, 0, 7);
+
+    auto copy = b.clone();
+    std::vector<std::uint32_t> nodes;
+    EXPECT_TRUE(copy->lookupInto(ray, 0, nodes)); // warm
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], 7u);
+
+    // Training the clone does not leak into the original.
+    Ray other = makeRay({10, 10, 10}, {1, 0, 0});
+    copy->train(other, 0, 9);
+    EXPECT_EQ(copy->snapshotStats().validEntries, 2u);
+    EXPECT_EQ(b.snapshotStats().validEntries, 1u);
+}
+
+TEST(LearnedBackend, ResetAndOccupancy)
+{
+    LearnedBackendConfig cfg;
+    cfg.prototypes = 16;
+    LearnedBackend b(cfg, bounds());
+    BackendOccupancy occ = b.snapshotStats();
+    EXPECT_EQ(occ.capacity, 16u);
+    EXPECT_EQ(occ.validEntries, 0u);
+    EXPECT_GT(occ.sizeBytes, 0.0);
+
+    b.train(makeRay({50, 50, 50}, {0, 0, 1}), 0, 1);
+    b.train(makeRay({10, 80, 20}, {0, 1, 0}), 0, 2);
+    EXPECT_EQ(b.snapshotStats().validEntries, 2u);
+
+    b.reset();
+    EXPECT_EQ(b.snapshotStats().validEntries, 0u);
+    std::vector<std::uint32_t> nodes;
+    EXPECT_FALSE(
+        b.lookupInto(makeRay({50, 50, 50}, {0, 0, 1}), 0, nodes));
+}
+
+TEST(LearnedBackend, EvictsLruWhenFull)
+{
+    LearnedBackendConfig cfg;
+    cfg.prototypes = 2;
+    LearnedBackend b(cfg, bounds());
+    // Three far-apart rays into a 2-prototype pool: the third recruit
+    // evicts the least recently used (the first).
+    Ray a = makeRay({10, 10, 10}, {1, 0, 0});
+    Ray c = makeRay({50, 50, 50}, {0, 1, 0});
+    Ray e = makeRay({90, 90, 90}, {0, 0, 1});
+    b.train(a, 0, 1);
+    b.train(c, 0, 2);
+    b.train(e, 0, 3);
+    EXPECT_EQ(b.snapshotStats().validEntries, 2u);
+    EXPECT_EQ(b.stats().get("entry_evictions"), 1u);
+    std::vector<std::uint32_t> nodes;
+    EXPECT_FALSE(b.lookupInto(a, 0, nodes)); // evicted
+    EXPECT_TRUE(b.lookupInto(e, 0, nodes));
+    EXPECT_EQ(nodes[0], 3u);
+}
+
+/**
+ * The timed predictor unit over the learned backend keeps the
+ * end-of-run stat invariants the checker enforces for any backend:
+ * every lookup is exactly one hit or miss, predicted == hits.
+ */
+TEST(PredictorUnit, LearnedBackendPassesFinalStateCheck)
+{
+    Scene scene = makeScene(SceneId::Sibenik, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+
+    PredictorConfig config;
+    config.enabled = true;
+    config.backend = PredictorBackendKind::Learned;
+    RayPredictor pred(config, bvh);
+
+    std::vector<std::uint32_t> nodes;
+    Cycle ready = 0;
+    Vec3 c = bvh.sceneBounds().center();
+    for (int i = 0; i < 64; ++i) {
+        Ray r = makeRay({c.x + 0.1f * i, c.y, c.z},
+                        {0.01f * (i % 7), 1, 0.01f * (i % 5)});
+        pred.lookupInto(r, i, ready, nodes);
+        pred.update(r, static_cast<std::uint32_t>(i % 11), i);
+    }
+
+    InvariantChecker check;
+    pred.checkFinalState(check);
+    EXPECT_GT(check.checksRun(), 0u);
+    EXPECT_EQ(pred.stats().get("lookups"), 64u);
+    EXPECT_EQ(pred.backend().stats().get("lookup_hits") +
+                  pred.backend().stats().get("lookup_misses"),
+              64u);
+}
+
+/** Copying a RayPredictor clones the backend deeply (PredictorSet). */
+TEST(PredictorUnit, CopyClonesBackendState)
+{
+    Scene scene = makeScene(SceneId::Sibenik, 0.05f);
+    Bvh bvh = BvhBuilder().build(scene.mesh.triangles());
+    PredictorConfig config;
+    config.enabled = true;
+    config.backend = PredictorBackendKind::Learned;
+    RayPredictor pred(config, bvh);
+
+    Vec3 c = bvh.sceneBounds().center();
+    Ray r = makeRay(c, {0, 1, 0});
+    pred.update(r, 5, 0);
+
+    RayPredictor copy(pred);
+    EXPECT_EQ(copy.backend().kind(), PredictorBackendKind::Learned);
+    EXPECT_EQ(copy.backend().snapshotStats().validEntries, 1u);
+    // Mutating the copy leaves the original untouched.
+    copy.update(makeRay(c + Vec3{30, 0, 0}, {1, 0, 0}), 6, 1);
+    EXPECT_EQ(copy.backend().snapshotStats().validEntries, 2u);
+    EXPECT_EQ(pred.backend().snapshotStats().validEntries, 1u);
+}
+
+} // namespace
+} // namespace rtp

@@ -146,6 +146,133 @@ TEST(RayGen, DeterministicForSeed)
     EXPECT_TRUE(any_diff);
 }
 
+/** Every generated field of two rays matches bitwise. */
+void
+expectSameRay(const Ray &a, const Ray &b, std::size_t i)
+{
+    EXPECT_EQ(a.origin, b.origin) << "ray " << i;
+    EXPECT_EQ(a.dir, b.dir) << "ray " << i;
+    EXPECT_EQ(a.tMin, b.tMin) << "ray " << i;
+    EXPECT_EQ(a.tMax, b.tMax) << "ray " << i;
+    EXPECT_EQ(a.kind, b.kind) << "ray " << i;
+}
+
+/** Identical batches for one seed, field-by-field bitwise. */
+template <typename Gen>
+void
+expectByteIdentical(Gen gen)
+{
+    RayBatch a = gen();
+    RayBatch b = gen();
+    ASSERT_EQ(a.rays.size(), b.rays.size());
+    ASSERT_FALSE(a.rays.empty());
+    EXPECT_EQ(a.primaryRays, b.primaryRays);
+    EXPECT_EQ(a.primaryHits, b.primaryHits);
+    for (std::size_t i = 0; i < a.rays.size(); ++i)
+        expectSameRay(a.rays[i], b.rays[i], i);
+}
+
+TEST(RayGen, GiDeterministicForSeed)
+{
+    RayGenConfig cfg;
+    cfg.width = 10;
+    cfg.height = 10;
+    cfg.seed = 77;
+    expectByteIdentical([&] {
+        return generateGiRays(fixture().scene, fixture().bvh, cfg);
+    });
+}
+
+TEST(RayGen, PhotonDeterministicForSeed)
+{
+    RayGenConfig cfg;
+    cfg.photonCount = 200;
+    cfg.seed = 77;
+    expectByteIdentical([&] {
+        return generatePhotonRays(fixture().scene, fixture().bvh, cfg);
+    });
+    // A different seed emits different photons.
+    RayBatch a = generatePhotonRays(fixture().scene, fixture().bvh, cfg);
+    cfg.seed = 78;
+    RayBatch c = generatePhotonRays(fixture().scene, fixture().bvh, cfg);
+    ASSERT_FALSE(a.rays.empty());
+    EXPECT_FALSE(a.rays[0].dir == c.rays[0].dir);
+}
+
+TEST(RayGen, PhotonCountAndShape)
+{
+    RayGenConfig cfg;
+    cfg.photonCount = 150;
+    cfg.photonBounces = 2;
+    RayBatch batch =
+        generatePhotonRays(fixture().scene, fixture().bvh, cfg);
+    EXPECT_EQ(batch.primaryRays, 150u);
+    EXPECT_GE(batch.rays.size(), 150u);
+    // Each photon contributes 1 + at most photonBounces segments.
+    EXPECT_LE(batch.rays.size(),
+              150u * (1u + static_cast<unsigned>(cfg.photonBounces)));
+    Vec3 light{fixture().bvh.sceneBounds().center().x,
+               fixture().bvh.sceneBounds().hi.y -
+                   0.05f * fixture().bvh.sceneBounds().extent().y,
+               fixture().bvh.sceneBounds().center().z};
+    for (std::size_t i = 0; i < batch.rays.size(); ++i) {
+        EXPECT_EQ(batch.rays[i].kind, RayKind::Secondary);
+        EXPECT_NEAR(length(batch.rays[i].dir), 1.0f, 1e-3f);
+    }
+    // Emission segments start at the default light.
+    EXPECT_EQ(batch.rays[0].origin, light);
+    // photonCount = 0 falls back to one per pixel.
+    cfg.photonCount = 0;
+    cfg.width = 6;
+    cfg.height = 5;
+    RayBatch per_pixel =
+        generatePhotonRays(fixture().scene, fixture().bvh, cfg);
+    EXPECT_EQ(per_pixel.primaryRays, 30u);
+}
+
+TEST(RayGen, PathBounceRaysFollowHits)
+{
+    RayGenConfig cfg;
+    cfg.width = 8;
+    cfg.height = 8;
+    RayBatch primary = generatePrimaryRays(fixture().scene, cfg);
+    // Reference-trace the primaries to fabricate simulator results.
+    BvhTraversal trav(fixture().bvh, fixture().scene.mesh.triangles());
+    std::vector<PathHit> hits;
+    std::size_t expect_hits = 0;
+    for (const Ray &r : primary.rays) {
+        HitRecord rec = trav.closestHit(r);
+        hits.push_back(PathHit{rec.hit, rec.t, rec.prim});
+        if (rec.hit)
+            expect_hits++;
+    }
+    Rng rng(11, 37);
+    RayBatch wave = generatePathBounceRays(
+        fixture().scene, fixture().bvh, primary.rays, hits, rng);
+    EXPECT_EQ(wave.rays.size(), expect_hits);
+    EXPECT_EQ(wave.primaryRays, primary.rays.size());
+    for (const Ray &r : wave.rays)
+        EXPECT_EQ(r.kind, RayKind::Secondary);
+
+    // Same inputs + same rng stream state => byte-identical wave.
+    Rng rng2(11, 37);
+    RayBatch wave2 = generatePathBounceRays(
+        fixture().scene, fixture().bvh, primary.rays, hits, rng2);
+    ASSERT_EQ(wave.rays.size(), wave2.rays.size());
+    for (std::size_t i = 0; i < wave.rays.size(); ++i)
+        expectSameRay(wave.rays[i], wave2.rays[i], i);
+
+    // Degenerate input: a hit with an out-of-range prim is skipped
+    // instead of indexing out of bounds.
+    std::vector<PathHit> bogus(primary.rays.size());
+    for (auto &h : bogus)
+        h = PathHit{true, 1.0f, 0xFFFFFFFFu};
+    Rng rng3(11, 37);
+    RayBatch none = generatePathBounceRays(
+        fixture().scene, fixture().bvh, primary.rays, bogus, rng3);
+    EXPECT_TRUE(none.rays.empty());
+}
+
 TEST(RayGen, ViewportCropNarrowsSpread)
 {
     RayGenConfig wide;
